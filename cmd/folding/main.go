@@ -1,0 +1,124 @@
+// Command folding runs the Folding analysis on a trace file produced by
+// extraerun (or hpcgrepro -out): it extracts the instances of a region,
+// folds them and prints the folded rate curves, the detected phases and
+// summary statistics — the offline half of the paper's workflow.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/cpu"
+	"repro/internal/folding"
+	"repro/internal/paraver"
+	"repro/internal/report"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		in      = flag.String("i", "trace.prv", "input trace (.prv)")
+		region  = flag.Int64("region", 0, "region id to fold (0 = largest total time)")
+		grid    = flag.Int("grid", 200, "folded grid resolution")
+		bw      = flag.Float64("bandwidth", 0.02, "kernel regression bandwidth")
+		csvOut  = flag.String("csv", "", "write folded counter series to this CSV file")
+		profile = flag.Bool("profile", false, "print the region profile and exit")
+	)
+	flag.Parse()
+
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.NewReader(f)
+	if err != nil {
+		fatal(err)
+	}
+	records, err := trace.ReadAll(tr)
+	if err != nil && !errors.Is(err, io.EOF) {
+		fatal(err)
+	}
+	fmt.Printf("%s: %d records, %d task(s) x %d thread(s)\n",
+		*in, len(records), tr.Tasks(), tr.Threads())
+
+	spans, err := paraver.Timeline(records, 1, 1)
+	if err != nil {
+		fatal(err)
+	}
+	prof := paraver.Profile(spans)
+	if *profile || *region == 0 {
+		fmt.Println("\nregion profile (by total time):")
+		fmt.Printf("%8s %10s %14s %14s\n", "region", "instances", "total ms", "mean ms")
+		for _, row := range prof {
+			fmt.Printf("%8d %10d %14.3f %14.3f\n",
+				row.Region, row.Instances, float64(row.TotalNs)/1e6, row.MeanNs/1e6)
+		}
+		if *profile {
+			return
+		}
+	}
+	target := *region
+	if target == 0 {
+		if len(prof) == 0 {
+			fatal(fmt.Errorf("no instrumented regions in trace"))
+		}
+		target = prof[0].Region
+		fmt.Printf("\nfolding region %d (largest total time)\n", target)
+	}
+
+	instances, err := folding.Extract(records, target)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := folding.DefaultConfig()
+	cfg.GridPoints = *grid
+	cfg.Bandwidth = *bw
+	folded, err := folding.Fold(instances, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("folded %d/%d instances, mean duration %.3f ms, mean IPC %.3f\n",
+		folded.InstancesUsed, folded.InstancesTotal, folded.MeanDurationNs/1e6, folded.MeanIPC())
+
+	fmt.Printf("\nphases:\n%8s %8s %10s %10s %14s\n", "from", "to", "dir", "MIPS", "span MB/s")
+	for _, p := range folded.Phases {
+		fmt.Printf("%8.3f %8.3f %10s %10.0f %14.0f\n",
+			p.Lo, p.Hi, p.Direction, p.MIPSMean, p.SpanBandwidth/1e6)
+	}
+
+	mips := folded.MIPS()
+	var peak float64
+	for _, v := range mips {
+		if v > peak {
+			peak = v
+		}
+	}
+	fmt.Printf("\npeak folded MIPS: %.0f; samples folded: %d\n", peak, len(folded.Mem))
+	l1 := folded.PerInstruction(cpu.CtrL1DMiss)
+	var meanL1 float64
+	for _, v := range l1 {
+		meanL1 += v
+	}
+	fmt.Printf("mean L1D misses/instruction: %.4f\n", meanL1/float64(len(l1)))
+
+	if *csvOut != "" {
+		out, err := os.Create(*csvOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer out.Close()
+		if err := report.WriteCountersCSV(out, folded); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("folded counter series written to %s\n", *csvOut)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "folding:", err)
+	os.Exit(1)
+}

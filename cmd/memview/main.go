@@ -1,0 +1,125 @@
+// Command memview renders the memory perspective of a trace: the folded
+// address-vs-time panel (Figure 1 middle) for a chosen region, plus
+// per-data-source and latency statistics of the PEBS samples. It works
+// directly from a .prv trace without needing the synthetic binary.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/folding"
+	"repro/internal/memhier"
+	"repro/internal/paraver"
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		in     = flag.String("i", "trace.prv", "input trace (.prv)")
+		region = flag.Int64("region", 0, "region id to fold (0 = largest total time)")
+		width  = flag.Int("width", 100, "panel width")
+		height = flag.Int("height", 24, "panel height")
+	)
+	flag.Parse()
+
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.NewReader(f)
+	if err != nil {
+		fatal(err)
+	}
+	records, err := trace.ReadAll(tr)
+	if err != nil && !errors.Is(err, io.EOF) {
+		fatal(err)
+	}
+	target := *region
+	if target == 0 {
+		spans, err := paraver.Timeline(records, 1, 1)
+		if err != nil {
+			fatal(err)
+		}
+		prof := paraver.Profile(spans)
+		if len(prof) == 0 {
+			fatal(fmt.Errorf("no instrumented regions in trace"))
+		}
+		target = prof[0].Region
+	}
+	instances, err := folding.Extract(records, target)
+	if err != nil {
+		fatal(err)
+	}
+	folded, err := folding.Fold(instances, folding.DefaultConfig())
+	if err != nil {
+		fatal(err)
+	}
+	if len(folded.Mem) == 0 {
+		fatal(fmt.Errorf("region %d carries no memory samples", target))
+	}
+
+	// Address panel.
+	c := report.NewCanvas(*width, *height)
+	lo, hi := folded.Mem[0].Addr, folded.Mem[0].Addr
+	for _, mp := range folded.Mem {
+		if mp.Addr < lo {
+			lo = mp.Addr
+		}
+		if mp.Addr > hi {
+			hi = mp.Addr
+		}
+	}
+	for _, mp := range folded.Mem {
+		ch := byte('.')
+		if mp.Store {
+			ch = '#'
+		}
+		c.Plot(c.XForSigma(mp.Sigma), c.YForValue(float64(mp.Addr), float64(lo), float64(hi)), ch)
+	}
+	fmt.Printf("region %d: addresses referenced vs folded time (%d samples over %d instances)\n",
+		target, len(folded.Mem), folded.InstancesUsed)
+	if err := c.WriteTo(os.Stdout, func(row int) string {
+		v := float64(hi) - (float64(hi)-float64(lo))*float64(row)/float64(*height)
+		return fmt.Sprintf("%#x", uint64(v))
+	}); err != nil {
+		fatal(err)
+	}
+	fmt.Println("legend: '.' load, '#' store")
+
+	// Sample statistics: data-source mix and latency distribution, the two
+	// PEBS fields the paper's Extrae extension captures.
+	var bySource [memhier.NumSources]int
+	var lats []float64
+	var loads, storesN int
+	for _, mp := range folded.Mem {
+		bySource[mp.Source]++
+		if mp.Store {
+			storesN++
+		} else {
+			loads++
+			lats = append(lats, float64(mp.Latency))
+		}
+	}
+	fmt.Printf("\nsamples: %d loads, %d stores\ndata sources:\n", loads, storesN)
+	for s := memhier.DataSource(0); s < memhier.NumSources; s++ {
+		pct := 100 * float64(bySource[s]) / float64(len(folded.Mem))
+		fmt.Printf("  %-5s %7d (%5.1f%%)\n", s, bySource[s], pct)
+	}
+	if len(lats) > 0 {
+		fmt.Printf("load latency cycles: p50 %.0f, p90 %.0f, p99 %.0f, mean %.1f\n",
+			stats.Quantile(lats, 0.5), stats.Quantile(lats, 0.9),
+			stats.Quantile(lats, 0.99), stats.Mean(lats))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "memview:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,72 @@
+// HPCG analysis: the paper's full Section III evaluation as a runnable
+// example. Generates the HPCG problem (with the paper's two allocation
+// groups), solves it with multigrid-preconditioned CG under PEBS
+// monitoring, folds the CG iteration and prints Figure 1 and the in-text
+// findings:
+//
+//   - each iteration is SYMGS (A: forward a1 + backward a2), SpMV (B),
+//     the multigrid coarse work (C), SYMGS again (D) and SpMV again (E);
+//   - the lower address region (the matrix) is read-only in the execution
+//     phase — all stores land in the vector region above it;
+//   - SpMV achieves higher traversal bandwidth than the SYMGS sweeps.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/folding"
+	"repro/internal/hpcg"
+)
+
+func main() {
+	cfg := core.DefaultConfig()
+	params := hpcg.Params{NX: 24, NY: 24, NZ: 24, MGLevels: 3, MaxIters: 6}
+
+	fmt.Printf("running HPCG %dx%dx%d, %d MG levels, %d CG iterations...\n",
+		params.NX, params.NY, params.NZ, params.MGLevels, params.MaxIters)
+	run, err := core.RunHPCG(cfg, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("solver: %d iterations, residual %.3e -> %.3e\n\n",
+		run.CG.Iterations, run.CG.Residuals[0],
+		run.CG.Residuals[len(run.CG.Residuals)-1])
+
+	// Figure 1, all three panels plus the tables.
+	if err := run.Figure1().Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// The paper's phase narrative.
+	fmt.Println("\n== Paper phase structure ==")
+	for _, pp := range run.Paper {
+		fn := run.Session.FuncOf(pp.Phase.DominantIP)
+		fmt.Printf("  %-3s %-24s [%.2f..%.2f] %s\n",
+			pp.Label, fn, pp.Phase.Lo, pp.Phase.Hi, pp.Phase.Direction)
+	}
+
+	// Finding 1: forward then backward sweeps in SYMGS.
+	a1, ok1 := run.PhaseByLabel("a1")
+	a2, ok2 := run.PhaseByLabel("a2")
+	if ok1 && ok2 && a1.Direction == folding.SweepForward && a2.Direction == folding.SweepBackward {
+		fmt.Println("\n[ok] SYMGS traverses the address space forward (a1) then backward (a2)")
+	} else {
+		fmt.Println("\n[??] SYMGS sweep structure not detected as fwd+bwd")
+	}
+
+	// Finding 2: no stores in the matrix region during execution.
+	if m := run.MatrixGroup(); m != nil && m.Stores == 0 && m.Loads > 0 {
+		fmt.Printf("[ok] matrix region (%s) is load-only during execution (%d loads, 0 stores)\n",
+			m.Label(), m.Loads)
+		fmt.Println("     -> as the paper notes, this region would benefit from memory where loads are faster than stores")
+	}
+
+	// Finding 3: SpMV bandwidth exceeds the SYMGS sweeps.
+	if b, ok := run.PhaseByLabel("B"); ok && ok1 {
+		fmt.Printf("[ok] traversal bandwidth: SYMGS fwd %.0f MB/s, SpMV %.0f MB/s (ratio %.2f; paper 4197 vs 6427 = 1.53)\n",
+			a1.SpanBandwidth/1e6, b.SpanBandwidth/1e6, b.SpanBandwidth/a1.SpanBandwidth)
+	}
+}

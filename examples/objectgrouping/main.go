@@ -1,0 +1,64 @@
+// Object grouping: reproduces the paper's preliminary-analysis failure and
+// its fix. HPCG allocates its matrix through many consecutive allocations
+// of a few hundred bytes — below Extrae's tracking threshold — so "most of
+// the PEBS references were not associated to a memory object". Wrapping
+// the first and last addresses of each allocation run into a group (the
+// paper's manual instrumentation) makes the references resolvable.
+//
+// The example runs the same HPCG twice, with grouping off then on, and
+// compares the sample resolution rates.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/hpcg"
+)
+
+func main() {
+	params := hpcg.Params{NX: 16, NY: 16, NZ: 16, MGLevels: 2, MaxIters: 3}
+	cfg := core.DefaultConfig()
+	// HPCG's row storage is 540 bytes plus an 80-byte map node per row;
+	// a 1 KiB tracking threshold models the paper's situation where both
+	// populations sit below the individual-tracking cutoff.
+	cfg.Monitor.MinTrackSize = 1024
+
+	// Run 1 — the preliminary analysis: no grouping instrumentation.
+	ungroupedParams := params
+	ungroupedParams.DisableGrouping = true
+	ungrouped, err := core.RunHPCG(cfg, ungroupedParams)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Run 2 — the paper's fix: the two allocation groups.
+	grouped, err := core.RunHPCG(cfg, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("HPCG 16^3, 3 iterations, identical sampling; only object handling differs")
+	fmt.Println()
+	fmt.Printf("%-34s %20s %20s\n", "", "ungrouped (prelim.)", "grouped (paper fix)")
+	ur := ungrouped.Session.Mon.Registry()
+	gr := grouped.Session.Mon.Registry()
+	fmt.Printf("%-34s %19.1f%% %19.1f%%\n", "PEBS sample resolution rate",
+		100*ur.ResolutionRate(), 100*gr.ResolutionRate())
+	fmt.Printf("%-34s %20d %20d\n", "objects in registry",
+		len(ur.Objects()), len(gr.Objects()))
+	us, gs := ur.Stats(), gr.Stats()
+	fmt.Printf("%-34s %20d %20d\n", "allocations below threshold",
+		us.AllocsBelowThreshold, gs.AllocsBelowThreshold)
+	fmt.Printf("%-34s %20d %20d\n", "allocations grouped",
+		us.AllocsGrouped, gs.AllocsGrouped)
+
+	if m := grouped.MatrixGroup(); m != nil {
+		fmt.Printf("\ngrouped run's matrix object: %s (%d members, %d sampled refs)\n",
+			m.Label(), m.Members, m.Refs)
+	}
+	fmt.Println("\nconclusion: without grouping the dominant data structure is invisible")
+	fmt.Println("to the memory profile; with the paper's wrapping instrumentation the")
+	fmt.Println("references resolve to two named objects, as in Figure 1.")
+}

@@ -1,0 +1,195 @@
+// Package core is the top-level facade of the library: it assembles the
+// simulated machine (cache hierarchy, core, address space, synthetic
+// binary), the monitoring runtime (Extrae-like tracing with PEBS memory
+// sampling) and the Folding analysis into ready-to-run experiment
+// pipelines. The cmd/ tools, the examples and the benchmark harness all
+// drive the reproduction through this package.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cpu"
+	"repro/internal/extrae"
+	"repro/internal/folding"
+	"repro/internal/memhier"
+	"repro/internal/prog"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// defaultHeapBase mirrors the 0x2adf… heap addresses visible in the
+// paper's Figure 1.
+const defaultHeapBase = 0x2adf00000000
+
+// Config assembles the full stack's configuration.
+type Config struct {
+	// Cache configures the memory hierarchy.
+	Cache memhier.Config
+	// CPU configures the core model.
+	CPU cpu.Config
+	// Monitor configures the Extrae-like runtime (PEBS, multiplexing,
+	// tracking threshold, drain overhead).
+	Monitor extrae.Config
+	// Folding configures the analysis.
+	Folding folding.Config
+	// HeapBase is the simulated heap base address.
+	HeapBase uint64
+	// ASLRSeed, when nonzero, randomizes the heap base per session —
+	// simulating address-space layout randomization across runs, the
+	// reason the paper multiplexes loads and stores in a single run
+	// instead of running twice.
+	ASLRSeed int64
+}
+
+// DefaultConfig returns the paper-like stack configuration.
+func DefaultConfig() Config {
+	return Config{
+		Cache:    memhier.DefaultConfig(),
+		CPU:      cpu.DefaultConfig(),
+		Monitor:  extrae.DefaultConfig(),
+		Folding:  folding.DefaultConfig(),
+		HeapBase: defaultHeapBase,
+	}
+}
+
+// Session is an assembled simulated machine with monitoring attached.
+type Session struct {
+	Cfg  Config
+	Hier *memhier.Hierarchy
+	Core *cpu.Core
+	Bin  *prog.Binary
+	AS   *prog.AddressSpace
+	Mon  *extrae.Monitor
+}
+
+// NewSession builds the stack.
+func NewSession(cfg Config) (*Session, error) {
+	hier, err := memhier.New(cfg.Cache)
+	if err != nil {
+		return nil, err
+	}
+	c, err := cpu.New(cfg.CPU, hier)
+	if err != nil {
+		return nil, err
+	}
+	bin := prog.NewBinary()
+	base := cfg.HeapBase
+	if base == 0 {
+		base = defaultHeapBase
+	}
+	if cfg.ASLRSeed != 0 {
+		// Randomize the mmap base by up to 1 TiB in page steps, like
+		// Linux ASLR does for the heap of a PIE binary.
+		rng := rand.New(rand.NewSource(cfg.ASLRSeed))
+		base += uint64(rng.Int63n(1<<40)) &^ 0xfff
+	}
+	as := prog.NewAddressSpace(base)
+	mon, err := extrae.New(cfg.Monitor, c, bin, as)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{Cfg: cfg, Hier: hier, Core: c, Bin: bin, AS: as, Mon: mon}, nil
+}
+
+// Ctx returns the workload-facing view of the session.
+func (s *Session) Ctx() *workloads.Ctx {
+	return &workloads.Ctx{Core: s.Core, Mon: s.Mon, Bin: s.Bin}
+}
+
+// FuncOf resolves an instruction pointer to its function name ("" when
+// unknown); used to label folded phases.
+func (s *Session) FuncOf(ip uint64) string {
+	if loc, ok := s.Bin.Lookup(ip); ok {
+		return loc.Function
+	}
+	return ""
+}
+
+// Fold extracts and folds the named region from the monitor's trace.
+func (s *Session) Fold(region extrae.Region) (*folding.Folded, error) {
+	instances, err := folding.Extract(s.Mon.Records(), int64(region))
+	if err != nil {
+		return nil, err
+	}
+	if len(instances) == 0 {
+		return nil, fmt.Errorf("core: no instances of region %q in trace", s.Mon.RegionName(region))
+	}
+	cfg := s.Cfg.Folding
+	if cfg.FuncOf == nil {
+		cfg.FuncOf = s.FuncOf
+	}
+	if cfg.PhaseIP == nil {
+		// Attribute samples taken under an instrumented call frame to the
+		// outermost frame (e.g. the multigrid coarse-level smoother runs
+		// the same code as the fine smoother, but belongs to ComputeMG_ref).
+		cfg.PhaseIP = func(smp folding.Sample) uint64 {
+			if frames := s.Mon.Stacks().Frames(smp.StackID); len(frames) > 0 {
+				return frames[len(frames)-1]
+			}
+			return smp.IP
+		}
+	}
+	folded, err := folding.Fold(instances, cfg)
+	if err != nil {
+		return nil, err
+	}
+	folded.Region = int64(region)
+	folded.LabelPhases(s.FuncOf)
+	return folded, nil
+}
+
+// RunWorkloadResult bundles a monitored workload run with its folding.
+type RunWorkloadResult struct {
+	Session *Session
+	Folded  *folding.Folded
+}
+
+// RunWorkload sets up, monitors and folds a synthetic workload: the
+// quickstart pipeline.
+func RunWorkload(cfg Config, w workloads.Workload, iters int) (*RunWorkloadResult, error) {
+	s, err := NewSession(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ctx := s.Ctx()
+	if err := w.Setup(ctx); err != nil {
+		return nil, err
+	}
+	s.Mon.Start()
+	if err := w.Run(ctx, iters); err != nil {
+		return nil, err
+	}
+	s.Mon.Stop()
+	folded, err := s.Fold(w.Region())
+	if err != nil {
+		return nil, err
+	}
+	return &RunWorkloadResult{Session: s, Folded: folded}, nil
+}
+
+// WriteTrace serializes the session's trace and labels to the writers
+// (PRV-style text and PCF).
+func (s *Session) WriteTrace(prv, pcf interface {
+	Write(p []byte) (int, error)
+}) error {
+	recs := s.Mon.Records()
+	var dur uint64
+	if len(recs) > 0 {
+		dur = recs[len(recs)-1].TimeNs
+	}
+	w, err := trace.NewWriter(prv, 1, 1, dur)
+	if err != nil {
+		return err
+	}
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			return err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	return s.Mon.Labels().WritePCF(pcf)
+}

@@ -1,0 +1,161 @@
+package cpu
+
+import "fmt"
+
+// PMU models a performance monitoring unit with two fixed counters
+// (instructions, cycles) and a limited set of programmable counter slots.
+// When more programmable events are requested than slots exist, the PMU
+// time-multiplexes event *groups* on a cycle quantum, and Read returns
+// linearly scaled estimates — the same mechanism (and the same estimation
+// error) Extrae inherits from PAPI multiplexing. The True method exposes
+// ground-truth counts so tests and ablations can quantify multiplexing
+// error, something impossible on real hardware.
+type PMU struct {
+	raw     [NumCounters]uint64 // ground-truth event counts
+	visible [NumCounters]uint64 // counts while the event's group was active
+	active  [NumCounters]uint64 // cycles during which the event was counting
+	total   uint64              // total cycles observed by the PMU
+
+	groups  [][]CounterID
+	slot    int              // index of the active group
+	quantum uint64           // cycles per multiplexing slot (0 = no multiplexing)
+	slotAge uint64           // cycles consumed in the current slot
+	inGroup [NumCounters]int // group index per counter, -1 if unprogrammed
+}
+
+// NewPMU creates a PMU with all programmable events in one always-on group
+// (no multiplexing) — the configuration used when hardware has enough slots.
+func NewPMU() *PMU {
+	p := &PMU{}
+	all := make([]CounterID, 0, NumCounters)
+	for c := CounterID(0); c < NumCounters; c++ {
+		if !c.fixed() {
+			all = append(all, c)
+		}
+	}
+	// Ignore the error: the default single-group config is always valid.
+	if err := p.Program([][]CounterID{all}, 0); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Program installs multiplexing groups. quantum is the number of cycles each
+// group counts before rotating; it must be positive when more than one group
+// is given. Fixed counters may not appear in groups (they always count).
+func (p *PMU) Program(groups [][]CounterID, quantum uint64) error {
+	if len(groups) == 0 {
+		return fmt.Errorf("cpu: PMU needs at least one counter group")
+	}
+	if len(groups) > 1 && quantum == 0 {
+		return fmt.Errorf("cpu: multiplexing %d groups needs a positive quantum", len(groups))
+	}
+	for i := range p.inGroup {
+		p.inGroup[i] = -1
+	}
+	for gi, g := range groups {
+		for _, c := range g {
+			if c < 0 || c >= NumCounters {
+				return fmt.Errorf("cpu: invalid counter %d in group %d", c, gi)
+			}
+			if c.fixed() {
+				return fmt.Errorf("cpu: fixed counter %v cannot be multiplexed", c)
+			}
+			if p.inGroup[c] != -1 {
+				return fmt.Errorf("cpu: counter %v in multiple groups", c)
+			}
+			p.inGroup[c] = gi
+		}
+	}
+	p.groups = groups
+	p.quantum = quantum
+	p.slot = 0
+	p.slotAge = 0
+	return nil
+}
+
+// Groups returns the programmed groups (for inspection).
+func (p *PMU) Groups() [][]CounterID { return p.groups }
+
+// ActiveGroup returns the index of the currently counting group.
+func (p *PMU) ActiveGroup() int { return p.slot }
+
+// counting reports whether counter c is currently accumulating.
+func (p *PMU) counting(c CounterID) bool {
+	if c.fixed() {
+		return true
+	}
+	g := p.inGroup[c]
+	return g == p.slot
+}
+
+// count records n occurrences of event c.
+func (p *PMU) count(c CounterID, n uint64) {
+	p.raw[c] += n
+	if p.counting(c) {
+		p.visible[c] += n
+	}
+}
+
+// tick advances the PMU clock by the given cycles, rotating multiplexing
+// slots as quanta expire and charging active time to counting events.
+func (p *PMU) tick(cycles uint64) {
+	for cycles > 0 {
+		step := cycles
+		if p.quantum > 0 && len(p.groups) > 1 {
+			remain := p.quantum - p.slotAge
+			if step > remain {
+				step = remain
+			}
+		}
+		p.total += step
+		for c := CounterID(0); c < NumCounters; c++ {
+			if p.counting(c) {
+				p.active[c] += step
+			}
+		}
+		cycles -= step
+		if p.quantum > 0 && len(p.groups) > 1 {
+			p.slotAge += step
+			if p.slotAge >= p.quantum {
+				p.slotAge = 0
+				p.slot = (p.slot + 1) % len(p.groups)
+			}
+		}
+	}
+}
+
+// True returns the ground-truth count of event c (unavailable on real
+// hardware under multiplexing; exposed for validation).
+func (p *PMU) True(c CounterID) uint64 { return p.raw[c] }
+
+// Read returns the PMU's estimate of event c: the visible count scaled by
+// total/active time, which is exact without multiplexing and a linear
+// extrapolation with it.
+func (p *PMU) Read(c CounterID) uint64 {
+	if c.fixed() {
+		return p.raw[c]
+	}
+	if p.inGroup[c] == -1 {
+		return 0 // unprogrammed event
+	}
+	if p.active[c] == 0 {
+		return 0
+	}
+	if p.active[c] == p.total {
+		return p.visible[c]
+	}
+	return uint64(float64(p.visible[c]) * float64(p.total) / float64(p.active[c]))
+}
+
+// Snapshot reads all counters at once (estimates under multiplexing).
+func (p *PMU) Snapshot() [NumCounters]uint64 {
+	var s [NumCounters]uint64
+	for c := CounterID(0); c < NumCounters; c++ {
+		s[c] = p.Read(c)
+	}
+	return s
+}
+
+// TrueSnapshot reads ground-truth values of all counters.
+func (p *PMU) TrueSnapshot() [NumCounters]uint64 { return p.raw }

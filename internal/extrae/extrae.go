@@ -1,0 +1,376 @@
+// Package extrae implements the monitoring runtime: the simulated
+// counterpart of BSC's Extrae tracing library with the paper's memory
+// extensions. A Monitor wires together
+//
+//   - the simulated core's per-memory-op hook → the PEBS engine,
+//   - the PEBS drain → data-object resolution and trace emission,
+//   - allocator hooks → the data-object registry plus allocation events,
+//   - region (user-function) instrumentation with hardware-counter
+//     snapshots at every boundary and at every sample,
+//   - PEBS event multiplexing: alternating load and store sampling on a
+//     time quantum so one run captures both (avoiding the two-run/ASLR
+//     problem the paper calls out), and
+//   - the allocation-grouping instrumentation API used to wrap HPCG's many
+//     small allocations into two logical objects.
+package extrae
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/memhier"
+	"repro/internal/objects"
+	"repro/internal/pebs"
+	"repro/internal/prog"
+	"repro/internal/trace"
+)
+
+// Config parameterizes a Monitor.
+type Config struct {
+	// PEBS configures the sampling engine.
+	PEBS pebs.Config
+	// MuxQuantumNs alternates the PEBS engine between load-only and
+	// store-only sampling every quantum (0 disables multiplexing and the
+	// engine samples whatever PEBS.Events selects throughout).
+	MuxQuantumNs uint64
+	// MinTrackSize is the object registry's individual-allocation tracking
+	// threshold.
+	MinTrackSize uint64
+	// DrainOverheadCycles charges the core for each PEBS buffer drain,
+	// modelling the sampling interrupt cost.
+	DrainOverheadCycles uint64
+}
+
+// DefaultConfig returns the paper-like monitoring setup: default PEBS
+// configuration with load/store multiplexing at 1 ms quanta, a 512-byte
+// tracking threshold (HPCG's row allocations fall below it), and a small
+// drain cost.
+func DefaultConfig() Config {
+	return Config{
+		PEBS:                pebs.DefaultConfig(),
+		MuxQuantumNs:        1_000_000,
+		MinTrackSize:        512,
+		DrainOverheadCycles: 2000,
+	}
+}
+
+// Region identifies an instrumented code region (user function).
+type Region int
+
+// Monitor is the per-thread monitoring runtime. Not safe for concurrent
+// use; the simulated workloads are single software threads (the paper's
+// analysis is likewise per-thread).
+type Monitor struct {
+	cfg    Config
+	core   *cpu.Core
+	bin    *prog.Binary
+	as     *prog.AddressSpace
+	stacks *prog.StackTable
+	engine *pebs.Engine
+	reg    *objects.Registry
+
+	records []trace.Record
+	labels  *trace.Labels
+
+	regionNames []string
+	regionStack []Region
+
+	callStack    prog.CallStack
+	curStackID   uint32
+	stackDirty   bool
+	pendingSnaps [][cpu.NumCounters]uint64
+
+	muxNext  uint64
+	enabled  bool
+	started  bool
+	finished bool
+}
+
+// New builds a monitor around a core, binary image and address space. The
+// monitor installs itself as the core's memory hook and as the address
+// space's allocation hooks.
+func New(cfg Config, core *cpu.Core, bin *prog.Binary, as *prog.AddressSpace) (*Monitor, error) {
+	if core == nil || bin == nil || as == nil {
+		return nil, fmt.Errorf("extrae: core, binary and address space are required")
+	}
+	m := &Monitor{
+		cfg:    cfg,
+		core:   core,
+		bin:    bin,
+		as:     as,
+		stacks: prog.NewStackTable(),
+		labels: trace.NewLabels(),
+	}
+	m.reg = objects.NewRegistry(objects.Config{
+		MinTrackSize: cfg.MinTrackSize,
+		Namer:        func(id uint32) string { return m.stacks.SiteName(id, bin) },
+	})
+	eng, err := pebs.New(cfg.PEBS, m.onDrain)
+	if err != nil {
+		return nil, err
+	}
+	m.engine = eng
+	if cfg.MuxQuantumNs > 0 {
+		// Multiplexing starts with loads; the engine mask rotates on quanta.
+		m.engine.SetEvents(pebs.SampleLoads)
+		m.muxNext = core.NowNs() + cfg.MuxQuantumNs
+	}
+	if err := m.reg.ScanBinary(bin); err != nil {
+		return nil, err
+	}
+	core.SetMemHook(m.onMemOp)
+	as.SetHooks(prog.Hooks{OnAlloc: m.onAlloc, OnFree: m.onFree})
+	m.initLabels()
+	return m, nil
+}
+
+func (m *Monitor) initLabels() {
+	m.labels.SetType(trace.TypeRegion, "User function")
+	m.labels.SetValue(trace.TypeRegion, 0, "End")
+	m.labels.SetType(trace.TypeSampleAddr, "Sampled address")
+	m.labels.SetType(trace.TypeSampleLatency, "Sample latency (cycles)")
+	m.labels.SetType(trace.TypeSampleSource, "Sample data source")
+	for s := memhier.DataSource(0); s < memhier.NumSources; s++ {
+		m.labels.SetValue(trace.TypeSampleSource, int64(s), s.String())
+	}
+	m.labels.SetType(trace.TypeSampleStore, "Sample is store")
+	m.labels.SetValue(trace.TypeSampleStore, 0, "load")
+	m.labels.SetValue(trace.TypeSampleStore, 1, "store")
+	m.labels.SetType(trace.TypeSampleIP, "Sample instruction pointer")
+	m.labels.SetType(trace.TypeSampleStack, "Sample callstack id")
+	m.labels.SetType(trace.TypeSampleSize, "Sample access size")
+	m.labels.SetType(trace.TypeAllocAddr, "Allocation address")
+	m.labels.SetType(trace.TypeAllocSize, "Allocation size")
+	m.labels.SetType(trace.TypeAllocStack, "Allocation callstack id")
+	m.labels.SetType(trace.TypeFreeAddr, "Free address")
+	for c := cpu.CounterID(0); c < cpu.NumCounters; c++ {
+		m.labels.SetType(trace.TypeCounterBase+uint32(c), c.String())
+	}
+}
+
+// Registry exposes the data-object registry.
+func (m *Monitor) Registry() *objects.Registry { return m.reg }
+
+// Stacks exposes the call-stack table.
+func (m *Monitor) Stacks() *prog.StackTable { return m.stacks }
+
+// Labels exposes the PCF labels accumulated so far.
+func (m *Monitor) Labels() *trace.Labels { return m.labels }
+
+// Engine exposes the PEBS engine (for stats and ablations).
+func (m *Monitor) Engine() *pebs.Engine { return m.engine }
+
+// Core returns the monitored core.
+func (m *Monitor) Core() *cpu.Core { return m.core }
+
+// Start enables sampling and trace emission. Allocation tracking is active
+// from construction (objects allocated during setup must be known), but no
+// events are recorded until Start — this models the paper's focus on the
+// execution phase, "ignoring the initialization and finalization".
+func (m *Monitor) Start() {
+	m.enabled = true
+	m.started = true
+	if m.cfg.MuxQuantumNs > 0 {
+		m.muxNext = m.core.NowNs() + m.cfg.MuxQuantumNs
+	}
+}
+
+// Stop disables sampling and flushes pending samples.
+func (m *Monitor) Stop() {
+	m.engine.Flush()
+	m.enabled = false
+	m.finished = true
+}
+
+// Enabled reports whether the monitor is currently recording.
+func (m *Monitor) Enabled() bool { return m.enabled }
+
+// RegisterRegion assigns an id to a named code region and labels it.
+func (m *Monitor) RegisterRegion(name string) Region {
+	m.regionNames = append(m.regionNames, name)
+	id := Region(len(m.regionNames)) // 1-based; 0 means "end"
+	m.labels.SetValue(trace.TypeRegion, int64(id), name)
+	return id
+}
+
+// RegionName returns the name of a registered region.
+func (m *Monitor) RegionName(r Region) string {
+	if r < 1 || int(r) > len(m.regionNames) {
+		return fmt.Sprintf("region_%d", r)
+	}
+	return m.regionNames[r-1]
+}
+
+// counterPairs renders the current PMU estimates as trace pairs.
+func counterPairs(snap [cpu.NumCounters]uint64) []trace.TypeValue {
+	pairs := make([]trace.TypeValue, 0, cpu.NumCounters)
+	for c := cpu.CounterID(0); c < cpu.NumCounters; c++ {
+		pairs = append(pairs, trace.TypeValue{
+			Type:  trace.TypeCounterBase + uint32(c),
+			Value: int64(snap[c]),
+		})
+	}
+	return pairs
+}
+
+// emit appends a record to the in-memory trace.
+func (m *Monitor) emit(pairs []trace.TypeValue) {
+	m.records = append(m.records, trace.Record{
+		TimeNs: m.core.NowNs(),
+		Task:   1,
+		Thread: 1,
+		Pairs:  pairs,
+	})
+}
+
+// EnterRegion records entry into an instrumented region, with a counter
+// snapshot (folding needs counters at instance boundaries).
+func (m *Monitor) EnterRegion(r Region) {
+	m.regionStack = append(m.regionStack, r)
+	if !m.enabled {
+		return
+	}
+	pairs := append([]trace.TypeValue{{Type: trace.TypeRegion, Value: int64(r)}},
+		counterPairs(m.core.PMU().Snapshot())...)
+	m.emit(pairs)
+}
+
+// ExitRegion records exit from the innermost region, which must be r.
+func (m *Monitor) ExitRegion(r Region) {
+	if len(m.regionStack) == 0 || m.regionStack[len(m.regionStack)-1] != r {
+		panic(fmt.Sprintf("extrae: unbalanced ExitRegion(%d)", r))
+	}
+	m.regionStack = m.regionStack[:len(m.regionStack)-1]
+	if !m.enabled {
+		return
+	}
+	// Flush buffered samples so they precede the region-end record; drains
+	// are charged to the core, slightly inflating the region like a real
+	// PEBS interrupt would.
+	m.engine.Flush()
+	pairs := append([]trace.TypeValue{{Type: trace.TypeRegion, Value: 0}},
+		counterPairs(m.core.PMU().Snapshot())...)
+	m.emit(pairs)
+}
+
+// PushFrame enters a call frame (for allocation/sample call stacks).
+func (m *Monitor) PushFrame(ip uint64) {
+	m.callStack.Push(ip)
+	m.stackDirty = true
+}
+
+// PopFrame leaves the innermost call frame.
+func (m *Monitor) PopFrame() {
+	m.callStack.Pop()
+	m.stackDirty = true
+}
+
+// stackID interns the current call stack lazily.
+func (m *Monitor) stackID() uint32 {
+	if m.stackDirty {
+		m.curStackID = m.stacks.Intern(m.callStack.Snapshot())
+		m.stackDirty = false
+	}
+	return m.curStackID
+}
+
+// Alloc performs an instrumented allocation attributed to the current call
+// stack, like Extrae's malloc wrapper.
+func (m *Monitor) Alloc(size uint64) (uint64, error) {
+	return m.as.Alloc(size, m.stackID())
+}
+
+// Realloc performs an instrumented reallocation.
+func (m *Monitor) Realloc(addr, size uint64) (uint64, error) {
+	return m.as.Realloc(addr, size, m.stackID())
+}
+
+// Free performs an instrumented free.
+func (m *Monitor) Free(addr uint64) error { return m.as.Free(addr) }
+
+// BeginAllocGroup opens a manual allocation group (the paper's wrapping
+// instrumentation around runs of small allocations).
+func (m *Monitor) BeginAllocGroup(name string) error { return m.reg.BeginGroup(name) }
+
+// EndAllocGroup closes the open group.
+func (m *Monitor) EndAllocGroup() (*objects.Object, error) { return m.reg.EndGroup() }
+
+// onAlloc is the address-space allocation hook.
+func (m *Monitor) onAlloc(info prog.AllocInfo) {
+	m.reg.OnAlloc(info)
+	if !m.enabled {
+		return
+	}
+	m.emit([]trace.TypeValue{
+		{Type: trace.TypeAllocAddr, Value: int64(info.Addr)},
+		{Type: trace.TypeAllocSize, Value: int64(info.Size)},
+		{Type: trace.TypeAllocStack, Value: int64(info.StackID)},
+	})
+}
+
+// onFree is the address-space free hook.
+func (m *Monitor) onFree(info prog.AllocInfo) {
+	m.reg.OnFree(info)
+	if !m.enabled {
+		return
+	}
+	m.emit([]trace.TypeValue{{Type: trace.TypeFreeAddr, Value: int64(info.Addr)}})
+}
+
+// onMemOp is the core's memory hook: multiplex rotation, then PEBS.
+func (m *Monitor) onMemOp(op cpu.MemOp) {
+	if !m.enabled {
+		return
+	}
+	now := m.core.NowNs()
+	if m.cfg.MuxQuantumNs > 0 && now >= m.muxNext {
+		for now >= m.muxNext {
+			m.muxNext += m.cfg.MuxQuantumNs
+		}
+		if m.engine.Events().Has(pebs.SampleLoads) {
+			m.engine.SetEvents(pebs.SampleStores)
+		} else {
+			m.engine.SetEvents(pebs.SampleLoads)
+		}
+	}
+	if m.engine.Observe(op, now, m.stackID()) {
+		// The op became a sample: capture the PMU at sample time so the
+		// counters line up with the PEBS record when the buffer drains.
+		m.pendingSnaps = append(m.pendingSnaps, m.core.PMU().Snapshot())
+	}
+}
+
+// onDrain receives the PEBS buffer: resolve objects, emit trace records.
+func (m *Monitor) onDrain(samples []pebs.Sample) {
+	if len(samples) != len(m.pendingSnaps) {
+		panic(fmt.Sprintf("extrae: %d samples vs %d snapshots", len(samples), len(m.pendingSnaps)))
+	}
+	for i, s := range samples {
+		m.reg.Record(s.Addr, s.Latency, s.Store, s.Source)
+		store := int64(0)
+		if s.Store {
+			store = 1
+		}
+		pairs := []trace.TypeValue{
+			{Type: trace.TypeSampleAddr, Value: int64(s.Addr)},
+			{Type: trace.TypeSampleLatency, Value: int64(s.Latency)},
+			{Type: trace.TypeSampleSource, Value: int64(s.Source)},
+			{Type: trace.TypeSampleStore, Value: store},
+			{Type: trace.TypeSampleIP, Value: int64(s.IP)},
+			{Type: trace.TypeSampleStack, Value: int64(s.StackID)},
+			{Type: trace.TypeSampleSize, Value: int64(s.Size)},
+		}
+		pairs = append(pairs, counterPairs(m.pendingSnaps[i])...)
+		m.records = append(m.records, trace.Record{
+			TimeNs: s.TimeNs, Task: 1, Thread: 1, Pairs: pairs,
+		})
+	}
+	m.pendingSnaps = m.pendingSnaps[:0]
+	if m.cfg.DrainOverheadCycles > 0 {
+		m.core.Stall(m.cfg.DrainOverheadCycles)
+	}
+}
+
+// Records returns the trace accumulated so far (chronological: all records
+// are emitted at the single simulated thread's clock).
+func (m *Monitor) Records() []trace.Record { return m.records }

@@ -1,0 +1,370 @@
+package folding
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/memhier"
+	"repro/internal/trace"
+)
+
+// synthInstance builds one instance of duration durNs starting at t0 with
+// nSamples samples. The instance has two halves: first half executes at
+// ipA sweeping addresses forward over [addrBase, addrBase+span), second
+// half at ipB sweeping backward over the same range. Instructions
+// accumulate linearly; every 4th sample is a store.
+func synthInstance(t0, durNs uint64, nSamples int, ipA, ipB, addrBase, span uint64) Instance {
+	const totalInstr = 1_000_000
+	in := Instance{T0: t0, T1: t0 + durNs}
+	in.C1[cpu.CtrInstructions] = in.C0[cpu.CtrInstructions] + totalInstr
+	in.C0[cpu.CtrCycles] = 0
+	in.C1[cpu.CtrCycles] = 2 * totalInstr // IPC 0.5
+	in.C0[cpu.CtrBranches] = 0
+	in.C1[cpu.CtrBranches] = totalInstr / 10
+	in.C0[cpu.CtrL1DMiss] = 0
+	in.C1[cpu.CtrL1DMiss] = totalInstr / 20
+	for i := 0; i < nSamples; i++ {
+		sigma := (float64(i) + 0.5) / float64(nSamples)
+		s := Sample{
+			TimeNs:  t0 + uint64(sigma*float64(durNs)),
+			Store:   i%4 == 0,
+			Size:    8,
+			Source:  memhier.SrcL2,
+			Latency: 12,
+		}
+		s.Counters[cpu.CtrInstructions] = uint64(sigma * totalInstr)
+		s.Counters[cpu.CtrCycles] = uint64(sigma * 2 * totalInstr)
+		s.Counters[cpu.CtrBranches] = uint64(sigma * totalInstr / 10)
+		s.Counters[cpu.CtrL1DMiss] = uint64(sigma * totalInstr / 20)
+		if sigma < 0.5 {
+			s.IP = ipA
+			s.Addr = addrBase + uint64(2*sigma*float64(span))
+		} else {
+			s.IP = ipB
+			s.Addr = addrBase + span - uint64(2*(sigma-0.5)*float64(span))
+		}
+		in.Samples = append(in.Samples, s)
+	}
+	return in
+}
+
+func synthInstances(n int) []Instance {
+	const dur = 1_000_000 // 1 ms
+	out := make([]Instance, 0, n)
+	for i := 0; i < n; i++ {
+		// Jitter the per-instance sample phase by varying the count.
+		out = append(out, synthInstance(uint64(i)*2*dur, dur, 40+i%7,
+			0x401000, 0x402000, 0x10000000, 1<<26))
+	}
+	return out
+}
+
+func TestFoldErrors(t *testing.T) {
+	if _, err := Fold(nil, DefaultConfig()); err == nil {
+		t.Error("empty instances accepted")
+	}
+}
+
+func TestFoldBasics(t *testing.T) {
+	f, err := Fold(synthInstances(20), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.InstancesUsed != 20 || f.InstancesTotal != 20 {
+		t.Errorf("instances = %d/%d", f.InstancesUsed, f.InstancesTotal)
+	}
+	if math.Abs(f.MeanDurationNs-1e6) > 1 {
+		t.Errorf("mean duration = %g", f.MeanDurationNs)
+	}
+	if math.Abs(f.MeanTotals[cpu.CtrInstructions]-1e6) > 1 {
+		t.Errorf("mean instructions = %g", f.MeanTotals[cpu.CtrInstructions])
+	}
+	if ipc := f.MeanIPC(); math.Abs(ipc-0.5) > 1e-9 {
+		t.Errorf("MeanIPC = %g, want 0.5", ipc)
+	}
+}
+
+func TestFoldedCumulativeMonotone(t *testing.T) {
+	f, err := Fold(synthInstances(20), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, curve := range f.Cumulative {
+		if f.MeanTotals[c] == 0 {
+			continue // counter never increments: flat zero curve
+		}
+		if curve[0] != 0 || curve[len(curve)-1] != 1 {
+			t.Errorf("%v: endpoints %g, %g", c, curve[0], curve[len(curve)-1])
+		}
+		for i := 1; i < len(curve); i++ {
+			if curve[i] < curve[i-1] {
+				t.Fatalf("%v: cumulative curve not monotone at %d", c, i)
+			}
+		}
+	}
+}
+
+func TestFoldedRateMatchesLinearAccumulation(t *testing.T) {
+	// Instructions accumulate linearly: the folded rate must be flat at
+	// total/duration = 1e6 instr / 1e-3 s = 1e9/s → 1000 MIPS.
+	f, err := Fold(synthInstances(30), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mips := f.MIPS()
+	for i, g := range f.Grid {
+		if g < 0.1 || g > 0.9 {
+			continue // edges have derivative bias
+		}
+		if math.Abs(mips[i]-1000)/1000 > 0.15 {
+			t.Errorf("MIPS(%.2f) = %g, want ~1000", g, mips[i])
+		}
+	}
+}
+
+func TestPerInstruction(t *testing.T) {
+	f, err := Fold(synthInstances(20), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := f.PerInstruction(cpu.CtrBranches)
+	for i, g := range f.Grid {
+		if g < 0.1 || g > 0.9 {
+			continue
+		}
+		if math.Abs(br[i]-0.1) > 0.03 {
+			t.Errorf("branches/instr at %.2f = %g, want ~0.1", g, br[i])
+		}
+	}
+}
+
+func TestOutlierFiltering(t *testing.T) {
+	ins := synthInstances(10)
+	// One instance 10x longer (e.g. perturbed by OS noise).
+	long := synthInstance(100_000_000, 10_000_000, 40, 0x401000, 0x402000, 0x10000000, 1<<26)
+	ins = append(ins, long)
+	f, err := Fold(ins, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.InstancesUsed != 10 || f.InstancesTotal != 11 {
+		t.Errorf("outlier not filtered: used %d of %d", f.InstancesUsed, f.InstancesTotal)
+	}
+	// Factor 0 disables filtering.
+	cfg := DefaultConfig()
+	cfg.OutlierFactor = 0
+	f2, _ := Fold(ins, cfg)
+	if f2.InstancesUsed != 11 {
+		t.Errorf("filtering not disabled: %d", f2.InstancesUsed)
+	}
+}
+
+func TestMemSamplesFoldedSorted(t *testing.T) {
+	f, err := Fold(synthInstances(15), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Mem) == 0 || len(f.Lines) != len(f.Mem) {
+		t.Fatalf("mem/lines = %d/%d", len(f.Mem), len(f.Lines))
+	}
+	for i := 1; i < len(f.Mem); i++ {
+		if f.Mem[i].Sigma < f.Mem[i-1].Sigma {
+			t.Fatal("Mem not sorted by sigma")
+		}
+	}
+	for _, mp := range f.Mem {
+		if mp.Sigma < 0 || mp.Sigma >= 1 {
+			t.Fatalf("sigma %g out of range", mp.Sigma)
+		}
+	}
+	var stores int
+	for _, mp := range f.Mem {
+		if mp.Store {
+			stores++
+		}
+	}
+	if stores == 0 || stores == len(f.Mem) {
+		t.Error("store flags not preserved")
+	}
+}
+
+func TestPhaseDetectionSplitsFunctionsAndSweeps(t *testing.T) {
+	f, err := Fold(synthInstances(30), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Phases) < 2 {
+		t.Fatalf("detected %d phases, want >= 2 (two IP regions)", len(f.Phases))
+	}
+	// Phases tile [0,1].
+	if f.Phases[0].Lo != 0 || f.Phases[len(f.Phases)-1].Hi != 1 {
+		t.Errorf("phases do not span [0,1]: %+v", f.Phases)
+	}
+	for i := 1; i < len(f.Phases); i++ {
+		if f.Phases[i].Lo != f.Phases[i-1].Hi {
+			t.Errorf("gap between phases %d and %d", i-1, i)
+		}
+	}
+	// First phase sweeps forward, last sweeps backward.
+	first, last := f.Phases[0], f.Phases[len(f.Phases)-1]
+	if first.Direction != SweepForward {
+		t.Errorf("first phase direction = %v, want forward", first.Direction)
+	}
+	if last.Direction != SweepBackward {
+		t.Errorf("last phase direction = %v, want backward", last.Direction)
+	}
+	if first.DominantIP != 0x401000 || last.DominantIP != 0x402000 {
+		t.Errorf("dominant IPs = %#x, %#x", first.DominantIP, last.DominantIP)
+	}
+}
+
+func TestPhaseBandwidthApproximation(t *testing.T) {
+	// Forward sweep covers 64 MiB in ~0.5 ms → ~128 GiB/s span bandwidth.
+	f, err := Fold(synthInstances(30), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := f.Phases[0]
+	want := float64(1<<26) / (0.5e6 / 1e9)
+	if p.SpanBandwidth < want/3 || p.SpanBandwidth > want*3 {
+		t.Errorf("span bandwidth = %g, want within 3x of %g", p.SpanBandwidth, want)
+	}
+	if p.MIPSMean < 500 || p.MIPSMean > 1500 {
+		t.Errorf("phase MIPS = %g, want ~1000", p.MIPSMean)
+	}
+	if p.Loads == 0 || p.Stores == 0 {
+		t.Error("phase sample counts empty")
+	}
+	if p.PerInstr[cpu.CtrBranches] == 0 {
+		t.Error("phase per-instruction ratios empty")
+	}
+}
+
+func TestLabelPhases(t *testing.T) {
+	f, err := Fold(synthInstances(20), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.LabelPhases(func(ip uint64) string {
+		if ip < 0x402000 {
+			return "funcA"
+		}
+		return "funcB"
+	})
+	if f.Phases[0].Name != "funcA[forward]" {
+		t.Errorf("phase 0 name = %q", f.Phases[0].Name)
+	}
+	last := f.Phases[len(f.Phases)-1]
+	if last.Name != "funcB[backward]" {
+		t.Errorf("last phase name = %q", last.Name)
+	}
+	// Nil resolver is a no-op.
+	f.Phases[0].Name = "keep"
+	f.LabelPhases(nil)
+	if f.Phases[0].Name != "keep" {
+		t.Error("nil resolver modified names")
+	}
+}
+
+func TestPhaseAt(t *testing.T) {
+	f, err := Fold(synthInstances(20), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := f.PhaseAt(0.1)
+	if !ok || p.Lo > 0.1 || p.Hi <= 0.1 {
+		t.Errorf("PhaseAt(0.1) = %+v, %v", p, ok)
+	}
+	if _, ok := f.PhaseAt(1.5); ok {
+		t.Error("PhaseAt(1.5) matched")
+	}
+}
+
+func TestSweepDirString(t *testing.T) {
+	if SweepFlat.String() != "flat" || SweepForward.String() != "forward" ||
+		SweepBackward.String() != "backward" {
+		t.Error("SweepDir names")
+	}
+	if SweepDir(7).String() != "SweepDir(7)" {
+		t.Error("unknown SweepDir")
+	}
+}
+
+func TestExtractInstances(t *testing.T) {
+	ctr := func(instr uint64) []trace.TypeValue {
+		return []trace.TypeValue{
+			{Type: trace.TypeCounterBase + uint32(cpu.CtrInstructions), Value: int64(instr)},
+		}
+	}
+	recs := []trace.Record{
+		{TimeNs: 100, Task: 1, Thread: 1,
+			Pairs: append([]trace.TypeValue{{Type: trace.TypeRegion, Value: 7}}, ctr(10)...)},
+		{TimeNs: 150, Task: 1, Thread: 1, Pairs: append([]trace.TypeValue{
+			{Type: trace.TypeSampleAddr, Value: 0x1000},
+			{Type: trace.TypeSampleLatency, Value: 36},
+			{Type: trace.TypeSampleSource, Value: int64(memhier.SrcL3)},
+			{Type: trace.TypeSampleStore, Value: 1},
+			{Type: trace.TypeSampleIP, Value: 0x400100},
+			{Type: trace.TypeSampleStack, Value: 3},
+			{Type: trace.TypeSampleSize, Value: 8},
+		}, ctr(50)...)},
+		{TimeNs: 200, Task: 1, Thread: 1,
+			Pairs: append([]trace.TypeValue{{Type: trace.TypeRegion, Value: 0}}, ctr(110)...)},
+		// A sample outside any instance is ignored.
+		{TimeNs: 250, Task: 1, Thread: 1, Pairs: []trace.TypeValue{
+			{Type: trace.TypeSampleAddr, Value: 0x9999}}},
+		// Second instance, no samples.
+		{TimeNs: 300, Task: 1, Thread: 1,
+			Pairs: append([]trace.TypeValue{{Type: trace.TypeRegion, Value: 7}}, ctr(200)...)},
+		{TimeNs: 400, Task: 1, Thread: 1,
+			Pairs: append([]trace.TypeValue{{Type: trace.TypeRegion, Value: 0}}, ctr(300)...)},
+	}
+	ins, err := Extract(recs, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ins) != 2 {
+		t.Fatalf("extracted %d instances", len(ins))
+	}
+	in := ins[0]
+	if in.T0 != 100 || in.T1 != 200 || in.DurationNs() != 100 {
+		t.Errorf("instance bounds = %d..%d", in.T0, in.T1)
+	}
+	if in.C0[cpu.CtrInstructions] != 10 || in.C1[cpu.CtrInstructions] != 110 {
+		t.Errorf("instance counters = %v..%v", in.C0, in.C1)
+	}
+	if len(in.Samples) != 1 {
+		t.Fatalf("instance samples = %d", len(in.Samples))
+	}
+	s := in.Samples[0]
+	if s.Addr != 0x1000 || s.Latency != 36 || s.Source != memhier.SrcL3 ||
+		!s.Store || s.IP != 0x400100 || s.StackID != 3 || s.Size != 8 ||
+		s.Counters[cpu.CtrInstructions] != 50 {
+		t.Errorf("sample = %+v", s)
+	}
+	if len(ins[1].Samples) != 0 {
+		t.Error("second instance should have no samples")
+	}
+}
+
+func TestExtractNestedRejected(t *testing.T) {
+	recs := []trace.Record{
+		{TimeNs: 1, Task: 1, Thread: 1, Pairs: []trace.TypeValue{{Type: trace.TypeRegion, Value: 7}}},
+		{TimeNs: 2, Task: 1, Thread: 1, Pairs: []trace.TypeValue{{Type: trace.TypeRegion, Value: 7}}},
+	}
+	if _, err := Extract(recs, 7); err == nil {
+		t.Error("nested instance accepted")
+	}
+}
+
+func TestExtractIgnoresOtherRegions(t *testing.T) {
+	recs := []trace.Record{
+		{TimeNs: 1, Task: 1, Thread: 1, Pairs: []trace.TypeValue{{Type: trace.TypeRegion, Value: 5}}},
+		{TimeNs: 2, Task: 1, Thread: 1, Pairs: []trace.TypeValue{{Type: trace.TypeRegion, Value: 0}}},
+	}
+	ins, err := Extract(recs, 7)
+	if err != nil || len(ins) != 0 {
+		t.Errorf("ins = %v, err = %v", ins, err)
+	}
+}

@@ -1,0 +1,213 @@
+package hpcg
+
+// This file contains the instrumented computational kernels. Every kernel
+// performs the real arithmetic on the Go slices and, for each element it
+// touches, issues the corresponding simulated memory instruction so that
+// the monitoring stack observes the true access pattern:
+//
+//   - matrix coefficients and column indices live in the low (matrix-group)
+//     address region and are only ever *loaded* during the solve;
+//   - vectors live in the higher region and are loaded and stored;
+//   - SYMGS traverses rows 0..n-1 (forward sweep: ascending addresses)
+//     then n-1..0 (backward sweep: descending addresses);
+//   - SpMV traverses rows 0..n-1 once.
+
+// SpMV computes y = A*x on the given level.
+func (p *Problem) SpMV(lv *Level, x, y *Vector) {
+	core, ips := p.core, &p.ips
+	p.mon.EnterRegion(p.RegionSPMV)
+	for i := 0; i < lv.NRows; i++ {
+		var sum float64
+		nnz := int(lv.NonzerosInRow[i])
+		vals := lv.Vals[i]
+		cols := lv.Cols[i]
+		for j := 0; j < nnz; j++ {
+			core.Load(ips.spmvVal, lv.ValsAddr[i]+uint64(j)*8, 8)
+			core.Load(ips.spmvCol, lv.ColsAddr[i]+uint64(j)*4, 4)
+			col := int(cols[j])
+			core.Load(ips.spmvX, x.ElemAddr(col), 8)
+			sum += vals[j] * x.Data[col]
+			core.Compute(2) // multiply-add
+		}
+		y.Data[i] = sum
+		core.Store(ips.spmvStore, y.ElemAddr(i), 8)
+		core.Branch()
+	}
+	p.mon.ExitRegion(p.RegionSPMV)
+}
+
+// SYMGS performs one symmetric Gauss–Seidel smoothing step on the level:
+// a forward sweep followed by a backward sweep, updating x in place toward
+// the solution of A*x = r.
+func (p *Problem) SYMGS(lv *Level, r, x *Vector) {
+	ips := &p.ips
+	p.mon.EnterRegion(p.RegionSYMGS)
+	// Forward sweep: rows in ascending order (the paper's a1/d1 phases).
+	for i := 0; i < lv.NRows; i++ {
+		p.symgsRow(lv, r, x, i,
+			ips.symgsFwdVal, ips.symgsFwdCol, ips.symgsFwdX, ips.symgsFwdStore)
+	}
+	// Backward sweep: rows in descending order (a2/d2).
+	for i := lv.NRows - 1; i >= 0; i-- {
+		p.symgsRow(lv, r, x, i,
+			ips.symgsBwdVal, ips.symgsBwdCol, ips.symgsBwdX, ips.symgsBwdStore)
+	}
+	p.mon.ExitRegion(p.RegionSYMGS)
+}
+
+// symgsRow relaxes one row: x[i] = (r[i] - sum_{j!=i} a_ij x_j) / a_ii.
+func (p *Problem) symgsRow(lv *Level, r, x *Vector, i int, ipVal, ipCol, ipX, ipStore uint64) {
+	core := p.core
+	nnz := int(lv.NonzerosInRow[i])
+	vals := lv.Vals[i]
+	cols := lv.Cols[i]
+	core.Load(ipX, r.ElemAddr(i), 8)
+	sum := r.Data[i]
+	var diag float64
+	for j := 0; j < nnz; j++ {
+		// Gauss–Seidel rows are sequentially dependent (row i consumes the
+		// x values row i-1 just produced), so the out-of-order window
+		// cannot overlap value traffic across rows the way SpMV's
+		// independent rows allow: value loads stall for their full
+		// latency. Index loads still run ahead (address generation only).
+		core.LoadDep(ipVal, lv.ValsAddr[i]+uint64(j)*8, 8)
+		core.Load(ipCol, lv.ColsAddr[i]+uint64(j)*4, 4)
+		col := int(cols[j])
+		if col == i {
+			diag = vals[j]
+			continue
+		}
+		// Gauss–Seidel reads neighbours updated moments ago: a serialized
+		// dependency chain (LoadDep), unlike SpMV's independent gathers.
+		core.LoadDep(ipX, x.ElemAddr(col), 8)
+		sum -= vals[j] * x.Data[col]
+		core.Compute(2)
+	}
+	// sum now holds r[i] - Σ_{j≠i} a_ij x_j (the diagonal was skipped in
+	// the loop, equivalent to HPCG's subtract-then-add-back formulation).
+	x.Data[i] = sum / diag
+	core.Compute(1)
+	core.Store(ipStore, x.ElemAddr(i), 8)
+	core.Branch()
+}
+
+// Dot computes the dot product of a and b.
+func (p *Problem) Dot(a, b *Vector) float64 {
+	core, ips := p.core, &p.ips
+	p.mon.EnterRegion(p.RegionDot)
+	var sum float64
+	for i := range a.Data {
+		core.Load(ips.dotA, a.ElemAddr(i), 8)
+		core.Load(ips.dotB, b.ElemAddr(i), 8)
+		sum += a.Data[i] * b.Data[i]
+		core.Compute(2)
+	}
+	p.mon.ExitRegion(p.RegionDot)
+	return sum
+}
+
+// WAXPBY computes w = alpha*x + beta*y.
+func (p *Problem) WAXPBY(alpha float64, x *Vector, beta float64, y, w *Vector) {
+	core, ips := p.core, &p.ips
+	p.mon.EnterRegion(p.RegionWAXPBY)
+	for i := range w.Data {
+		core.Load(ips.waxpbyX, x.ElemAddr(i), 8)
+		core.Load(ips.waxpbyY, y.ElemAddr(i), 8)
+		w.Data[i] = alpha*x.Data[i] + beta*y.Data[i]
+		core.Store(ips.waxpbyW, w.ElemAddr(i), 8)
+		core.Compute(3)
+	}
+	p.mon.ExitRegion(p.RegionWAXPBY)
+}
+
+// Restrict computes the coarse residual rc = (rf - Axf) at injected points.
+func (p *Problem) Restrict(lv *Level) {
+	core, ips := p.core, &p.ips
+	coarse := lv.Coarse
+	for i := 0; i < coarse.NRows; i++ {
+		core.Load(ips.restrictF2C, lv.F2CAddr+uint64(i)*4, 4)
+		f := int(lv.F2C[i])
+		core.Load(ips.restrictRf, lv.R.ElemAddr(f), 8)
+		core.Load(ips.restrictAxf, lv.Axf.ElemAddr(f), 8)
+		coarse.R.Data[i] = lv.R.Data[f] - lv.Axf.Data[f]
+		core.Store(ips.restrictStore, coarse.R.ElemAddr(i), 8)
+		core.Compute(1)
+	}
+}
+
+// Prolong interpolates the coarse correction back: xf[f2c[i]] += xc[i].
+func (p *Problem) Prolong(lv *Level) {
+	core, ips := p.core, &p.ips
+	coarse := lv.Coarse
+	for i := 0; i < coarse.NRows; i++ {
+		core.Load(ips.prolongF2C, lv.F2CAddr+uint64(i)*4, 4)
+		f := int(lv.F2C[i])
+		core.Load(ips.prolongXc, coarse.X.ElemAddr(i), 8)
+		core.Load(ips.prolongXf, lv.X.ElemAddr(f), 8)
+		lv.X.Data[f] += coarse.X.Data[i]
+		core.Store(ips.prolongStore, lv.X.ElemAddr(f), 8)
+		core.Compute(1)
+	}
+}
+
+// mgRecurse runs the V-cycle below the finest level (no region
+// instrumentation per level: the whole coarse part is the paper's "C"
+// region, instrumented by the caller).
+func (p *Problem) mgRecurse(lv *Level) {
+	if lv.Coarse == nil {
+		p.SYMGS(lv, lv.R, lv.X)
+		return
+	}
+	lv.X.Fill(0)
+	p.SYMGS(lv, lv.R, lv.X)  // presmooth
+	p.SpMV(lv, lv.X, lv.Axf) // residual matvec
+	p.Restrict(lv)           // move to coarse grid
+	lv.Coarse.X.Fill(0)
+	p.mgRecurse(lv.Coarse)  // solve coarse
+	p.Prolong(lv)           // correction back
+	p.SYMGS(lv, lv.R, lv.X) // postsmooth
+}
+
+// MG applies the multigrid preconditioner z = M⁻¹ r on the fine level. The
+// structure produces the paper's phase sequence for one CG iteration:
+//
+//	A: fine presmooth (SYMGS, forward + backward sweeps a1/a2)
+//	B: fine residual SpMV
+//	C: the coarse-grid work (restriction, coarse V-cycle, prolongation),
+//	   wrapped in the ComputeMG_ref region
+//	D: fine postsmooth (SYMGS, d1/d2)
+func (p *Problem) MG(r, z *Vector) {
+	fine := p.Fine
+	copy(fine.R.Data, r.Data)
+	// The copy is part of CG bookkeeping; model it as a vector move.
+	p.moveVector(r, fine.R)
+	fine.X.Fill(0)
+
+	p.SYMGS(fine, fine.R, fine.X) // A
+	if fine.Coarse != nil {
+		p.SpMV(fine, fine.X, fine.Axf) // B
+		p.mon.EnterRegion(p.RegionMG)  // C covers the coarse-grid work
+		// The coarse-grid smoothers run the same code as the fine-level
+		// SYMGS; pushing the ComputeMG_ref frame makes their samples
+		// attributable to the MG recursion (as call-stack sampling does).
+		p.mon.PushFrame(p.ips.mgFrame)
+		p.Restrict(fine)
+		fine.Coarse.X.Fill(0)
+		p.mgRecurse(fine.Coarse)
+		p.Prolong(fine)
+		p.mon.PopFrame()
+		p.mon.ExitRegion(p.RegionMG)
+		p.SYMGS(fine, fine.R, fine.X) // D
+	}
+	copy(z.Data, fine.X.Data)
+	p.moveVector(fine.X, z)
+}
+
+// moveVector issues the load/store traffic of copying src into dst.
+func (p *Problem) moveVector(src, dst *Vector) {
+	core := p.core
+	for i := range src.Data {
+		core.Load(p.ips.waxpbyX, src.ElemAddr(i), 8)
+		core.Store(p.ips.waxpbyW, dst.ElemAddr(i), 8)
+	}
+}

@@ -1,0 +1,380 @@
+// Package memhier simulates a multi-level write-back cache hierarchy plus
+// DRAM. It is the substitute for the Intel Xeon memory system of the paper's
+// Jureca testbed: every simulated memory instruction is routed through the
+// hierarchy, which reports the *data source* (the level that served the
+// line) and the *access cost* (latency in cycles) — exactly the two fields
+// the PEBS hardware records for a sampled memory operation.
+//
+// The model is a set-associative, LRU, write-back/write-allocate hierarchy
+// with inclusive fills and an optional next-line prefetcher. It is a
+// functional (not timing-accurate) model: latencies are fixed per level,
+// which is sufficient because the paper's analysis consumes the *relative*
+// distribution of sources and costs, not absolute machine timings.
+package memhier
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// DataSource identifies the memory-hierarchy level that served an access.
+// It mirrors the PEBS "data source" encoding at the granularity the paper
+// uses (L1, L2, L3, local DRAM).
+type DataSource int
+
+const (
+	// SrcL1 means the access hit in the first-level data cache.
+	SrcL1 DataSource = iota
+	// SrcL2 means the line was served by the second-level cache.
+	SrcL2
+	// SrcL3 means the line was served by the last-level cache.
+	SrcL3
+	// SrcDRAM means the line came from main memory.
+	SrcDRAM
+)
+
+// String returns the conventional level name.
+func (s DataSource) String() string {
+	switch s {
+	case SrcL1:
+		return "L1"
+	case SrcL2:
+		return "L2"
+	case SrcL3:
+		return "L3"
+	case SrcDRAM:
+		return "DRAM"
+	}
+	return fmt.Sprintf("DataSource(%d)", int(s))
+}
+
+// NumSources is the number of distinct DataSource values.
+const NumSources = 4
+
+// LevelConfig describes one cache level.
+type LevelConfig struct {
+	// Name is a label used in reports ("L1D", "L2", ...).
+	Name string
+	// Size is the total capacity in bytes; must be a power of two multiple
+	// of LineSize*Assoc.
+	Size int
+	// LineSize is the cache-line size in bytes (power of two).
+	LineSize int
+	// Assoc is the set associativity (ways per set).
+	Assoc int
+	// HitLatency is the access cost in cycles when this level serves data.
+	HitLatency uint64
+}
+
+// Config describes the whole hierarchy.
+type Config struct {
+	// Levels lists the cache levels from closest (L1) to farthest (LLC).
+	Levels []LevelConfig
+	// DRAMLatency is the access cost in cycles when no level holds the line.
+	DRAMLatency uint64
+	// NextLinePrefetch enables a simple next-line prefetcher: on an L1 miss
+	// the successor line is installed into L2 (and below), modelling the
+	// hardware streamer that makes linear sweeps cheap.
+	NextLinePrefetch bool
+}
+
+// DefaultConfig returns a Haswell-like single-core slice: 32 KiB 8-way L1D,
+// 256 KiB 8-way L2, 2.5 MiB 20-way L3 slice, 64-byte lines; latencies
+// 4/12/36/230 cycles. These mirror the Xeon E5-2680 v3 nodes of Jureca at
+// per-core L3 granularity.
+func DefaultConfig() Config {
+	return Config{
+		Levels: []LevelConfig{
+			{Name: "L1D", Size: 32 << 10, LineSize: 64, Assoc: 8, HitLatency: 4},
+			{Name: "L2", Size: 256 << 10, LineSize: 64, Assoc: 8, HitLatency: 12},
+			{Name: "L3", Size: 2560 << 10, LineSize: 64, Assoc: 20, HitLatency: 36},
+		},
+		DRAMLatency:      230,
+		NextLinePrefetch: true,
+	}
+}
+
+// LevelStats aggregates per-level counters.
+type LevelStats struct {
+	Accesses   uint64 // lookups that reached this level
+	Hits       uint64
+	Misses     uint64
+	Writebacks uint64 // dirty evictions out of this level
+	Prefetches uint64 // lines installed by the prefetcher
+	PrefHits   uint64 // demand hits on prefetched lines
+}
+
+// MissRatio returns Misses/Accesses (0 when idle).
+func (s LevelStats) MissRatio() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// AccessResult describes the outcome of one memory access.
+type AccessResult struct {
+	// Source is the level that served the data.
+	Source DataSource
+	// Latency is the access cost in cycles.
+	Latency uint64
+	// LineAddr is the address of the cache line containing the access.
+	LineAddr uint64
+	// Prefetched reports whether the hit landed on a prefetched line.
+	Prefetched bool
+}
+
+type line struct {
+	tag     uint64
+	valid   bool
+	dirty   bool
+	pref    bool // installed by prefetcher, not yet demand-hit
+	lastUse uint64
+}
+
+type cache struct {
+	cfg       LevelConfig
+	sets      [][]line
+	setMask   uint64
+	lineShift uint
+	tick      uint64
+	stats     LevelStats
+}
+
+// Hierarchy is a simulated cache hierarchy. It is not safe for concurrent
+// use; each simulated core owns its own Hierarchy (the L3 slice model keeps
+// per-core simulations independent, matching the paper's per-thread traces).
+type Hierarchy struct {
+	cfg    Config
+	levels []*cache
+	dram   uint64 // DRAM access count
+}
+
+// New validates the configuration and builds the hierarchy.
+func New(cfg Config) (*Hierarchy, error) {
+	if len(cfg.Levels) == 0 {
+		return nil, fmt.Errorf("memhier: no cache levels configured")
+	}
+	if cfg.DRAMLatency == 0 {
+		return nil, fmt.Errorf("memhier: DRAMLatency must be > 0")
+	}
+	h := &Hierarchy{cfg: cfg}
+	lineSize := cfg.Levels[0].LineSize
+	for i, lc := range cfg.Levels {
+		if lc.LineSize != lineSize {
+			return nil, fmt.Errorf("memhier: level %s line size %d differs from L1 %d",
+				lc.Name, lc.LineSize, lineSize)
+		}
+		if lc.LineSize <= 0 || bits.OnesCount(uint(lc.LineSize)) != 1 {
+			return nil, fmt.Errorf("memhier: level %s line size %d not a power of two", lc.Name, lc.LineSize)
+		}
+		if lc.Assoc <= 0 {
+			return nil, fmt.Errorf("memhier: level %s associativity %d invalid", lc.Name, lc.Assoc)
+		}
+		if lc.Size <= 0 || lc.Size%(lc.LineSize*lc.Assoc) != 0 {
+			return nil, fmt.Errorf("memhier: level %s size %d not divisible by line*assoc", lc.Name, lc.Size)
+		}
+		nsets := lc.Size / (lc.LineSize * lc.Assoc)
+		if bits.OnesCount(uint(nsets)) != 1 {
+			return nil, fmt.Errorf("memhier: level %s set count %d not a power of two", lc.Name, nsets)
+		}
+		if lc.HitLatency == 0 {
+			return nil, fmt.Errorf("memhier: level %s hit latency must be > 0", lc.Name)
+		}
+		if i > 0 && lc.HitLatency <= cfg.Levels[i-1].HitLatency {
+			return nil, fmt.Errorf("memhier: level %s latency %d not greater than previous level",
+				lc.Name, lc.HitLatency)
+		}
+		c := &cache{
+			cfg:       lc,
+			sets:      make([][]line, nsets),
+			setMask:   uint64(nsets - 1),
+			lineShift: uint(bits.TrailingZeros(uint(lc.LineSize))),
+		}
+		for s := range c.sets {
+			c.sets[s] = make([]line, lc.Assoc)
+		}
+		h.levels = append(h.levels, c)
+	}
+	return h, nil
+}
+
+// LineSize returns the cache-line size in bytes.
+func (h *Hierarchy) LineSize() int { return h.cfg.Levels[0].LineSize }
+
+// Levels returns the number of cache levels.
+func (h *Hierarchy) Levels() int { return len(h.levels) }
+
+// LevelStats returns a copy of the counters for level i (0 = L1).
+func (h *Hierarchy) LevelStats(i int) LevelStats { return h.levels[i].stats }
+
+// DRAMAccesses returns the number of line fills served by DRAM.
+func (h *Hierarchy) DRAMAccesses() uint64 { return h.dram }
+
+// lookup probes a single level. On hit it refreshes LRU state and (for
+// writes) marks the line dirty.
+func (c *cache) lookup(lineAddr uint64, write bool) (hit, wasPref bool) {
+	set := (lineAddr >> c.lineShift) & c.setMask
+	tag := lineAddr >> c.lineShift
+	c.tick++
+	c.stats.Accesses++
+	ways := c.sets[set]
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			c.stats.Hits++
+			ways[i].lastUse = c.tick
+			if write {
+				ways[i].dirty = true
+			}
+			wasPref = ways[i].pref
+			if wasPref {
+				ways[i].pref = false
+				c.stats.PrefHits++
+			}
+			return true, wasPref
+		}
+	}
+	c.stats.Misses++
+	return false, false
+}
+
+// install places a line into the level, evicting LRU if needed.
+// It returns whether a dirty line was evicted (writeback).
+func (c *cache) install(lineAddr uint64, dirty, pref bool) (evictedDirty bool, evictedAddr uint64) {
+	set := (lineAddr >> c.lineShift) & c.setMask
+	tag := lineAddr >> c.lineShift
+	c.tick++
+	ways := c.sets[set]
+	victim := 0
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			// Already present (e.g. prefetch raced a demand fill): refresh.
+			ways[i].lastUse = c.tick
+			ways[i].dirty = ways[i].dirty || dirty
+			return false, 0
+		}
+		if !ways[i].valid {
+			victim = i
+			ways[i] = line{tag: tag, valid: true, dirty: dirty, pref: pref, lastUse: c.tick}
+			return false, 0
+		}
+		if ways[i].lastUse < ways[victim].lastUse {
+			victim = i
+		}
+	}
+	ev := ways[victim]
+	ways[victim] = line{tag: tag, valid: true, dirty: dirty, pref: pref, lastUse: c.tick}
+	if ev.dirty {
+		c.stats.Writebacks++
+		return true, (ev.tag << c.lineShift)
+	}
+	return false, 0
+}
+
+// contains reports (without LRU side effects) whether the line is cached.
+func (c *cache) contains(lineAddr uint64) bool {
+	set := (lineAddr >> c.lineShift) & c.setMask
+	tag := lineAddr >> c.lineShift
+	for _, w := range c.sets[set] {
+		if w.valid && w.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Access simulates one memory access of the given size at addr. Accesses
+// spanning a line boundary are charged to the first line only (the workloads
+// issue naturally aligned 4/8-byte element accesses, so splits are rare and
+// irrelevant to the sampled statistics). write selects store semantics
+// (write-back, write-allocate).
+func (h *Hierarchy) Access(addr uint64, size int, write bool) AccessResult {
+	lineAddr := addr &^ uint64(h.LineSize()-1)
+	// Probe levels top-down.
+	for i, c := range h.levels {
+		hit, wasPref := c.lookup(lineAddr, write && i == 0)
+		if hit {
+			// Fill the line into all faster levels (inclusive fills).
+			h.fillAbove(i, lineAddr, write)
+			return AccessResult{
+				Source:     DataSource(i),
+				Latency:    c.cfg.HitLatency,
+				LineAddr:   lineAddr,
+				Prefetched: wasPref,
+			}
+		}
+	}
+	// Miss everywhere: DRAM services the line.
+	h.dram++
+	h.fillAbove(len(h.levels), lineAddr, write)
+	if h.cfg.NextLinePrefetch {
+		h.prefetch(lineAddr + uint64(h.LineSize()))
+	}
+	return AccessResult{Source: SrcDRAM, Latency: h.cfg.DRAMLatency, LineAddr: lineAddr}
+}
+
+// fillAbove installs lineAddr into every level faster than hitLevel.
+// Dirty state lands in L1 for writes (write-allocate); evicted dirty lines
+// are pushed one level down, approximating write-back traffic.
+func (h *Hierarchy) fillAbove(hitLevel int, lineAddr uint64, write bool) {
+	for i := hitLevel - 1; i >= 0; i-- {
+		dirty := write && i == 0
+		evDirty, evAddr := h.levels[i].install(lineAddr, dirty, false)
+		if evDirty && i+1 < len(h.levels) {
+			// Propagate the dirty line into the next level (it may already be
+			// there under inclusion; install refreshes and merges dirtiness).
+			h.levels[i+1].install(evAddr, true, false)
+		}
+	}
+}
+
+// prefetch installs the line into L2 and slower levels (not L1, matching the
+// L2 streamer behaviour of the modelled parts).
+func (h *Hierarchy) prefetch(lineAddr uint64) {
+	for i := 1; i < len(h.levels); i++ {
+		c := h.levels[i]
+		if c.contains(lineAddr) {
+			continue
+		}
+		c.stats.Prefetches++
+		evDirty, evAddr := c.install(lineAddr, false, true)
+		if evDirty && i+1 < len(h.levels) {
+			h.levels[i+1].install(evAddr, true, false)
+		}
+	}
+}
+
+// Contains reports whether the line holding addr is present at level i,
+// without disturbing replacement state. Intended for tests.
+func (h *Hierarchy) Contains(i int, addr uint64) bool {
+	lineAddr := addr &^ uint64(h.LineSize()-1)
+	return h.levels[i].contains(lineAddr)
+}
+
+// Reset clears all cached state and counters.
+func (h *Hierarchy) Reset() {
+	for _, c := range h.levels {
+		for s := range c.sets {
+			for w := range c.sets[s] {
+				c.sets[s][w] = line{}
+			}
+		}
+		c.stats = LevelStats{}
+		c.tick = 0
+	}
+	h.dram = 0
+}
+
+// MissLatencyName maps a DataSource to the PMU counter name used by the
+// monitoring layer for miss accounting ("" for L1 hits, which miss nothing).
+func MissLatencyName(s DataSource) string {
+	switch s {
+	case SrcL2:
+		return "L1D_MISS"
+	case SrcL3:
+		return "L2_MISS"
+	case SrcDRAM:
+		return "L3_MISS"
+	}
+	return ""
+}

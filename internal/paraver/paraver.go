@@ -1,0 +1,198 @@
+// Package paraver provides trace-analysis utilities in the spirit of the
+// Paraver browser: reconstructing region timelines (which instrumented
+// region was active when), extracting counter time series, computing
+// region profiles (time share, instance counts) and windowing a trace to a
+// time interval. The report layer uses these to present the raw
+// (pre-folding) view of a run, and the folding pipeline uses the region
+// profile to pick the dominant foldable region.
+package paraver
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// Span is one contiguous activation of a region.
+type Span struct {
+	Region int64
+	T0, T1 uint64
+	// Depth is the nesting depth at which the region ran (0 = outermost).
+	Depth int
+}
+
+// DurationNs returns the span length.
+func (s Span) DurationNs() uint64 { return s.T1 - s.T0 }
+
+// Timeline reconstructs the region activation spans of one (task, thread)
+// from a chronological record stream. Nested regions produce nested spans
+// with increasing Depth. Unclosed regions at end-of-trace are closed at the
+// last record's timestamp.
+func Timeline(records []trace.Record, task, thread int) ([]Span, error) {
+	type open struct {
+		region int64
+		t0     uint64
+	}
+	var stack []open
+	var out []Span
+	var lastT uint64
+	for i := range records {
+		rec := &records[i]
+		if rec.Task != task || rec.Thread != thread {
+			continue
+		}
+		lastT = rec.TimeNs
+		v, ok := rec.Get(trace.TypeRegion)
+		if !ok {
+			continue
+		}
+		if v != 0 {
+			stack = append(stack, open{region: v, t0: rec.TimeNs})
+			continue
+		}
+		if len(stack) == 0 {
+			return nil, fmt.Errorf("paraver: region end without begin at %d ns", rec.TimeNs)
+		}
+		top := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		out = append(out, Span{Region: top.region, T0: top.t0, T1: rec.TimeNs, Depth: len(stack)})
+	}
+	for len(stack) > 0 {
+		top := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		out = append(out, Span{Region: top.region, T0: top.t0, T1: lastT, Depth: len(stack)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].T0 != out[j].T0 {
+			return out[i].T0 < out[j].T0
+		}
+		return out[i].Depth < out[j].Depth
+	})
+	return out, nil
+}
+
+// ProfileRow summarizes one region's activity.
+type ProfileRow struct {
+	Region    int64
+	Instances int
+	TotalNs   uint64
+	MeanNs    float64
+	MinNs     uint64
+	MaxNs     uint64
+}
+
+// Profile aggregates spans into per-region statistics, sorted by total time
+// descending. Nested time is attributed to both levels, as in Paraver's
+// default region profile.
+func Profile(spans []Span) []ProfileRow {
+	agg := make(map[int64]*ProfileRow)
+	for _, s := range spans {
+		row, ok := agg[s.Region]
+		if !ok {
+			row = &ProfileRow{Region: s.Region, MinNs: ^uint64(0)}
+			agg[s.Region] = row
+		}
+		d := s.DurationNs()
+		row.Instances++
+		row.TotalNs += d
+		if d < row.MinNs {
+			row.MinNs = d
+		}
+		if d > row.MaxNs {
+			row.MaxNs = d
+		}
+	}
+	out := make([]ProfileRow, 0, len(agg))
+	for _, row := range agg {
+		row.MeanNs = float64(row.TotalNs) / float64(row.Instances)
+		out = append(out, *row)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TotalNs != out[j].TotalNs {
+			return out[i].TotalNs > out[j].TotalNs
+		}
+		return out[i].Region < out[j].Region
+	})
+	return out
+}
+
+// CounterPoint is one (time, value) observation of a counter.
+type CounterPoint struct {
+	TimeNs uint64
+	Value  int64
+}
+
+// CounterSeries extracts the time series of one counter type from the
+// record stream (records lacking the type are skipped).
+func CounterSeries(records []trace.Record, task, thread int, typ uint32) []CounterPoint {
+	var out []CounterPoint
+	for i := range records {
+		rec := &records[i]
+		if rec.Task != task || rec.Thread != thread {
+			continue
+		}
+		if v, ok := rec.Get(typ); ok {
+			out = append(out, CounterPoint{TimeNs: rec.TimeNs, Value: v})
+		}
+	}
+	return out
+}
+
+// RatePoint is an interval rate derived from a cumulative counter.
+type RatePoint struct {
+	TimeNs uint64 // interval midpoint
+	Rate   float64
+}
+
+// Rates differentiates a cumulative counter series into interval rates in
+// events/second. Non-monotone steps (multiplexing estimates can regress
+// slightly) are clamped to zero.
+func Rates(series []CounterPoint) []RatePoint {
+	if len(series) < 2 {
+		return nil
+	}
+	out := make([]RatePoint, 0, len(series)-1)
+	for i := 1; i < len(series); i++ {
+		dt := float64(series[i].TimeNs-series[i-1].TimeNs) / 1e9
+		if dt <= 0 {
+			continue
+		}
+		dv := float64(series[i].Value - series[i-1].Value)
+		if dv < 0 {
+			dv = 0
+		}
+		out = append(out, RatePoint{
+			TimeNs: (series[i].TimeNs + series[i-1].TimeNs) / 2,
+			Rate:   dv / dt,
+		})
+	}
+	return out
+}
+
+// Window returns the records with TimeNs in [t0, t1), preserving order.
+func Window(records []trace.Record, t0, t1 uint64) []trace.Record {
+	var out []trace.Record
+	for _, r := range records {
+		if r.TimeNs >= t0 && r.TimeNs < t1 {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// SpanOf returns the span of region covering time t, preferring the deepest
+// (innermost) match.
+func SpanOf(spans []Span, t uint64) (Span, bool) {
+	var best Span
+	found := false
+	for _, s := range spans {
+		if t >= s.T0 && t < s.T1 {
+			if !found || s.Depth > best.Depth {
+				best = s
+				found = true
+			}
+		}
+	}
+	return best, found
+}

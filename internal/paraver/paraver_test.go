@@ -1,0 +1,165 @@
+package paraver
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func regionRec(t uint64, v int64) trace.Record {
+	return trace.Record{TimeNs: t, Task: 1, Thread: 1,
+		Pairs: []trace.TypeValue{{Type: trace.TypeRegion, Value: v}}}
+}
+
+func counterRec(t uint64, typ uint32, v int64) trace.Record {
+	return trace.Record{TimeNs: t, Task: 1, Thread: 1,
+		Pairs: []trace.TypeValue{{Type: typ, Value: v}}}
+}
+
+func TestTimelineFlat(t *testing.T) {
+	recs := []trace.Record{
+		regionRec(10, 5), regionRec(20, 0),
+		regionRec(30, 6), regionRec(50, 0),
+	}
+	spans, err := Timeline(recs, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 2 {
+		t.Fatalf("spans = %+v", spans)
+	}
+	if spans[0].Region != 5 || spans[0].T0 != 10 || spans[0].T1 != 20 || spans[0].Depth != 0 {
+		t.Errorf("span0 = %+v", spans[0])
+	}
+	if spans[1].DurationNs() != 20 {
+		t.Errorf("span1 duration = %d", spans[1].DurationNs())
+	}
+}
+
+func TestTimelineNested(t *testing.T) {
+	recs := []trace.Record{
+		regionRec(0, 1),  // outer
+		regionRec(10, 2), // inner
+		regionRec(20, 0), // inner end
+		regionRec(30, 0), // outer end
+	}
+	spans, err := Timeline(recs, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 2 {
+		t.Fatalf("spans = %+v", spans)
+	}
+	if spans[0].Region != 1 || spans[0].Depth != 0 {
+		t.Errorf("outer = %+v", spans[0])
+	}
+	if spans[1].Region != 2 || spans[1].Depth != 1 || spans[1].T0 != 10 || spans[1].T1 != 20 {
+		t.Errorf("inner = %+v", spans[1])
+	}
+}
+
+func TestTimelineUnclosedAndErrors(t *testing.T) {
+	// Unclosed region closes at last record time.
+	recs := []trace.Record{regionRec(0, 1), counterRec(100, trace.TypeCounterBase, 5)}
+	spans, err := Timeline(recs, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 1 || spans[0].T1 != 100 {
+		t.Errorf("unclosed span = %+v", spans)
+	}
+	// End without begin is an error.
+	if _, err := Timeline([]trace.Record{regionRec(5, 0)}, 1, 1); err == nil {
+		t.Error("unbalanced end accepted")
+	}
+	// Other threads are ignored.
+	other := regionRec(5, 0)
+	other.Thread = 2
+	if spans, err := Timeline([]trace.Record{other}, 1, 1); err != nil || len(spans) != 0 {
+		t.Errorf("cross-thread filtering: %v, %v", spans, err)
+	}
+}
+
+func TestProfile(t *testing.T) {
+	spans := []Span{
+		{Region: 1, T0: 0, T1: 10},
+		{Region: 1, T0: 20, T1: 40},
+		{Region: 2, T0: 40, T1: 45},
+	}
+	prof := Profile(spans)
+	if len(prof) != 2 {
+		t.Fatalf("profile = %+v", prof)
+	}
+	if prof[0].Region != 1 || prof[0].Instances != 2 || prof[0].TotalNs != 30 {
+		t.Errorf("row0 = %+v", prof[0])
+	}
+	if prof[0].MeanNs != 15 || prof[0].MinNs != 10 || prof[0].MaxNs != 20 {
+		t.Errorf("row0 stats = %+v", prof[0])
+	}
+	if prof[1].Region != 2 {
+		t.Errorf("row1 = %+v", prof[1])
+	}
+}
+
+func TestCounterSeriesAndRates(t *testing.T) {
+	typ := trace.TypeCounterBase + 0
+	recs := []trace.Record{
+		counterRec(0, typ, 0),
+		counterRec(1_000_000, typ, 1_000_000), // 1e6 events in 1 ms = 1e9/s
+		counterRec(2_000_000, typ, 1_500_000),
+		regionRec(3_000_000, 1), // no counter: skipped
+	}
+	series := CounterSeries(recs, 1, 1, typ)
+	if len(series) != 3 {
+		t.Fatalf("series = %+v", series)
+	}
+	rates := Rates(series)
+	if len(rates) != 2 {
+		t.Fatalf("rates = %+v", rates)
+	}
+	if rates[0].Rate != 1e9 {
+		t.Errorf("rate0 = %g", rates[0].Rate)
+	}
+	if rates[0].TimeNs != 500_000 {
+		t.Errorf("rate0 midpoint = %d", rates[0].TimeNs)
+	}
+	if rates[1].Rate != 5e8 {
+		t.Errorf("rate1 = %g", rates[1].Rate)
+	}
+	// Degenerate and clamped cases.
+	if Rates(series[:1]) != nil {
+		t.Error("short series should give nil")
+	}
+	neg := []CounterPoint{{0, 100}, {1000, 50}}
+	if r := Rates(neg); r[0].Rate != 0 {
+		t.Errorf("negative delta not clamped: %+v", r)
+	}
+}
+
+func TestWindow(t *testing.T) {
+	recs := []trace.Record{
+		counterRec(5, 1, 1), counterRec(15, 1, 2), counterRec(25, 1, 3),
+	}
+	w := Window(recs, 10, 25)
+	if len(w) != 1 || w[0].TimeNs != 15 {
+		t.Errorf("window = %+v", w)
+	}
+}
+
+func TestSpanOf(t *testing.T) {
+	spans := []Span{
+		{Region: 1, T0: 0, T1: 100, Depth: 0},
+		{Region: 2, T0: 10, T1: 50, Depth: 1},
+	}
+	s, ok := SpanOf(spans, 20)
+	if !ok || s.Region != 2 {
+		t.Errorf("SpanOf(20) = %+v (want innermost)", s)
+	}
+	s, ok = SpanOf(spans, 60)
+	if !ok || s.Region != 1 {
+		t.Errorf("SpanOf(60) = %+v", s)
+	}
+	if _, ok := SpanOf(spans, 200); ok {
+		t.Error("SpanOf(200) matched")
+	}
+}

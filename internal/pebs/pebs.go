@@ -1,0 +1,252 @@
+// Package pebs simulates Intel Precise Event-Based Sampling for memory
+// instructions. The engine observes every memory operation executed by a
+// simulated core (via the core's memory hook), selects every N-th eligible
+// operation per event (loads and stores count independently, as the
+// hardware's separate PEBS counters do), applies the load-latency threshold
+// (the ldlat facility), and accumulates precise sample records — IP,
+// referenced address, access latency, data source, timestamp and call-stack
+// id — into a buffer that is drained through a callback, mirroring the PEBS
+// buffer interrupt that hands samples to Extrae.
+package pebs
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cpu"
+	"repro/internal/memhier"
+)
+
+// EventMask selects which memory instruction classes are sampled.
+type EventMask uint8
+
+const (
+	// SampleLoads enables sampling of load instructions
+	// (MEM_TRANS_RETIRED.LOAD_LATENCY on real hardware).
+	SampleLoads EventMask = 1 << iota
+	// SampleStores enables sampling of store instructions
+	// (MEM_UOPS_RETIRED.ALL_STORES).
+	SampleStores
+)
+
+// Has reports whether the mask includes all events in q.
+func (m EventMask) Has(q EventMask) bool { return m&q == q }
+
+func (m EventMask) String() string {
+	switch {
+	case m.Has(SampleLoads | SampleStores):
+		return "loads+stores"
+	case m.Has(SampleLoads):
+		return "loads"
+	case m.Has(SampleStores):
+		return "stores"
+	}
+	return "none"
+}
+
+// Sample is one PEBS record, extended with the call-stack id Extrae attaches
+// when it processes the hardware buffer.
+type Sample struct {
+	// TimeNs is the simulated wall-clock timestamp.
+	TimeNs uint64
+	// IP is the instruction pointer of the sampled memory instruction.
+	IP uint64
+	// Addr is the referenced data address.
+	Addr uint64
+	// Size is the access width in bytes.
+	Size int
+	// Store distinguishes store samples from load samples.
+	Store bool
+	// Latency is the access cost in cycles (PEBS weight). Stores report 0
+	// on real hardware before Skylake; we keep the measured value but tests
+	// exercise both conventions via Config.StoreLatency.
+	Latency uint64
+	// Source is the memory-hierarchy level that served the data.
+	Source memhier.DataSource
+	// StackID is the interned call stack active at the sample.
+	StackID uint32
+}
+
+// Config parameterizes the sampling engine.
+type Config struct {
+	// Period samples every Period-th eligible operation per event class.
+	Period uint64
+	// Randomize perturbs each inter-sample gap by ±25% to avoid lockstep
+	// aliasing with loop structure, as production PEBS configurations do.
+	Randomize bool
+	// Seed drives the randomized gaps (ignored unless Randomize).
+	Seed int64
+	// LatencyThreshold discards load samples with latency below the
+	// threshold (the ldlat= facility); 0 keeps everything.
+	LatencyThreshold uint64
+	// Events selects the sampled instruction classes.
+	Events EventMask
+	// BufferSize is the number of samples the hardware buffer holds before
+	// the drain callback fires (the PEBS interrupt). Must be positive.
+	BufferSize int
+	// RecordStoreLatency controls whether store samples carry the measured
+	// latency (post-Skylake behaviour) or zero (Haswell, the paper's
+	// hardware reports no store latency).
+	RecordStoreLatency bool
+}
+
+// DefaultConfig returns a configuration close to the paper's setup: both
+// event classes, period 1000, small latency threshold, 64-sample buffer,
+// Haswell store-latency semantics.
+func DefaultConfig() Config {
+	return Config{
+		Period:           1000,
+		Randomize:        true,
+		Seed:             1,
+		LatencyThreshold: 3,
+		Events:           SampleLoads | SampleStores,
+		BufferSize:       64,
+	}
+}
+
+// Stats aggregates engine activity.
+type Stats struct {
+	// Eligible counts observed operations matching the event mask.
+	Eligible uint64
+	// Fired counts operations selected by the period counter.
+	Fired uint64
+	// BelowThreshold counts fired loads dropped by the latency threshold.
+	BelowThreshold uint64
+	// Recorded counts samples written to the buffer.
+	Recorded uint64
+	// Drains counts buffer-full callbacks.
+	Drains uint64
+}
+
+// Engine is the PEBS simulator. Not safe for concurrent use; one engine is
+// attached per simulated hardware thread.
+type Engine struct {
+	cfg   Config
+	drain func([]Sample)
+	rng   *rand.Rand
+
+	nextLoad  uint64 // ops remaining until next load sample
+	nextStore uint64
+	buf       []Sample
+	stats     Stats
+}
+
+// New validates the configuration and creates an engine. drain receives the
+// buffer contents at each overflow and at Flush; the slice is reused, so the
+// callback must copy anything it keeps.
+func New(cfg Config, drain func([]Sample)) (*Engine, error) {
+	if cfg.Period == 0 {
+		return nil, fmt.Errorf("pebs: period must be positive")
+	}
+	if cfg.BufferSize <= 0 {
+		return nil, fmt.Errorf("pebs: buffer size must be positive")
+	}
+	if cfg.Events == 0 {
+		return nil, fmt.Errorf("pebs: no events selected")
+	}
+	if drain == nil {
+		return nil, fmt.Errorf("pebs: nil drain callback")
+	}
+	e := &Engine{
+		cfg:   cfg,
+		drain: drain,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		buf:   make([]Sample, 0, cfg.BufferSize),
+	}
+	e.nextLoad = e.gap()
+	e.nextStore = e.gap()
+	return e, nil
+}
+
+// gap returns the next inter-sample distance.
+func (e *Engine) gap() uint64 {
+	if !e.cfg.Randomize {
+		return e.cfg.Period
+	}
+	// Period ± 25%.
+	span := e.cfg.Period / 2
+	if span == 0 {
+		return e.cfg.Period
+	}
+	return e.cfg.Period - span/2 + uint64(e.rng.Int63n(int64(span)+1))
+}
+
+// Events returns the currently sampled event classes.
+func (e *Engine) Events() EventMask { return e.cfg.Events }
+
+// SetEvents reprograms the sampled event classes; the monitoring layer uses
+// this to multiplex loads and stores within a single run.
+func (e *Engine) SetEvents(m EventMask) { e.cfg.Events = m }
+
+// Stats returns a copy of the counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Pending returns the number of samples waiting in the buffer.
+func (e *Engine) Pending() int { return len(e.buf) }
+
+// Observe feeds one retired memory operation into the engine. timeNs is the
+// simulated wall clock; stackID identifies the active call stack. It reports
+// whether the operation was recorded as a sample, so the caller can attach
+// sample-time context (e.g. a PMU snapshot) before the buffer drains: a full
+// buffer is drained at the *next* observation (or at Flush), never inside
+// the call that recorded the final sample.
+func (e *Engine) Observe(op cpu.MemOp, timeNs uint64, stackID uint32) bool {
+	if len(e.buf) >= e.cfg.BufferSize {
+		e.flushBuffer()
+	}
+	if op.Store {
+		if !e.cfg.Events.Has(SampleStores) {
+			return false
+		}
+		e.stats.Eligible++
+		e.nextStore--
+		if e.nextStore > 0 {
+			return false
+		}
+		e.nextStore = e.gap()
+	} else {
+		if !e.cfg.Events.Has(SampleLoads) {
+			return false
+		}
+		e.stats.Eligible++
+		e.nextLoad--
+		if e.nextLoad > 0 {
+			return false
+		}
+		e.nextLoad = e.gap()
+	}
+	e.stats.Fired++
+	if !op.Store && e.cfg.LatencyThreshold > 0 && op.Latency < e.cfg.LatencyThreshold {
+		e.stats.BelowThreshold++
+		return false
+	}
+	lat := op.Latency
+	if op.Store && !e.cfg.RecordStoreLatency {
+		lat = 0
+	}
+	e.buf = append(e.buf, Sample{
+		TimeNs:  timeNs,
+		IP:      op.IP,
+		Addr:    op.Addr,
+		Size:    op.Size,
+		Store:   op.Store,
+		Latency: lat,
+		Source:  op.Source,
+		StackID: stackID,
+	})
+	e.stats.Recorded++
+	return true
+}
+
+// Flush drains any buffered samples to the callback.
+func (e *Engine) Flush() {
+	if len(e.buf) > 0 {
+		e.flushBuffer()
+	}
+}
+
+func (e *Engine) flushBuffer() {
+	e.stats.Drains++
+	e.drain(e.buf)
+	e.buf = e.buf[:0]
+}

@@ -1,0 +1,284 @@
+package pebs
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cpu"
+	"repro/internal/memhier"
+)
+
+func load(addr uint64, lat uint64) cpu.MemOp {
+	return cpu.MemOp{IP: 0x400000, Addr: addr, Size: 8, Latency: lat, Source: memhier.SrcL1}
+}
+
+func store(addr uint64, lat uint64) cpu.MemOp {
+	op := load(addr, lat)
+	op.Store = true
+	return op
+}
+
+func collect(dst *[]Sample) func([]Sample) {
+	return func(s []Sample) {
+		*dst = append(*dst, append([]Sample(nil), s...)...)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	drain := func([]Sample) {}
+	cases := []Config{
+		{Period: 0, BufferSize: 8, Events: SampleLoads},
+		{Period: 10, BufferSize: 0, Events: SampleLoads},
+		{Period: 10, BufferSize: 8, Events: 0},
+	}
+	for i, cfg := range cases {
+		if _, err := New(cfg, drain); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if _, err := New(DefaultConfig(), nil); err == nil {
+		t.Error("nil drain accepted")
+	}
+	if _, err := New(DefaultConfig(), drain); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+func TestEventMaskString(t *testing.T) {
+	cases := map[EventMask]string{
+		SampleLoads:                "loads",
+		SampleStores:               "stores",
+		SampleLoads | SampleStores: "loads+stores",
+		0:                          "none",
+	}
+	for m, w := range cases {
+		if m.String() != w {
+			t.Errorf("%d.String() = %q, want %q", m, m.String(), w)
+		}
+	}
+}
+
+func TestDeterministicPeriod(t *testing.T) {
+	var got []Sample
+	e, err := New(Config{Period: 10, Events: SampleLoads, BufferSize: 1000}, collect(&got))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		e.Observe(load(uint64(i), 5), uint64(i), 0)
+	}
+	e.Flush()
+	if len(got) != 10 {
+		t.Fatalf("got %d samples from 100 ops at period 10, want 10", len(got))
+	}
+	// Without randomization samples land on every 10th op: indices 9, 19, ...
+	for i, s := range got {
+		if s.Addr != uint64(i*10+9) {
+			t.Errorf("sample %d addr = %d, want %d", i, s.Addr, i*10+9)
+		}
+	}
+}
+
+func TestEventFiltering(t *testing.T) {
+	var got []Sample
+	e, _ := New(Config{Period: 1, Events: SampleStores, BufferSize: 1000}, collect(&got))
+	e.Observe(load(1, 5), 0, 0)
+	e.Observe(store(2, 5), 1, 0)
+	e.Flush()
+	if len(got) != 1 || !got[0].Store {
+		t.Fatalf("store-only sampling got %+v", got)
+	}
+	if e.Stats().Eligible != 1 {
+		t.Errorf("eligible = %d, want 1 (loads not eligible)", e.Stats().Eligible)
+	}
+}
+
+func TestLatencyThresholdLoadsOnly(t *testing.T) {
+	var got []Sample
+	e, _ := New(Config{Period: 1, Events: SampleLoads | SampleStores,
+		LatencyThreshold: 30, BufferSize: 1000}, collect(&got))
+	e.Observe(load(1, 4), 0, 0)   // below threshold: dropped
+	e.Observe(load(2, 100), 1, 0) // above: kept
+	e.Observe(store(3, 4), 2, 0)  // stores bypass ldlat
+	e.Flush()
+	if len(got) != 2 {
+		t.Fatalf("got %d samples, want 2", len(got))
+	}
+	if got[0].Addr != 2 || got[1].Addr != 3 {
+		t.Errorf("samples = %+v", got)
+	}
+	if e.Stats().BelowThreshold != 1 {
+		t.Errorf("BelowThreshold = %d", e.Stats().BelowThreshold)
+	}
+}
+
+func TestStoreLatencySemantics(t *testing.T) {
+	var got []Sample
+	e, _ := New(Config{Period: 1, Events: SampleStores, BufferSize: 10}, collect(&got))
+	e.Observe(store(1, 77), 0, 0)
+	e.Flush()
+	if got[0].Latency != 0 {
+		t.Errorf("Haswell semantics: store latency = %d, want 0", got[0].Latency)
+	}
+	got = nil
+	e2, _ := New(Config{Period: 1, Events: SampleStores, BufferSize: 10,
+		RecordStoreLatency: true}, collect(&got))
+	e2.Observe(store(1, 77), 0, 0)
+	e2.Flush()
+	if got[0].Latency != 77 {
+		t.Errorf("Skylake semantics: store latency = %d, want 77", got[0].Latency)
+	}
+}
+
+func TestBufferDrain(t *testing.T) {
+	var drains int
+	var total int
+	e, _ := New(Config{Period: 1, Events: SampleLoads, BufferSize: 4},
+		func(s []Sample) { drains++; total += len(s) })
+	for i := 0; i < 10; i++ {
+		e.Observe(load(uint64(i), 5), uint64(i), 0)
+	}
+	if drains != 2 {
+		t.Errorf("drains = %d, want 2 (buffer of 4, 10 samples)", drains)
+	}
+	if e.Pending() != 2 {
+		t.Errorf("pending = %d, want 2", e.Pending())
+	}
+	e.Flush()
+	if total != 10 {
+		t.Errorf("total drained = %d, want 10", total)
+	}
+	if e.Stats().Drains != 3 {
+		t.Errorf("Drains stat = %d, want 3", e.Stats().Drains)
+	}
+	// Flush with empty buffer is a no-op.
+	e.Flush()
+	if e.Stats().Drains != 3 {
+		t.Error("empty flush drained")
+	}
+}
+
+func TestIndependentLoadStoreCounters(t *testing.T) {
+	// Loads and stores count down independently, like separate PEBS counters.
+	var got []Sample
+	e, _ := New(Config{Period: 3, Events: SampleLoads | SampleStores,
+		BufferSize: 100}, collect(&got))
+	// 2 loads then 1 store, repeated: loads fire every 3 loads (every 4.5
+	// ops), stores every 3 stores (every 9 ops).
+	for i := 0; i < 18; i++ {
+		if i%3 == 2 {
+			e.Observe(store(uint64(i), 5), uint64(i), 0)
+		} else {
+			e.Observe(load(uint64(i), 5), uint64(i), 0)
+		}
+	}
+	e.Flush()
+	var loads, stores int
+	for _, s := range got {
+		if s.Store {
+			stores++
+		} else {
+			loads++
+		}
+	}
+	if loads != 4 || stores != 2 {
+		t.Errorf("loads/stores sampled = %d/%d, want 4/2", loads, stores)
+	}
+}
+
+func TestRandomizedPeriodMeanApproximatesPeriod(t *testing.T) {
+	var got []Sample
+	cfg := Config{Period: 100, Randomize: true, Seed: 42,
+		Events: SampleLoads, BufferSize: 1 << 20}
+	e, _ := New(cfg, collect(&got))
+	const n = 200000
+	for i := 0; i < n; i++ {
+		e.Observe(load(uint64(i), 5), uint64(i), 0)
+	}
+	e.Flush()
+	mean := float64(n) / float64(len(got))
+	if math.Abs(mean-100)/100 > 0.05 {
+		t.Errorf("mean sampling gap = %.1f, want ~100", mean)
+	}
+	// Determinism: same seed, same samples.
+	var got2 []Sample
+	e2, _ := New(cfg, collect(&got2))
+	for i := 0; i < n; i++ {
+		e2.Observe(load(uint64(i), 5), uint64(i), 0)
+	}
+	e2.Flush()
+	if len(got) != len(got2) {
+		t.Fatalf("same seed produced %d vs %d samples", len(got), len(got2))
+	}
+	for i := range got {
+		if got[i] != got2[i] {
+			t.Fatalf("sample %d differs between identical runs", i)
+		}
+	}
+}
+
+func TestSetEventsMidStream(t *testing.T) {
+	var got []Sample
+	e, _ := New(Config{Period: 1, Events: SampleLoads, BufferSize: 100}, collect(&got))
+	e.Observe(load(1, 5), 0, 0)
+	e.Observe(store(2, 5), 1, 0) // not sampled
+	e.SetEvents(SampleStores)
+	if e.Events() != SampleStores {
+		t.Error("SetEvents did not take")
+	}
+	e.Observe(load(3, 5), 2, 0) // not sampled
+	e.Observe(store(4, 5), 3, 0)
+	e.Flush()
+	if len(got) != 2 || got[0].Addr != 1 || got[1].Addr != 4 {
+		t.Errorf("mux samples = %+v", got)
+	}
+}
+
+func TestSampleCarriesContext(t *testing.T) {
+	var got []Sample
+	e, _ := New(Config{Period: 1, Events: SampleLoads, BufferSize: 10}, collect(&got))
+	op := cpu.MemOp{IP: 0x12345, Addr: 0xfeed, Size: 4,
+		Latency: 230, Source: memhier.SrcDRAM}
+	e.Observe(op, 999, 7)
+	e.Flush()
+	s := got[0]
+	if s.IP != 0x12345 || s.Addr != 0xfeed || s.Size != 4 ||
+		s.Latency != 230 || s.Source != memhier.SrcDRAM ||
+		s.TimeNs != 999 || s.StackID != 7 {
+		t.Errorf("sample = %+v", s)
+	}
+}
+
+func TestPropertySampleCountBounded(t *testing.T) {
+	// For any op stream, recorded samples <= eligible/period + 1 per class.
+	f := func(seed int64, nOps uint16) bool {
+		var got []Sample
+		cfg := Config{Period: 7, Randomize: seed%2 == 0, Seed: seed,
+			Events: SampleLoads | SampleStores, BufferSize: 64}
+		e, err := New(cfg, collect(&got))
+		if err != nil {
+			return false
+		}
+		n := int(nOps)%5000 + 1
+		for i := 0; i < n; i++ {
+			if (int64(i)+seed)%3 == 0 {
+				e.Observe(store(uint64(i), 10), uint64(i), 0)
+			} else {
+				e.Observe(load(uint64(i), 10), uint64(i), 0)
+			}
+		}
+		e.Flush()
+		st := e.Stats()
+		if st.Recorded != uint64(len(got)) {
+			return false
+		}
+		// With ±25% randomization min gap is ~period/2+... be generous: the
+		// count can never exceed eligible/(period/2)+2.
+		maxSamples := st.Eligible/(cfg.Period/2) + 4
+		return st.Recorded <= maxSamples && st.Fired >= st.Recorded
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

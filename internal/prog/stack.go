@@ -1,0 +1,131 @@
+package prog
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CallStack tracks the active call chain of a simulated thread as frame
+// entry IPs. The monitoring layer snapshots it when a PEBS sample fires and
+// when an allocation is made (the allocation call stack is the identity of a
+// dynamic data object in the paper).
+type CallStack struct {
+	frames []uint64
+}
+
+// Push enters a frame identified by its call-site IP.
+func (cs *CallStack) Push(ip uint64) { cs.frames = append(cs.frames, ip) }
+
+// Pop leaves the innermost frame. Popping an empty stack is a programming
+// error and panics, as it indicates unbalanced instrumentation.
+func (cs *CallStack) Pop() {
+	if len(cs.frames) == 0 {
+		panic("prog: CallStack.Pop on empty stack (unbalanced instrumentation)")
+	}
+	cs.frames = cs.frames[:len(cs.frames)-1]
+}
+
+// Depth returns the number of active frames.
+func (cs *CallStack) Depth() int { return len(cs.frames) }
+
+// Top returns the innermost frame IP (0 when empty).
+func (cs *CallStack) Top() uint64 {
+	if len(cs.frames) == 0 {
+		return 0
+	}
+	return cs.frames[len(cs.frames)-1]
+}
+
+// Snapshot returns a copy of the frames, outermost first.
+func (cs *CallStack) Snapshot() []uint64 {
+	out := make([]uint64, len(cs.frames))
+	copy(out, cs.frames)
+	return out
+}
+
+// StackTable interns call stacks, assigning each distinct chain a compact
+// uint32 id, like Extrae's callstack identifier tables. ID 0 is reserved for
+// the empty stack.
+type StackTable struct {
+	ids    map[string]uint32
+	stacks [][]uint64
+}
+
+// NewStackTable creates an empty table with id 0 bound to the empty stack.
+func NewStackTable() *StackTable {
+	st := &StackTable{ids: make(map[string]uint32)}
+	st.stacks = append(st.stacks, nil) // id 0
+	st.ids[""] = 0
+	return st
+}
+
+func stackKey(frames []uint64) string {
+	if len(frames) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	for _, f := range frames {
+		fmt.Fprintf(&sb, "%x;", f)
+	}
+	return sb.String()
+}
+
+// Intern returns the id for the frame chain, registering it if new.
+func (st *StackTable) Intern(frames []uint64) uint32 {
+	key := stackKey(frames)
+	if id, ok := st.ids[key]; ok {
+		return id
+	}
+	id := uint32(len(st.stacks))
+	cp := make([]uint64, len(frames))
+	copy(cp, frames)
+	st.stacks = append(st.stacks, cp)
+	st.ids[key] = id
+	return id
+}
+
+// Frames returns the frame chain for an id (nil for unknown or empty).
+func (st *StackTable) Frames(id uint32) []uint64 {
+	if int(id) >= len(st.stacks) {
+		return nil
+	}
+	return st.stacks[id]
+}
+
+// Len returns the number of interned stacks, including the empty stack.
+func (st *StackTable) Len() int { return len(st.stacks) }
+
+// Format renders the stack id as a human-readable chain using the binary's
+// line tables, innermost frame last, e.g.
+// "main (hpcg.cpp:42) > GenerateProblem (GenerateProblem_ref.cpp:108)".
+func (st *StackTable) Format(id uint32, b *Binary) string {
+	frames := st.Frames(id)
+	if len(frames) == 0 {
+		return "<empty>"
+	}
+	parts := make([]string, 0, len(frames))
+	for _, ip := range frames {
+		if loc, ok := b.Lookup(ip); ok {
+			parts = append(parts, loc.String())
+		} else {
+			parts = append(parts, fmt.Sprintf("%#x", ip))
+		}
+	}
+	return strings.Join(parts, " > ")
+}
+
+// SiteName renders the innermost frame of the stack as the short allocation
+// site label the paper uses, e.g. "108_GenerateProblem_ref.cpp" for an
+// allocation at line 108 of that file.
+func (st *StackTable) SiteName(id uint32, b *Binary) string {
+	frames := st.Frames(id)
+	if len(frames) == 0 {
+		return "unknown"
+	}
+	ip := frames[len(frames)-1]
+	loc, ok := b.Lookup(ip)
+	if !ok {
+		return fmt.Sprintf("ip_%#x", ip)
+	}
+	return fmt.Sprintf("%d_%s", loc.Line, loc.File)
+}

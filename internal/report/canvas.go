@@ -1,0 +1,103 @@
+// Package report renders the three-perspective analysis the paper's
+// Figure 1 presents: source-code lines over folded time (top panel),
+// referenced addresses over folded time with data-object annotations
+// (middle panel), and hardware-counter rates over folded time (bottom
+// panel) — as plain-text charts and CSV series, plus the object, phase and
+// bandwidth tables quoted in the paper's text.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Canvas is a character raster for scatter/line charts.
+type Canvas struct {
+	W, H  int
+	cells []byte
+}
+
+// NewCanvas creates a blank canvas of the given size.
+func NewCanvas(w, h int) *Canvas {
+	c := &Canvas{W: w, H: h, cells: make([]byte, w*h)}
+	for i := range c.cells {
+		c.cells[i] = ' '
+	}
+	return c
+}
+
+// Plot sets the cell at column x, row y (row 0 is the top). Out-of-range
+// coordinates are ignored. Existing marks are only overwritten by "heavier"
+// characters so stores ('#') stay visible over loads ('.').
+func (c *Canvas) Plot(x, y int, ch byte) {
+	if x < 0 || x >= c.W || y < 0 || y >= c.H {
+		return
+	}
+	i := y*c.W + x
+	if weight(ch) >= weight(c.cells[i]) {
+		c.cells[i] = ch
+	}
+}
+
+func weight(ch byte) int {
+	switch ch {
+	case ' ':
+		return 0
+	case '.':
+		return 1
+	case '+':
+		return 2
+	case '*':
+		return 3
+	case '#':
+		return 4
+	}
+	return 5
+}
+
+// Row returns row y as a string.
+func (c *Canvas) Row(y int) string { return string(c.cells[y*c.W : (y+1)*c.W]) }
+
+// WriteTo writes the canvas with an optional per-row label function.
+func (c *Canvas) WriteTo(w io.Writer, label func(row int) string) error {
+	for y := 0; y < c.H; y++ {
+		l := ""
+		if label != nil {
+			l = label(y)
+		}
+		if _, err := fmt.Fprintf(w, "%14s |%s|\n", l, c.Row(y)); err != nil {
+			return err
+		}
+	}
+	axis := strings.Repeat("-", c.W)
+	_, err := fmt.Fprintf(w, "%14s +%s+\n%14s  0%*s\n", "", axis, "", c.W-1, "1")
+	return err
+}
+
+// XForSigma maps normalized time to a column.
+func (c *Canvas) XForSigma(sigma float64) int {
+	x := int(sigma * float64(c.W))
+	if x >= c.W {
+		x = c.W - 1
+	}
+	if x < 0 {
+		x = 0
+	}
+	return x
+}
+
+// YForValue maps a value in [lo, hi] to a row (hi at the top).
+func (c *Canvas) YForValue(v, lo, hi float64) int {
+	if hi <= lo {
+		return c.H - 1
+	}
+	y := int((hi - v) / (hi - lo) * float64(c.H))
+	if y >= c.H {
+		y = c.H - 1
+	}
+	if y < 0 {
+		y = 0
+	}
+	return y
+}

@@ -1,0 +1,126 @@
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/cpu"
+	"repro/internal/folding"
+)
+
+// WriteLinesCSV emits the top panel's data: sigma, ip, function, line.
+func WriteLinesCSV(w io.Writer, f *Figure1) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"sigma", "ip", "function", "file", "line"}); err != nil {
+		return err
+	}
+	for _, lp := range f.Folded.Lines {
+		fn, file, line := "", "", 0
+		if loc, ok := f.Binary.Lookup(lp.IP); ok {
+			fn, file, line = loc.Function, loc.File, loc.Line
+		}
+		rec := []string{
+			formatFloat(lp.Sigma),
+			fmt.Sprintf("%#x", lp.IP),
+			fn, file, strconv.Itoa(line),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteMemCSV emits the middle panel's data: sigma, addr, kind, latency,
+// source, and the owning object (resolved through the registry snapshot).
+func WriteMemCSV(w io.Writer, f *Figure1, objectOf func(addr uint64) string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"sigma", "addr", "kind", "latency", "source", "object"}); err != nil {
+		return err
+	}
+	for _, mp := range f.Folded.Mem {
+		kind := "load"
+		if mp.Store {
+			kind = "store"
+		}
+		obj := ""
+		if objectOf != nil {
+			obj = objectOf(mp.Addr)
+		}
+		rec := []string{
+			formatFloat(mp.Sigma),
+			fmt.Sprintf("%#x", mp.Addr),
+			kind,
+			strconv.FormatUint(mp.Latency, 10),
+			mp.Source.String(),
+			obj,
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCountersCSV emits the bottom panel's series: sigma, MIPS and the
+// per-instruction ratios.
+func WriteCountersCSV(w io.Writer, f *folding.Folded) error {
+	cw := csv.NewWriter(w)
+	header := []string{"sigma", "mips", "branches_per_instr",
+		"l1d_miss_per_instr", "l2_miss_per_instr", "l3_miss_per_instr"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	mips := f.MIPS()
+	br := f.PerInstruction(cpu.CtrBranches)
+	l1 := f.PerInstruction(cpu.CtrL1DMiss)
+	l2 := f.PerInstruction(cpu.CtrL2Miss)
+	l3 := f.PerInstruction(cpu.CtrL3Miss)
+	for i, g := range f.Grid {
+		rec := []string{
+			formatFloat(g), formatFloat(mips[i]), formatFloat(br[i]),
+			formatFloat(l1[i]), formatFloat(l2[i]), formatFloat(l3[i]),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WritePhasesCSV emits the phase table.
+func WritePhasesCSV(w io.Writer, f *folding.Folded) error {
+	cw := csv.NewWriter(w)
+	header := []string{"phase", "lo", "hi", "direction", "duration_ns",
+		"mips", "l1d_miss_per_instr", "l3_miss_per_instr", "span_bandwidth_mb_s",
+		"loads", "stores"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i, p := range f.Phases {
+		name := p.Name
+		if name == "" {
+			name = fmt.Sprintf("phase%d", i)
+		}
+		rec := []string{
+			name, formatFloat(p.Lo), formatFloat(p.Hi), p.Direction.String(),
+			formatFloat(p.DurationNs), formatFloat(p.MIPSMean),
+			formatFloat(p.PerInstr[cpu.CtrL1DMiss]),
+			formatFloat(p.PerInstr[cpu.CtrL3Miss]),
+			formatFloat(p.SpanBandwidth / 1e6),
+			strconv.Itoa(p.Loads), strconv.Itoa(p.Stores),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }

@@ -1,0 +1,280 @@
+// Package reuse implements the follow-on analyses the paper motivates in
+// its introduction: understanding memory access patterns "may offer
+// additional insights … by helping prefetch mechanisms, calculating reuse
+// distances, tuning cache organization and envision the usage of hybrid
+// memory systems". It provides
+//
+//   - an exact LRU stack-distance (reuse-distance) analyzer over a line
+//     address stream, using the classic timestamp + Fenwick-tree algorithm
+//     (O(log n) per access);
+//   - reuse-distance histograms and the derived cache hit-ratio curve
+//     (P[distance ≤ capacity]), the what-if tool for "tuning cache
+//     organization";
+//   - a hybrid-memory placement advisor over the data-object accounting,
+//     operationalizing the paper's conclusion that HPCG's read-only matrix
+//     region "might benefit from memory technologies where loads are
+//     faster than stores".
+package reuse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/folding"
+	"repro/internal/objects"
+)
+
+// Infinite is the distance reported for cold (first-touch) accesses.
+const Infinite = -1
+
+// fenwick is a binary indexed tree over access timestamps; a 1 marks a
+// timestamp that is the *most recent* access of some line.
+type fenwick struct {
+	tree []int
+}
+
+func newFenwick(n int) *fenwick { return &fenwick{tree: make([]int, n+1)} }
+
+func (f *fenwick) add(i, delta int) {
+	for i++; i < len(f.tree); i += i & (-i) {
+		f.tree[i] += delta
+	}
+}
+
+// sum returns the count in [0, i].
+func (f *fenwick) sum(i int) int {
+	s := 0
+	for i++; i > 0; i -= i & (-i) {
+		s += f.tree[i]
+	}
+	return s
+}
+
+// Analyzer computes exact LRU stack distances over a stream of addresses.
+// Distances are measured in distinct cache lines touched since the
+// previous access to the same line.
+type Analyzer struct {
+	lineShift uint
+	lastTime  map[uint64]int // line -> timestamp of its latest access
+	marked    []bool         // timestamp -> is latest access of its line
+	bit       *fenwick
+	now       int
+
+	hist *Histogram
+}
+
+// NewAnalyzer creates an analyzer for the given cache-line size (a power
+// of two; 64 is typical).
+func NewAnalyzer(lineSize int) (*Analyzer, error) {
+	if lineSize <= 0 || lineSize&(lineSize-1) != 0 {
+		return nil, fmt.Errorf("reuse: line size %d not a power of two", lineSize)
+	}
+	shift := uint(0)
+	for 1<<shift != lineSize {
+		shift++
+	}
+	return &Analyzer{
+		lineShift: shift,
+		lastTime:  make(map[uint64]int),
+		bit:       newFenwick(1024),
+		hist:      NewHistogram(),
+	}, nil
+}
+
+// Touch processes one access and returns its reuse distance in distinct
+// lines (Infinite for a first touch).
+func (a *Analyzer) Touch(addr uint64) int {
+	line := addr >> a.lineShift
+	if a.now >= len(a.marked) {
+		a.growTo(a.now*2 + 16)
+	}
+	dist := Infinite
+	if last, seen := a.lastTime[line]; seen {
+		// Distinct lines touched strictly after `last`: the number of
+		// marked timestamps in (last, now).
+		dist = a.bit.sum(a.now-1) - a.bit.sum(last)
+		a.marked[last] = false
+		a.bit.add(last, -1)
+	}
+	a.lastTime[line] = a.now
+	a.marked[a.now] = true
+	a.bit.add(a.now, 1)
+	a.now++
+	a.hist.Add(dist)
+	return dist
+}
+
+// growTo resizes the timestamp structures, rebuilding the Fenwick tree.
+func (a *Analyzer) growTo(n int) {
+	marked := make([]bool, n)
+	copy(marked, a.marked)
+	a.marked = marked
+	a.bit = newFenwick(n)
+	for t, m := range a.marked {
+		if m {
+			a.bit.add(t, 1)
+		}
+	}
+}
+
+// Accesses returns the number of accesses processed.
+func (a *Analyzer) Accesses() int { return a.now }
+
+// Lines returns the number of distinct lines seen.
+func (a *Analyzer) Lines() int { return len(a.lastTime) }
+
+// Histogram returns the accumulated reuse-distance histogram.
+func (a *Analyzer) Histogram() *Histogram { return a.hist }
+
+// Histogram buckets reuse distances in powers of two, plus a cold bucket.
+type Histogram struct {
+	// Cold counts first-touch accesses.
+	Cold uint64
+	// Buckets[i] counts distances in [2^i, 2^(i+1)) (bucket 0 holds 0 and 1).
+	Buckets []uint64
+	// Total counts all accesses.
+	Total uint64
+}
+
+// NewHistogram creates an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Add records one distance (Infinite for cold).
+func (h *Histogram) Add(dist int) {
+	h.Total++
+	if dist == Infinite {
+		h.Cold++
+		return
+	}
+	b := 0
+	if dist > 1 {
+		b = int(math.Log2(float64(dist)))
+	}
+	for len(h.Buckets) <= b {
+		h.Buckets = append(h.Buckets, 0)
+	}
+	h.Buckets[b]++
+}
+
+// HitRatio returns the fraction of accesses whose reuse distance fits an
+// LRU cache holding `lines` cache lines (cold misses count as misses).
+// Bucket granularity makes this an estimate accurate to a factor-2 bucket.
+func (h *Histogram) HitRatio(lines int) float64 {
+	if h.Total == 0 || lines <= 0 {
+		return 0
+	}
+	var hits uint64
+	for b, c := range h.Buckets {
+		// Bucket b spans [2^b, 2^(b+1)); it fits when the upper edge does.
+		upper := 1 << (b + 1)
+		if b == 0 {
+			upper = 2 // distances 0 and 1
+		}
+		if upper <= lines {
+			hits += c
+		}
+	}
+	return float64(hits) / float64(h.Total)
+}
+
+// HitRatioCurve evaluates HitRatio at each capacity (in lines).
+func (h *Histogram) HitRatioCurve(lineCapacities []int) []float64 {
+	out := make([]float64, len(lineCapacities))
+	for i, c := range lineCapacities {
+		out[i] = h.HitRatio(c)
+	}
+	return out
+}
+
+// FromFolded replays a folded region's memory samples (in sigma order)
+// through a fresh analyzer — the sampled approximation of the full-stream
+// reuse profile, which is exactly what a PEBS-based tool can offer.
+func FromFolded(f *folding.Folded, lineSize int) (*Analyzer, error) {
+	a, err := NewAnalyzer(lineSize)
+	if err != nil {
+		return nil, err
+	}
+	for _, mp := range f.Mem {
+		a.Touch(mp.Addr)
+	}
+	return a, nil
+}
+
+// Tier is a hybrid-memory placement recommendation class.
+type Tier int
+
+const (
+	// TierLoadOptimized suits read-only, heavily loaded regions (the
+	// paper's suggestion for HPCG's matrix: "memory technologies where
+	// loads are faster than stores", e.g. NVM read tiers).
+	TierLoadOptimized Tier = iota
+	// TierBandwidth suits hot, mixed-access regions (HBM/MCDRAM).
+	TierBandwidth
+	// TierCapacity suits rarely referenced data (plain or slow DRAM).
+	TierCapacity
+)
+
+func (t Tier) String() string {
+	switch t {
+	case TierLoadOptimized:
+		return "load-optimized"
+	case TierBandwidth:
+		return "bandwidth"
+	case TierCapacity:
+		return "capacity"
+	}
+	return fmt.Sprintf("Tier(%d)", int(t))
+}
+
+// Placement is one object's recommendation.
+type Placement struct {
+	Object *objects.Object
+	Tier   Tier
+	Reason string
+}
+
+// AdvisorConfig tunes the placement heuristics.
+type AdvisorConfig struct {
+	// HotRefShare is the cumulative reference share that defines "hot"
+	// objects (default 0.9): objects are considered in descending
+	// reference order until this share is covered.
+	HotRefShare float64
+}
+
+// Advise classifies each referenced object into a memory tier from its
+// sampled accounting. The heuristic follows the paper's reasoning: regions
+// that are only read during the execution phase tolerate slow stores;
+// remaining hot regions want bandwidth; cold regions want capacity.
+func Advise(objs []*objects.Object, cfg AdvisorConfig) []Placement {
+	if cfg.HotRefShare == 0 {
+		cfg.HotRefShare = 0.9
+	}
+	sorted := make([]*objects.Object, 0, len(objs))
+	var totalRefs uint64
+	for _, o := range objs {
+		if o.Refs > 0 {
+			sorted = append(sorted, o)
+			totalRefs += o.Refs
+		}
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Refs > sorted[j].Refs })
+	var out []Placement
+	var cum uint64
+	for _, o := range sorted {
+		hot := float64(cum) < cfg.HotRefShare*float64(totalRefs)
+		cum += o.Refs
+		switch {
+		case hot && o.Stores == 0:
+			out = append(out, Placement{o, TierLoadOptimized,
+				"read-only during execution phase; loads dominate"})
+		case hot:
+			out = append(out, Placement{o, TierBandwidth,
+				fmt.Sprintf("hot mixed access (%d loads, %d stores)", o.Loads, o.Stores)})
+		default:
+			out = append(out, Placement{o, TierCapacity,
+				fmt.Sprintf("cold (%d refs)", o.Refs)})
+		}
+	}
+	return out
+}

@@ -1,0 +1,221 @@
+package reuse
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/interval"
+	"repro/internal/objects"
+)
+
+func mustAnalyzer(t *testing.T) *Analyzer {
+	t.Helper()
+	a, err := NewAnalyzer(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestNewAnalyzerValidation(t *testing.T) {
+	for _, bad := range []int{0, -8, 48, 100} {
+		if _, err := NewAnalyzer(bad); err == nil {
+			t.Errorf("line size %d accepted", bad)
+		}
+	}
+	if _, err := NewAnalyzer(64); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTouchDistances(t *testing.T) {
+	a := mustAnalyzer(t)
+	// Lines A B C A: A's reuse distance is 2 (B and C in between).
+	if d := a.Touch(0x000); d != Infinite {
+		t.Errorf("first touch A = %d", d)
+	}
+	if d := a.Touch(0x040); d != Infinite {
+		t.Errorf("first touch B = %d", d)
+	}
+	if d := a.Touch(0x080); d != Infinite {
+		t.Errorf("first touch C = %d", d)
+	}
+	if d := a.Touch(0x000); d != 2 {
+		t.Errorf("reuse of A = %d, want 2", d)
+	}
+	// Immediate re-touch: distance 0.
+	if d := a.Touch(0x000); d != 0 {
+		t.Errorf("immediate reuse = %d, want 0", d)
+	}
+	// Same line, different offset.
+	if d := a.Touch(0x020); d != 0 {
+		t.Errorf("same-line offset reuse = %d, want 0", d)
+	}
+	if a.Accesses() != 6 || a.Lines() != 3 {
+		t.Errorf("accesses/lines = %d/%d", a.Accesses(), a.Lines())
+	}
+}
+
+func TestTouchRepeatedSweep(t *testing.T) {
+	// Sweeping N lines twice: second pass distances are all N-1.
+	a := mustAnalyzer(t)
+	const n = 100
+	for i := 0; i < n; i++ {
+		a.Touch(uint64(i) * 64)
+	}
+	for i := 0; i < n; i++ {
+		if d := a.Touch(uint64(i) * 64); d != n-1 {
+			t.Fatalf("second-pass distance = %d, want %d", d, n-1)
+		}
+	}
+}
+
+// bruteDistance is a reference implementation via an explicit LRU stack.
+type bruteDistance struct {
+	stack []uint64
+}
+
+func (b *bruteDistance) touch(line uint64) int {
+	for i := len(b.stack) - 1; i >= 0; i-- {
+		if b.stack[i] == line {
+			d := len(b.stack) - 1 - i
+			b.stack = append(b.stack[:i], b.stack[i+1:]...)
+			b.stack = append(b.stack, line)
+			return d
+		}
+	}
+	b.stack = append(b.stack, line)
+	return Infinite
+}
+
+func TestPropertyMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, err := NewAnalyzer(64)
+		if err != nil {
+			return false
+		}
+		var br bruteDistance
+		for i := 0; i < 2000; i++ {
+			line := uint64(rng.Intn(200))
+			if a.Touch(line*64) != br.touch(line) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram()
+	h.Add(Infinite)
+	h.Add(0)
+	h.Add(1)
+	h.Add(2)
+	h.Add(3)
+	h.Add(100)
+	if h.Cold != 1 || h.Total != 6 {
+		t.Errorf("cold/total = %d/%d", h.Cold, h.Total)
+	}
+	// Bucket 0: distances 0,1 → 2 entries. Bucket 1: [2,4) → 2 entries.
+	if h.Buckets[0] != 2 || h.Buckets[1] != 2 {
+		t.Errorf("buckets = %v", h.Buckets)
+	}
+	// 100 lands in bucket log2(100) = 6.
+	if h.Buckets[6] != 1 {
+		t.Errorf("buckets = %v", h.Buckets)
+	}
+}
+
+func TestHitRatio(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 80; i++ {
+		h.Add(1) // fits any cache with >= 2 lines
+	}
+	for i := 0; i < 20; i++ {
+		h.Add(1000) // needs ~1024 lines
+	}
+	if r := h.HitRatio(4); r != 0.8 {
+		t.Errorf("HitRatio(4) = %g, want 0.8", r)
+	}
+	if r := h.HitRatio(4096); r != 1.0 {
+		t.Errorf("HitRatio(4096) = %g, want 1", r)
+	}
+	if r := h.HitRatio(0); r != 0 {
+		t.Errorf("HitRatio(0) = %g", r)
+	}
+	if NewHistogram().HitRatio(100) != 0 {
+		t.Error("empty histogram hit ratio")
+	}
+	curve := h.HitRatioCurve([]int{4, 4096})
+	if curve[0] != 0.8 || curve[1] != 1.0 {
+		t.Errorf("curve = %v", curve)
+	}
+}
+
+func TestHitRatioCurveMonotone(t *testing.T) {
+	// Hit ratio must be non-decreasing in capacity for any stream.
+	a := mustAnalyzer(t)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 5000; i++ {
+		a.Touch(uint64(rng.Intn(1<<14)) * 8)
+	}
+	caps := []int{2, 8, 32, 128, 512, 2048, 8192}
+	curve := a.Histogram().HitRatioCurve(caps)
+	for i := 1; i < len(curve); i++ {
+		if curve[i] < curve[i-1] {
+			t.Fatalf("hit-ratio curve not monotone: %v", curve)
+		}
+	}
+}
+
+func makeObj(name string, refs, loads, stores uint64) *objects.Object {
+	return &objects.Object{
+		Name: name, Refs: refs, Loads: loads, Stores: stores,
+		Range: interval.Interval{Lo: 0x1000, Hi: 0x2000}, Bytes: 0x1000,
+	}
+}
+
+func TestAdvise(t *testing.T) {
+	objs := []*objects.Object{
+		makeObj("matrix", 8000, 8000, 0),   // hot read-only
+		makeObj("vector", 1900, 1600, 300), // hot mixed
+		makeObj("aux", 10, 10, 0),          // cold
+		makeObj("unused", 0, 0, 0),         // never referenced: excluded
+	}
+	placements := Advise(objs, AdvisorConfig{})
+	if len(placements) != 3 {
+		t.Fatalf("placements = %d, want 3 (unused excluded)", len(placements))
+	}
+	byName := map[string]Tier{}
+	for _, p := range placements {
+		byName[p.Object.Name] = p.Tier
+		if p.Reason == "" {
+			t.Errorf("placement for %s lacks a reason", p.Object.Name)
+		}
+	}
+	if byName["matrix"] != TierLoadOptimized {
+		t.Errorf("matrix tier = %v, want load-optimized (the paper's conclusion)", byName["matrix"])
+	}
+	if byName["vector"] != TierBandwidth {
+		t.Errorf("vector tier = %v", byName["vector"])
+	}
+	if byName["aux"] != TierCapacity {
+		t.Errorf("aux tier = %v", byName["aux"])
+	}
+}
+
+func TestTierString(t *testing.T) {
+	if TierLoadOptimized.String() != "load-optimized" ||
+		TierBandwidth.String() != "bandwidth" ||
+		TierCapacity.String() != "capacity" {
+		t.Error("tier names")
+	}
+	if Tier(9).String() != "Tier(9)" {
+		t.Error("unknown tier")
+	}
+}

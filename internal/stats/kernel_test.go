@@ -1,0 +1,240 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKernelWeights(t *testing.T) {
+	if w := Gaussian.weight(0); math.Abs(w-1) > 1e-12 {
+		t.Errorf("gaussian(0) = %g, want 1", w)
+	}
+	if w := Epanechnikov.weight(0); math.Abs(w-0.75) > 1e-12 {
+		t.Errorf("epanechnikov(0) = %g, want 0.75", w)
+	}
+	if w := Epanechnikov.weight(1.5); w != 0 {
+		t.Errorf("epanechnikov(1.5) = %g, want 0 (compact support)", w)
+	}
+	if w := Uniform.weight(0.5); w != 0.5 {
+		t.Errorf("uniform(0.5) = %g, want 0.5", w)
+	}
+	if w := Uniform.weight(2); w != 0 {
+		t.Errorf("uniform(2) = %g, want 0", w)
+	}
+	for _, k := range []Kernel{Gaussian, Epanechnikov, Uniform} {
+		if k.String() == "unknown" {
+			t.Errorf("kernel %d has no name", k)
+		}
+		// Symmetry.
+		if k.weight(0.3) != k.weight(-0.3) {
+			t.Errorf("%v kernel not symmetric", k)
+		}
+	}
+}
+
+func TestSmootherRecoversLinear(t *testing.T) {
+	// Kernel regression of a noiseless linear function should reproduce it
+	// away from the edges; with boundary reflection it is good everywhere.
+	n := 400
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i) / float64(n-1)
+		ys[i] = 2*xs[i] + 1
+	}
+	grid := UniformGrid(0, 1, 51)
+	sm := Smoother{Bandwidth: 0.03, Lo: 0, Hi: 1}
+	fit, err := sm.Fit(xs, ys, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range grid {
+		want := 2*g + 1
+		if math.Abs(fit[i]-want) > 0.05 {
+			t.Errorf("fit(%.2f) = %g, want %g", g, fit[i], want)
+		}
+	}
+}
+
+func TestSmootherErrors(t *testing.T) {
+	var sm Smoother
+	if _, err := sm.Fit(nil, nil, UniformGrid(0, 1, 3)); err != ErrNoSamples {
+		t.Errorf("no samples: err = %v", err)
+	}
+	if _, err := sm.Fit([]float64{1}, []float64{1, 2}, UniformGrid(0, 1, 3)); err != ErrLengths {
+		t.Errorf("length mismatch: err = %v", err)
+	}
+	if _, err := sm.Fit([]float64{1}, []float64{1}, []float64{0}); err != ErrBadGrid {
+		t.Errorf("bad grid: err = %v", err)
+	}
+	sm.Bandwidth = -1
+	if _, err := sm.Fit([]float64{1, 2}, []float64{1, 2}, UniformGrid(0, 1, 3)); err != ErrBadBandwidth {
+		t.Errorf("negative bandwidth: err = %v", err)
+	}
+}
+
+func TestSmootherDefaultBandwidth(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float64, 200)
+	ys := make([]float64, 200)
+	for i := range xs {
+		xs[i] = rng.Float64()
+		ys[i] = 5.0
+	}
+	sm := Smoother{} // bandwidth derived via Silverman
+	fit, err := sm.Fit(xs, ys, UniformGrid(0, 1, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range fit {
+		if math.Abs(v-5) > 1e-9 {
+			t.Errorf("constant signal fit = %g, want 5", v)
+		}
+	}
+}
+
+func TestUniformGrid(t *testing.T) {
+	g := UniformGrid(0, 1, 5)
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	for i := range want {
+		if math.Abs(g[i]-want[i]) > 1e-12 {
+			t.Errorf("grid[%d] = %g, want %g", i, g[i], want[i])
+		}
+	}
+	if g2 := UniformGrid(0, 1, 1); len(g2) != 2 {
+		t.Errorf("n<2 clamps to 2, got len %d", len(g2))
+	}
+}
+
+func TestDerivative(t *testing.T) {
+	xs := UniformGrid(0, 1, 101)
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = x * x
+	}
+	d, err := Derivative(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(xs)-1; i++ {
+		want := 2 * xs[i]
+		if math.Abs(d[i]-want) > 1e-6 {
+			t.Errorf("d(%.2f) = %g, want %g", xs[i], d[i], want)
+		}
+	}
+	if _, err := Derivative(xs[:1], ys[:1]); err != ErrBadGrid {
+		t.Errorf("short input err = %v", err)
+	}
+	if _, err := Derivative(xs, ys[:2]); err != ErrLengths {
+		t.Errorf("length mismatch err = %v", err)
+	}
+}
+
+func TestIsotonic(t *testing.T) {
+	in := []float64{1, 3, 2, 4, 0, 6}
+	out := Isotonic(in)
+	for i := 1; i < len(out); i++ {
+		if out[i] < out[i-1] {
+			t.Fatalf("not monotone: %v", out)
+		}
+	}
+	// Already monotone input passes through unchanged.
+	mono := []float64{0, 1, 2, 3}
+	got := Isotonic(mono)
+	for i := range mono {
+		if got[i] != mono[i] {
+			t.Fatalf("monotone input changed: %v", got)
+		}
+	}
+	// PAVA preserves the mean.
+	if math.Abs(Mean(out)-Mean(in)) > 1e-12 {
+		t.Errorf("mean changed: %g vs %g", Mean(out), Mean(in))
+	}
+}
+
+func TestPropertyIsotonicMonotone(t *testing.T) {
+	f := func(ys []float64) bool {
+		for i, y := range ys {
+			if math.IsNaN(y) || math.IsInf(y, 0) {
+				ys[i] = 0
+			}
+		}
+		out := Isotonic(ys)
+		if len(out) != len(ys) {
+			return false
+		}
+		for i := 1; i < len(out); i++ {
+			if out[i] < out[i-1]-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	ys := []float64{-1, 0.5, 2}
+	Clamp(ys, 0, 1)
+	want := []float64{0, 0.5, 1}
+	for i := range want {
+		if ys[i] != want[i] {
+			t.Errorf("Clamp[%d] = %g, want %g", i, ys[i], want[i])
+		}
+	}
+}
+
+func TestMeanVarianceQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if m := Mean(xs); m != 3 {
+		t.Errorf("Mean = %g", m)
+	}
+	if v := Variance(xs); math.Abs(v-2.5) > 1e-12 {
+		t.Errorf("Variance = %g, want 2.5", v)
+	}
+	if q := Quantile(xs, 0.5); q != 3 {
+		t.Errorf("median = %g", q)
+	}
+	if q := Quantile(xs, 0); q != 1 {
+		t.Errorf("q0 = %g", q)
+	}
+	if q := Quantile(xs, 1); q != 5 {
+		t.Errorf("q1 = %g", q)
+	}
+	if q := Quantile(xs, 0.25); q != 2 {
+		t.Errorf("q25 = %g, want 2", q)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("Quantile(nil) should be NaN")
+	}
+	if Mean(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Error("degenerate Mean/Variance")
+	}
+}
+
+func TestLinearFit(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7} // y = 2x + 1
+	a, b, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-2) > 1e-12 || math.Abs(b-1) > 1e-12 {
+		t.Errorf("fit = %g x + %g, want 2x+1", a, b)
+	}
+	if _, _, err := LinearFit(xs[:1], ys[:1]); err != ErrNoSamples {
+		t.Errorf("short input err = %v", err)
+	}
+	if _, _, err := LinearFit(xs, ys[:2]); err != ErrLengths {
+		t.Errorf("mismatch err = %v", err)
+	}
+	// Vertical degenerate case: all x equal.
+	a, b, err = LinearFit([]float64{2, 2, 2}, []float64{1, 2, 3})
+	if err != nil || a != 0 || b != 2 {
+		t.Errorf("degenerate fit = %g, %g, %v", a, b, err)
+	}
+}

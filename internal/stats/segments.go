@@ -1,0 +1,190 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Segment is a maximal run of the folded time axis over which a signal is
+// approximately constant. The Folding report uses segments of the
+// instantaneous-rate curves (and of the dominant source line) to delimit the
+// computation phases the paper labels A(a1, a2), B, C, D(d1, d2), E.
+type Segment struct {
+	// Lo and Hi delimit the segment on the x axis (half-open [Lo, Hi)).
+	Lo, Hi float64
+	// Value is the mean signal value over the segment.
+	Value float64
+}
+
+// SegmentByThreshold splits the signal ys over grid xs into maximal segments
+// whose values stay within relTol (relative to the overall signal range) of
+// the running segment mean. It is a simple, deterministic change-point
+// detector adequate for the piecewise-flat rate curves folding produces.
+func SegmentByThreshold(xs, ys []float64, relTol float64) []Segment {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return nil
+	}
+	lo, hi := ys[0], ys[0]
+	for _, y := range ys {
+		if y < lo {
+			lo = y
+		}
+		if y > hi {
+			hi = y
+		}
+	}
+	span := hi - lo
+	if span == 0 {
+		return []Segment{{Lo: xs[0], Hi: xs[len(xs)-1], Value: ys[0]}}
+	}
+	tol := relTol * span
+	var segs []Segment
+	start := 0
+	sum := ys[0]
+	for i := 1; i < len(ys); i++ {
+		mean := sum / float64(i-start)
+		if math.Abs(ys[i]-mean) > tol {
+			segs = append(segs, Segment{Lo: xs[start], Hi: xs[i], Value: mean})
+			start = i
+			sum = ys[i]
+			continue
+		}
+		sum += ys[i]
+	}
+	segs = append(segs, Segment{
+		Lo:    xs[start],
+		Hi:    xs[len(xs)-1],
+		Value: sum / float64(len(ys)-start),
+	})
+	return segs
+}
+
+// MergeShortSegments merges segments narrower than minWidth into their wider
+// neighbour (preferring the neighbour with the closer value), returning a new
+// slice. Used to suppress spurious single-point phases at transitions.
+func MergeShortSegments(segs []Segment, minWidth float64) []Segment {
+	if len(segs) <= 1 {
+		return segs
+	}
+	out := make([]Segment, 0, len(segs))
+	for _, s := range segs {
+		if len(out) > 0 && s.Hi-s.Lo < minWidth {
+			prev := &out[len(out)-1]
+			w1 := prev.Hi - prev.Lo
+			w2 := s.Hi - s.Lo
+			prev.Value = (prev.Value*w1 + s.Value*w2) / (w1 + w2)
+			prev.Hi = s.Hi
+			continue
+		}
+		out = append(out, s)
+	}
+	// A leading short segment may remain; merge forward.
+	if len(out) > 1 && out[0].Hi-out[0].Lo < minWidth {
+		w1 := out[0].Hi - out[0].Lo
+		w2 := out[1].Hi - out[1].Lo
+		out[1].Value = (out[0].Value*w1 + out[1].Value*w2) / (w1 + w2)
+		out[1].Lo = out[0].Lo
+		out = out[1:]
+	}
+	return out
+}
+
+// Histogram is a fixed-width bucketed histogram over [Lo, Hi).
+type Histogram struct {
+	Lo, Hi  float64
+	Counts  []uint64
+	Under   uint64 // samples below Lo
+	Over    uint64 // samples at or above Hi
+	Samples uint64
+}
+
+// NewHistogram creates a histogram with n buckets covering [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n < 1 {
+		n = 1
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]uint64, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.Samples++
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		i := int(float64(len(h.Counts)) * (x - h.Lo) / (h.Hi - h.Lo))
+		if i >= len(h.Counts) {
+			i = len(h.Counts) - 1
+		}
+		h.Counts[i]++
+	}
+}
+
+// Bucket returns the [lo, hi) bounds of bucket i.
+func (h *Histogram) Bucket(i int) (lo, hi float64) {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + float64(i)*w, h.Lo + float64(i+1)*w
+}
+
+// Mode returns the index of the most populated bucket (-1 when empty).
+func (h *Histogram) Mode() int {
+	best, idx := uint64(0), -1
+	for i, c := range h.Counts {
+		if c > best {
+			best, idx = c, i
+		}
+	}
+	return idx
+}
+
+// CDFQuantile returns the approximate q-quantile from bucket midpoints.
+func (h *Histogram) CDFQuantile(q float64) float64 {
+	total := uint64(0)
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return math.NaN()
+	}
+	target := uint64(math.Ceil(q * float64(total)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= target {
+			lo, hi := h.Bucket(i)
+			return (lo + hi) / 2
+		}
+	}
+	lo, hi := h.Bucket(len(h.Counts) - 1)
+	return (lo + hi) / 2
+}
+
+// WeightedMedian returns the value m minimizing sum(w_i * |x_i - m|): the
+// weighted median of the (value, weight) pairs. Pairs need not be sorted.
+func WeightedMedian(xs, ws []float64) float64 {
+	if len(xs) == 0 || len(xs) != len(ws) {
+		return math.NaN()
+	}
+	type pair struct{ x, w float64 }
+	ps := make([]pair, len(xs))
+	var tot float64
+	for i := range xs {
+		ps[i] = pair{xs[i], ws[i]}
+		tot += ws[i]
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].x < ps[j].x })
+	var cum float64
+	for _, p := range ps {
+		cum += p.w
+		if cum >= tot/2 {
+			return p.x
+		}
+	}
+	return ps[len(ps)-1].x
+}

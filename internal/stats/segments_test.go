@@ -1,0 +1,188 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func stepSignal(n int, levels []float64) ([]float64, []float64) {
+	xs := UniformGrid(0, 1, n)
+	ys := make([]float64, n)
+	per := n / len(levels)
+	for i := range ys {
+		li := i / per
+		if li >= len(levels) {
+			li = len(levels) - 1
+		}
+		ys[i] = levels[li]
+	}
+	return xs, ys
+}
+
+func TestSegmentByThresholdSteps(t *testing.T) {
+	xs, ys := stepSignal(300, []float64{1, 5, 2})
+	segs := SegmentByThreshold(xs, ys, 0.1)
+	if len(segs) != 3 {
+		t.Fatalf("got %d segments, want 3: %+v", len(segs), segs)
+	}
+	wantVals := []float64{1, 5, 2}
+	for i, s := range segs {
+		if math.Abs(s.Value-wantVals[i]) > 0.01 {
+			t.Errorf("segment %d value = %g, want %g", i, s.Value, wantVals[i])
+		}
+	}
+	// Segments must tile [0, 1] without gaps.
+	if segs[0].Lo != 0 || segs[len(segs)-1].Hi != 1 {
+		t.Errorf("segments do not span domain: %+v", segs)
+	}
+	for i := 1; i < len(segs); i++ {
+		if segs[i].Lo != segs[i-1].Hi {
+			t.Errorf("gap between segment %d and %d", i-1, i)
+		}
+	}
+}
+
+func TestSegmentByThresholdFlat(t *testing.T) {
+	xs, ys := stepSignal(50, []float64{3})
+	segs := SegmentByThreshold(xs, ys, 0.05)
+	if len(segs) != 1 {
+		t.Fatalf("flat signal produced %d segments", len(segs))
+	}
+	if segs[0].Value != 3 {
+		t.Errorf("value = %g", segs[0].Value)
+	}
+}
+
+func TestSegmentByThresholdDegenerate(t *testing.T) {
+	if segs := SegmentByThreshold(nil, nil, 0.1); segs != nil {
+		t.Error("nil input should give nil")
+	}
+	if segs := SegmentByThreshold([]float64{1}, []float64{1, 2}, 0.1); segs != nil {
+		t.Error("mismatched input should give nil")
+	}
+}
+
+func TestMergeShortSegments(t *testing.T) {
+	segs := []Segment{
+		{Lo: 0, Hi: 0.4, Value: 1},
+		{Lo: 0.4, Hi: 0.42, Value: 9}, // spurious
+		{Lo: 0.42, Hi: 1, Value: 2},
+	}
+	out := MergeShortSegments(segs, 0.05)
+	if len(out) != 2 {
+		t.Fatalf("got %d segments, want 2: %+v", len(out), out)
+	}
+	if out[0].Hi != 0.42 {
+		t.Errorf("short segment merged wrong: %+v", out)
+	}
+	// Leading short segment merges forward.
+	segs2 := []Segment{
+		{Lo: 0, Hi: 0.01, Value: 9},
+		{Lo: 0.01, Hi: 1, Value: 2},
+	}
+	out2 := MergeShortSegments(segs2, 0.05)
+	if len(out2) != 1 || out2[0].Lo != 0 {
+		t.Errorf("leading merge: %+v", out2)
+	}
+	// Single segment untouched.
+	if got := MergeShortSegments(segs2[:1], 0.05); len(got) != 1 {
+		t.Error("single segment modified")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i%10) + 0.5)
+	}
+	for i, c := range h.Counts {
+		if c != 10 {
+			t.Errorf("bucket %d = %d, want 10", i, c)
+		}
+	}
+	h.Add(-1)
+	h.Add(10)
+	h.Add(11)
+	if h.Under != 1 || h.Over != 2 {
+		t.Errorf("under/over = %d/%d, want 1/2", h.Under, h.Over)
+	}
+	if h.Samples != 103 {
+		t.Errorf("samples = %d", h.Samples)
+	}
+	lo, hi := h.Bucket(3)
+	if lo != 3 || hi != 4 {
+		t.Errorf("Bucket(3) = [%g,%g)", lo, hi)
+	}
+}
+
+func TestHistogramMode(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	if h.Mode() != -1 {
+		t.Error("empty histogram mode should be -1")
+	}
+	h.Add(1)
+	h.Add(5)
+	h.Add(5.5)
+	if h.Mode() != 2 {
+		t.Errorf("Mode = %d, want 2", h.Mode())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(0, 100, 100)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i))
+	}
+	med := h.CDFQuantile(0.5)
+	if med < 45 || med > 55 {
+		t.Errorf("median = %g, want ~50", med)
+	}
+	empty := NewHistogram(0, 1, 4)
+	if !math.IsNaN(empty.CDFQuantile(0.5)) {
+		t.Error("empty quantile should be NaN")
+	}
+}
+
+func TestWeightedMedian(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	ws := []float64{1, 1, 10}
+	if m := WeightedMedian(xs, ws); m != 3 {
+		t.Errorf("weighted median = %g, want 3", m)
+	}
+	if !math.IsNaN(WeightedMedian(nil, nil)) {
+		t.Error("empty should be NaN")
+	}
+}
+
+func TestPropertySegmentsTile(t *testing.T) {
+	// Segments always tile [xs[0], xs[n-1]] contiguously.
+	f := func(seed int64) bool {
+		n := 100
+		xs := UniformGrid(0, 1, n)
+		ys := make([]float64, n)
+		v := float64(seed % 7)
+		for i := range ys {
+			if i%17 == 0 {
+				v = float64((int64(i) + seed) % 13)
+			}
+			ys[i] = v
+		}
+		segs := SegmentByThreshold(xs, ys, 0.05)
+		if len(segs) == 0 {
+			return false
+		}
+		if segs[0].Lo != xs[0] || segs[len(segs)-1].Hi != xs[n-1] {
+			return false
+		}
+		for i := 1; i < len(segs); i++ {
+			if segs[i].Lo != segs[i-1].Hi {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,159 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Labels is the PCF metadata: human-readable names for event types and for
+// enumerated values of those types (region ids, data sources, ...).
+type Labels struct {
+	// Types maps an event type to its label.
+	Types map[uint32]string
+	// Values maps an event type to its value labels.
+	Values map[uint32]map[int64]string
+}
+
+// NewLabels creates an empty label set.
+func NewLabels() *Labels {
+	return &Labels{
+		Types:  make(map[uint32]string),
+		Values: make(map[uint32]map[int64]string),
+	}
+}
+
+// SetType names an event type.
+func (l *Labels) SetType(typ uint32, name string) { l.Types[typ] = name }
+
+// SetValue names one value of an event type.
+func (l *Labels) SetValue(typ uint32, val int64, name string) {
+	m, ok := l.Values[typ]
+	if !ok {
+		m = make(map[int64]string)
+		l.Values[typ] = m
+	}
+	m[val] = name
+}
+
+// TypeName returns the label of an event type, or a numeric fallback.
+func (l *Labels) TypeName(typ uint32) string {
+	if n, ok := l.Types[typ]; ok {
+		return n
+	}
+	return fmt.Sprintf("type_%d", typ)
+}
+
+// ValueName returns the label of a value, or a numeric fallback.
+func (l *Labels) ValueName(typ uint32, val int64) string {
+	if m, ok := l.Values[typ]; ok {
+		if n, ok := m[val]; ok {
+			return n
+		}
+	}
+	return strconv.FormatInt(val, 10)
+}
+
+// WritePCF serializes the labels in a simplified PCF form:
+//
+//	EVENT_TYPE
+//	0 <type> <label>
+//	VALUES
+//	<value> <label>
+//	...
+func (l *Labels) WritePCF(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	types := make([]uint32, 0, len(l.Types))
+	for t := range l.Types {
+		types = append(types, t)
+	}
+	sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
+	for _, t := range types {
+		if _, err := fmt.Fprintf(bw, "EVENT_TYPE\n0 %d %s\n", t, l.Types[t]); err != nil {
+			return err
+		}
+		if vals, ok := l.Values[t]; ok && len(vals) > 0 {
+			if _, err := fmt.Fprintln(bw, "VALUES"); err != nil {
+				return err
+			}
+			keys := make([]int64, 0, len(vals))
+			for v := range vals {
+				keys = append(keys, v)
+			}
+			sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+			for _, v := range keys {
+				if _, err := fmt.Fprintf(bw, "%d %s\n", v, vals[v]); err != nil {
+					return err
+				}
+			}
+		}
+		if _, err := fmt.Fprintln(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ParsePCF reads labels previously written by WritePCF.
+func ParsePCF(r io.Reader) (*Labels, error) {
+	l := NewLabels()
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 1<<20), 1<<20)
+	var curType uint32
+	var haveType, inValues bool
+	lineNo := 0
+	for s.Scan() {
+		lineNo++
+		line := strings.TrimSpace(s.Text())
+		switch {
+		case line == "":
+			continue
+		case line == "EVENT_TYPE":
+			inValues = false
+			haveType = false
+		case line == "VALUES":
+			if !haveType {
+				return nil, fmt.Errorf("trace: pcf line %d: VALUES before EVENT_TYPE", lineNo)
+			}
+			inValues = true
+		case inValues:
+			val, name, err := splitNumLabel(line)
+			if err != nil {
+				return nil, fmt.Errorf("trace: pcf line %d: %w", lineNo, err)
+			}
+			l.SetValue(curType, val, name)
+		default:
+			// "0 <type> <label>"
+			fields := strings.SplitN(line, " ", 3)
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("trace: pcf line %d: bad type line %q", lineNo, line)
+			}
+			t, err := strconv.ParseUint(fields[1], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("trace: pcf line %d: %w", lineNo, err)
+			}
+			curType = uint32(t)
+			haveType = true
+			l.SetType(curType, fields[2])
+		}
+	}
+	if err := s.Err(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+func splitNumLabel(line string) (int64, string, error) {
+	fields := strings.SplitN(line, " ", 2)
+	if len(fields) < 2 {
+		return 0, "", fmt.Errorf("bad value line %q", line)
+	}
+	v, err := strconv.ParseInt(fields[0], 10, 64)
+	if err != nil {
+		return 0, "", err
+	}
+	return v, fields[1], nil
+}

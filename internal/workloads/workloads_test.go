@@ -1,0 +1,199 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/extrae"
+	"repro/internal/memhier"
+	"repro/internal/pebs"
+	"repro/internal/prog"
+)
+
+func newCtx(t *testing.T) *Ctx {
+	t.Helper()
+	h, err := memhier.New(memhier.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	core, err := cpu.New(cpu.DefaultConfig(), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := prog.NewBinary()
+	as := prog.NewAddressSpace(0x700000000000)
+	cfg := extrae.DefaultConfig()
+	cfg.MuxQuantumNs = 0
+	cfg.PEBS.Events = pebs.SampleLoads | pebs.SampleStores
+	cfg.PEBS.Period = 100
+	cfg.PEBS.Randomize = false
+	cfg.PEBS.LatencyThreshold = 0
+	mon, err := extrae.New(cfg, core, bin, as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Ctx{Core: core, Mon: mon, Bin: bin}
+}
+
+func TestStreamMathAndNames(t *testing.T) {
+	ctx := newCtx(t)
+	s := NewStream(1 << 12)
+	if s.Name() != "stream_triad" {
+		t.Errorf("name = %q", s.Name())
+	}
+	if err := s.Setup(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < s.N; i += 100 {
+		if s.Value(i) != s.Expected(i) {
+			t.Fatalf("a[%d] = %g, want %g", i, s.Value(i), s.Expected(i))
+		}
+	}
+	if s.Region() == 0 {
+		t.Error("region not registered")
+	}
+}
+
+func TestStreamValidation(t *testing.T) {
+	ctx := newCtx(t)
+	s := NewStream(0)
+	if err := s.Setup(ctx); err == nil {
+		t.Error("zero N accepted")
+	}
+}
+
+func TestStreamLoadStoreRatio(t *testing.T) {
+	ctx := newCtx(t)
+	s := NewStream(1 << 12)
+	if err := s.Setup(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	p := ctx.Core.PMU()
+	loads := p.True(cpu.CtrLoads)
+	stores := p.True(cpu.CtrStores)
+	if loads != 2*stores {
+		t.Errorf("loads/stores = %d/%d, triad is exactly 2:1", loads, stores)
+	}
+}
+
+func TestRandomAccessDRAMBound(t *testing.T) {
+	ctx := newCtx(t)
+	// 8M words = 64 MiB, far larger than the 2.5 MiB L3.
+	r := NewRandomAccess(1<<23, 20000, 7)
+	if r.Name() != "random_access" {
+		t.Errorf("name = %q", r.Name())
+	}
+	if err := r.Setup(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Run(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	h := ctx.Core.Hierarchy()
+	l1 := h.LevelStats(0)
+	if l1.MissRatio() < 0.3 {
+		t.Errorf("random access L1 miss ratio = %.3f, want high", l1.MissRatio())
+	}
+	if h.DRAMAccesses() == 0 {
+		t.Error("no DRAM traffic on a 64 MiB random workload")
+	}
+}
+
+func TestRandomAccessValidation(t *testing.T) {
+	ctx := newCtx(t)
+	if err := NewRandomAccess(0, 1, 1).Setup(ctx); err == nil {
+		t.Error("zero table accepted")
+	}
+	ctx2 := newCtx(t)
+	if err := NewRandomAccess(10, 0, 1).Setup(ctx2); err == nil {
+		t.Error("zero updates accepted")
+	}
+}
+
+func TestPointerChaseVisitsEveryNode(t *testing.T) {
+	ctx := newCtx(t)
+	p := NewPointerChase(4096, 3)
+	if p.Name() != "pointer_chase" {
+		t.Errorf("name = %q", p.Name())
+	}
+	if err := p.Setup(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Sattolo permutation: following next from 0 for N steps returns to 0
+	// having visited every node exactly once.
+	seen := make(map[int32]bool)
+	node := int32(0)
+	for i := 0; i < p.N; i++ {
+		if seen[node] {
+			t.Fatalf("node %d revisited at step %d", node, i)
+		}
+		seen[node] = true
+		node = p.next[node]
+	}
+	if node != 0 {
+		t.Error("chase did not return to start")
+	}
+	if err := p.Run(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := ctx.Core.PMU().True(cpu.CtrLoads); got != uint64(p.N) {
+		t.Errorf("loads = %d, want %d", got, p.N)
+	}
+}
+
+func TestPointerChaseValidation(t *testing.T) {
+	ctx := newCtx(t)
+	if err := NewPointerChase(1, 1).Setup(ctx); err == nil {
+		t.Error("N=1 accepted")
+	}
+}
+
+func TestMatMulMath(t *testing.T) {
+	ctx := newCtx(t)
+	m := NewMatMul(16)
+	if m.Name() != "matmul" {
+		t.Errorf("name = %q", m.Name())
+	}
+	if err := m.Setup(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	// A all ones, B all twos: C[i][j] = N * 1 * 2 = 32.
+	for i := 0; i < 16; i++ {
+		for j := 0; j < 16; j++ {
+			if m.Value(i, j) != 32 {
+				t.Fatalf("C[%d][%d] = %g, want 32", i, j, m.Value(i, j))
+			}
+		}
+	}
+}
+
+func TestMatMulValidation(t *testing.T) {
+	ctx := newCtx(t)
+	if err := NewMatMul(0).Setup(ctx); err == nil {
+		t.Error("zero N accepted")
+	}
+}
+
+func TestWorkloadsAreDistinctRegions(t *testing.T) {
+	ctx := newCtx(t)
+	s := NewStream(64)
+	r := NewRandomAccess(64, 10, 1)
+	if err := s.Setup(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Setup(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if s.Region() == r.Region() {
+		t.Error("workloads share a region id")
+	}
+}
