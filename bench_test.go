@@ -19,6 +19,8 @@ package repro_test
 import (
 	"io"
 	"math/rand"
+	"os"
+	"strconv"
 	"testing"
 
 	"repro/internal/core"
@@ -43,11 +45,34 @@ func benchConfig() core.Config {
 	return cfg
 }
 
-// benchParams is the scaled HPCG problem used by the figure benches
-// (the paper used 104³ on real hardware; the simulator uses 16³ so each
-// regeneration stays in benchmark time).
+// benchParams is the scaled HPCG problem used by the figure benches (the
+// paper used 104³ on real hardware; the fast-pathed simulator defaults to
+// 32³ with the paper's 4 multigrid levels). REPRO_BENCH_NX overrides the
+// box dimension — e.g. REPRO_BENCH_NX=16 reproduces the historical scale
+// for benchstat comparisons, REPRO_BENCH_NX=104 runs paper scale.
 func benchParams() hpcg.Params {
-	return hpcg.Params{NX: 16, NY: 16, NZ: 16, MGLevels: 2, MaxIters: 3}
+	nx := 32
+	if s := os.Getenv("REPRO_BENCH_NX"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			nx = v
+		}
+	}
+	// Paper-style 4-level multigrid at 32³ and above; the historical 16³
+	// scale keeps its original 2 levels so benchstat series stay
+	// comparable. REPRO_BENCH_MG overrides.
+	levels := 4
+	if nx < 32 {
+		levels = 2
+	}
+	if s := os.Getenv("REPRO_BENCH_MG"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			levels = v
+		}
+	}
+	for levels > 1 && nx%(1<<(levels-1)) != 0 {
+		levels--
+	}
+	return hpcg.Params{NX: nx, NY: nx, NZ: nx, MGLevels: levels, MaxIters: 3}
 }
 
 func runHPCG(b *testing.B, cfg core.Config, params hpcg.Params) *core.HPCGRun {
@@ -384,6 +409,7 @@ func BenchmarkMemhierAccess(b *testing.B) {
 	for i := range addrs {
 		addrs[i] = uint64(rng.Intn(1 << 24))
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		h.Access(addrs[i%len(addrs)], 8, i%4 == 0)
@@ -397,9 +423,27 @@ func BenchmarkCoreLoad(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.Load(0x400000, uint64(i%(1<<20))*8, 8)
+	}
+}
+
+// BenchmarkCoreLoadStream measures the batched stream-issue path: the same
+// sequential element traffic as BenchmarkCoreLoad, issued line-at-a-time.
+func BenchmarkCoreLoadStream(b *testing.B) {
+	h, _ := memhier.New(memhier.DefaultConfig())
+	c, err := cpu.New(cpu.DefaultConfig(), h)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const chunk = 8
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += chunk {
+		base := uint64((i % (1 << 20))) * 8
+		c.LoadStream(0x400000, base, 8, 8, chunk)
 	}
 }
 
@@ -410,6 +454,7 @@ func BenchmarkPEBSObserve(b *testing.B) {
 		b.Fatal(err)
 	}
 	op := cpu.MemOp{IP: 0x400000, Addr: 0x1000, Size: 8, Latency: 12, Source: memhier.SrcL2}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		op.Addr = uint64(i) * 8
@@ -475,11 +520,25 @@ func BenchmarkTraceEncode(b *testing.B) {
 			},
 		}
 	}
+	// Measure the actual encoded size once so the reported throughput is
+	// bytes of output per second, not records per second.
+	var cw countingWriter
+	if err := trace.WriteBinary(&cw, 1, 1, 0, recs); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(cw.n)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := trace.WriteBinary(io.Discard, 1, 1, 0, recs); err != nil {
 			b.Fatal(err)
 		}
 	}
-	b.SetBytes(int64(len(recs)))
+}
+
+// countingWriter counts bytes written to it.
+type countingWriter struct{ n int64 }
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
 }

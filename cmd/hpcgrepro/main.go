@@ -28,10 +28,17 @@ func main() {
 		muxNs    = flag.Uint64("mux-ns", 1_000_000, "load/store multiplexing quantum in ns (0 = sample both always)")
 		outDir   = flag.String("out", "", "directory for CSV series and trace files (optional)")
 		noGroups = flag.Bool("no-grouping", false, "disable allocation grouping (reproduces the paper's failed preliminary analysis)")
+		paper    = flag.Bool("paper", false, "paper-scale mode: 104^3 box, 4 MG levels (overrides -nx and -mg-levels; long run)")
+		refPath  = flag.Bool("reference", false, "use the per-op reference simulation path instead of the fast path (validation/debug)")
 	)
 	flag.Parse()
+	if *paper {
+		*nx = 104
+		*levels = 4
+	}
 
 	cfg := core.DefaultConfig()
+	cfg.Reference = *refPath
 	cfg.Monitor.PEBS.Period = *period
 	cfg.Monitor.MuxQuantumNs = *muxNs
 	if *muxNs == 0 {

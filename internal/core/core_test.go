@@ -277,6 +277,24 @@ func TestWriteTraceRoundTrip(t *testing.T) {
 	}
 }
 
+// TestWriteTraceHPCGOrdering reproduces the late-drain scenario: with a
+// buffered PEBS engine, sample records are logged after region records
+// carrying later timestamps, so the raw monitor log is not time-sorted.
+// WriteTrace must still produce a valid (per-thread monotonic) PRV trace.
+func TestWriteTraceHPCGOrdering(t *testing.T) {
+	run, err := RunHPCG(testConfig(), testHPCGParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prv, pcf bytes.Buffer
+	if err := run.Session.WriteTrace(&prv, &pcf); err != nil {
+		t.Fatalf("WriteTrace on HPCG session: %v", err)
+	}
+	if prv.Len() == 0 {
+		t.Error("empty prv output")
+	}
+}
+
 func TestFoldUnknownRegion(t *testing.T) {
 	s, err := NewSession(testConfig())
 	if err != nil {

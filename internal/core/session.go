@@ -9,6 +9,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"repro/internal/cpu"
 	"repro/internal/extrae"
@@ -41,6 +42,12 @@ type Config struct {
 	// reason the paper multiplexes loads and stores in a single run
 	// instead of running twice.
 	ASLRSeed int64
+	// Reference selects the straightforward per-operation simulation path
+	// (per-op monitor observation and per-op stream issue) instead of the
+	// fast path (countdown-gated sampling and batched stream issue). The
+	// two paths must produce identical results; the fast-path equivalence
+	// tests run every experiment both ways and compare byte for byte.
+	Reference bool
 }
 
 // DefaultConfig returns the paper-like stack configuration.
@@ -62,10 +69,19 @@ type Session struct {
 	Bin  *prog.Binary
 	AS   *prog.AddressSpace
 	Mon  *extrae.Monitor
+
+	// sortedLog memoizes sortedRecords (the monitor log is append-only, so
+	// an unchanged length means an unchanged log).
+	sortedLog []trace.Record
+	sortedLen int
 }
 
 // NewSession builds the stack.
 func NewSession(cfg Config) (*Session, error) {
+	if cfg.Reference {
+		cfg.CPU.PerOpStreams = true
+		cfg.Monitor.PerOpObserve = true
+	}
 	hier, err := memhier.New(cfg.Cache)
 	if err != nil {
 		return nil, err
@@ -107,9 +123,26 @@ func (s *Session) FuncOf(ip uint64) string {
 	return ""
 }
 
+// sortedRecords returns the monitor's trace log stably sorted by time.
+// The log is append-ordered: buffered PEBS samples drain after later
+// region/snapshot records, so sample records can carry earlier timestamps
+// than records already logged — and both folding.Extract and the PRV
+// writer require a chronological stream. Same-time records keep their
+// logged order.
+func (s *Session) sortedRecords() []trace.Record {
+	log := s.Mon.Records()
+	if s.sortedLog != nil && s.sortedLen == len(log) {
+		return s.sortedLog
+	}
+	recs := append([]trace.Record(nil), log...)
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].TimeNs < recs[j].TimeNs })
+	s.sortedLog, s.sortedLen = recs, len(log)
+	return recs
+}
+
 // Fold extracts and folds the named region from the monitor's trace.
 func (s *Session) Fold(region extrae.Region) (*folding.Folded, error) {
-	instances, err := folding.Extract(s.Mon.Records(), int64(region))
+	instances, err := folding.Extract(s.sortedRecords(), int64(region))
 	if err != nil {
 		return nil, err
 	}
@@ -174,7 +207,7 @@ func RunWorkload(cfg Config, w workloads.Workload, iters int) (*RunWorkloadResul
 func (s *Session) WriteTrace(prv, pcf interface {
 	Write(p []byte) (int, error)
 }) error {
-	recs := s.Mon.Records()
+	recs := s.sortedRecords()
 	var dur uint64
 	if len(recs) > 0 {
 		dur = recs[len(recs)-1].TimeNs

@@ -82,6 +82,18 @@ type MemOp struct {
 // MemOpHook observes every retired memory operation.
 type MemOpHook func(op MemOp)
 
+// GatedMemOpHook observes only gated memory operations: those whose class
+// countdown (see SetSampleGate) reached zero and those retiring at or past
+// the hook cycle (a monitoring quantum boundary). The hook reads
+// SampleGates to learn which gate (if any) fired before re-arming them.
+// Between invocations the core runs memory operations without calling out,
+// which is what makes the non-sampled path cheap.
+type GatedMemOpHook func(op MemOp)
+
+// GateNever is a sample-gate countdown that never fires in any realistic
+// simulation (2^62 operations).
+const GateNever = uint64(1) << 62
+
 // Config parameterizes a Core.
 type Config struct {
 	// FreqHz is the nominal clock used to convert cycles to wall time.
@@ -93,6 +105,11 @@ type Config struct {
 	// MemOverlap in [0,1) is the fraction of a memory access latency hidden
 	// by out-of-order overlap and MLP; 0 serializes every access.
 	MemOverlap float64
+	// PerOpStreams degrades the batched stream-issue APIs (LoadStream,
+	// LoadDepStream, StoreStream) to plain per-operation issue. This is the
+	// reference path: equivalence tests run workloads both ways and require
+	// identical traces, counters and cache statistics.
+	PerOpStreams bool
 }
 
 // DefaultConfig returns the Haswell-like defaults (2.5 GHz, IPC 2 for
@@ -112,6 +129,24 @@ type Core struct {
 	// fracCycles accumulates sub-cycle compute time so that short compute
 	// bursts at IPC > 1 do not round to zero.
 	fracCycles float64
+
+	// Countdown-gated monitoring. The monitor arms loadGate/storeGate with
+	// the operations remaining until the next sample of each class and
+	// hookCycle with the next quantum boundary; the core decrements the
+	// gates inline and invokes gatedHook only when one fires. With no
+	// monitor (or a disabled one) the gates sit at GateNever and the whole
+	// mechanism is two decrements and two compares per op.
+	gatedHook GatedMemOpHook
+	loadGate  uint64
+	storeGate uint64
+	hookCycle uint64
+
+	// memCyc and memCycDep are the per-data-source stall cycles charged to
+	// an independent (overlapped) and a dependency-chained access,
+	// precomputed from the hierarchy latencies and MemOverlap so the per-op
+	// path performs no floating-point work.
+	memCyc    [memhier.NumSources]uint64
+	memCycDep [memhier.NumSources]uint64
 }
 
 // New creates a core bound to a memory hierarchy.
@@ -128,7 +163,33 @@ func New(cfg Config, hier *memhier.Hierarchy) (*Core, error) {
 	if hier == nil {
 		return nil, fmt.Errorf("cpu: nil memory hierarchy")
 	}
-	return &Core{cfg: cfg, hier: hier, pmu: NewPMU()}, nil
+	c := &Core{
+		cfg:       cfg,
+		hier:      hier,
+		pmu:       NewPMU(),
+		loadGate:  GateNever,
+		storeGate: GateNever,
+		hookCycle: ^uint64(0),
+	}
+	for s := memhier.DataSource(0); s < memhier.NumSources; s++ {
+		lat := hier.SourceLatency(s)
+		// Dependent accesses (and L1 hits) stall for the full latency;
+		// deeper independent accesses are partially hidden by overlap.
+		full := lat
+		if full == 0 {
+			full = 1
+		}
+		c.memCycDep[s] = full
+		ov := lat
+		if s != memhier.SrcL1 {
+			ov = uint64(float64(lat) * (1 - cfg.MemOverlap))
+		}
+		if ov == 0 {
+			ov = 1
+		}
+		c.memCyc[s] = ov
+	}
+	return c, nil
 }
 
 // PMU returns the core's performance monitoring unit.
@@ -137,15 +198,59 @@ func (c *Core) PMU() *PMU { return c.pmu }
 // Hierarchy returns the attached memory hierarchy.
 func (c *Core) Hierarchy() *memhier.Hierarchy { return c.hier }
 
-// SetMemHook installs the per-memory-op observer (the PEBS tap).
+// SetMemHook installs the per-memory-op observer (the PEBS tap). When set
+// it is invoked for every retired memory operation and the sample gates are
+// ignored; this is the straightforward reference path.
 func (c *Core) SetMemHook(h MemOpHook) { c.memHook = h }
+
+// SetGatedMemHook installs the countdown-gated observer. The hook only runs
+// when a sample gate fires or the hook cycle passes (see SetSampleGate);
+// the monitor re-arms the gates from inside the hook.
+func (c *Core) SetGatedMemHook(h GatedMemOpHook) { c.gatedHook = h }
+
+// SetSampleGate arms the gating state: loadOps (storeOps) is the number of
+// retired loads (stores) until the gated hook fires with selected=true —
+// pass GateNever for classes that are not sampled — and hookCycle forces a
+// hook (selected=false unless a gate fires on the same op) at the first
+// memory operation retiring at or after that cycle.
+func (c *Core) SetSampleGate(loadOps, storeOps, hookCycle uint64) {
+	c.loadGate = loadOps
+	c.storeGate = storeOps
+	c.hookCycle = hookCycle
+}
+
+// SampleGates returns the live countdown state (ops remaining per class and
+// the armed hook cycle).
+func (c *Core) SampleGates() (loadOps, storeOps, hookCycle uint64) {
+	return c.loadGate, c.storeGate, c.hookCycle
+}
 
 // Cycles returns the elapsed core cycles.
 func (c *Core) Cycles() uint64 { return c.cycles }
 
-// NowNs returns the simulated wall-clock time in nanoseconds.
+// NowNs returns the simulated wall-clock time in nanoseconds. It is only
+// evaluated at monitoring events (samples, region boundaries, quantum
+// hooks), never on the per-op path.
 func (c *Core) NowNs() uint64 {
-	return uint64(float64(c.cycles) / c.cfg.FreqHz * 1e9)
+	return c.nsAt(c.cycles)
+}
+
+func (c *Core) nsAt(cycles uint64) uint64 {
+	return uint64(float64(cycles) / c.cfg.FreqHz * 1e9)
+}
+
+// CycleForNs returns the smallest cycle count whose NowNs reaches ns. The
+// monitor uses it to translate a quantum boundary into the integer cycle
+// compare the per-op gate performs.
+func (c *Core) CycleForNs(ns uint64) uint64 {
+	est := uint64(float64(ns) / 1e9 * c.cfg.FreqHz)
+	for est > 0 && c.nsAt(est-1) >= ns {
+		est--
+	}
+	for c.nsAt(est) < ns {
+		est++
+	}
+	return est
 }
 
 // FreqHz returns the nominal frequency.
@@ -188,45 +293,62 @@ func (c *Core) Branch() {
 // memAccess implements Load, LoadDep and Store. dependent marks an access
 // whose address or value feeds the next operation (a loop-carried
 // dependency), which cannot be overlapped and stalls for the full latency.
+// The per-op cost is one hierarchy access, one fused PMU update and two
+// gate decrements; the monitor hook runs only when a gate fires.
 func (c *Core) memAccess(ip, addr uint64, size int, store, dependent bool) memhier.AccessResult {
 	res := c.hier.Access(addr, size, store)
-	c.pmu.count(CtrInstructions, 1)
-	if store {
-		c.pmu.count(CtrStores, 1)
+	// Effective stall, precomputed per source: L1 hits cost their full
+	// (pipelined-small) latency; deeper sources are partially overlapped —
+	// unless the access is part of a dependency chain, which serializes it.
+	var cyc uint64
+	if dependent {
+		cyc = c.memCycDep[res.Source]
 	} else {
-		c.pmu.count(CtrLoads, 1)
+		cyc = c.memCyc[res.Source]
 	}
-	switch res.Source {
-	case memhier.SrcL2:
-		c.pmu.count(CtrL1DMiss, 1)
-	case memhier.SrcL3:
-		c.pmu.count(CtrL1DMiss, 1)
-		c.pmu.count(CtrL2Miss, 1)
-	case memhier.SrcDRAM:
-		c.pmu.count(CtrL1DMiss, 1)
-		c.pmu.count(CtrL2Miss, 1)
-		c.pmu.count(CtrL3Miss, 1)
-	}
-	// Effective stall: L1 hits cost their full (pipelined-small) latency;
-	// deeper sources are partially overlapped — unless the access is part
-	// of a dependency chain, which serializes it.
-	stall := float64(res.Latency)
-	if res.Source != memhier.SrcL1 && !dependent {
-		stall *= 1 - c.cfg.MemOverlap
-	}
-	cyc := uint64(stall)
-	if cyc == 0 {
-		cyc = 1
-	}
-	c.pmu.count(CtrCycles, cyc)
-	c.advance(cyc)
+	c.pmu.countMem(store, res.Source, cyc)
+	c.cycles += cyc
+	c.pmu.tick(cyc)
 	if c.memHook != nil {
 		c.memHook(MemOp{
 			IP: ip, Addr: addr, Size: size, Store: store,
 			Latency: res.Latency, Source: res.Source, Cycle: c.cycles,
 		})
+		return res
+	}
+	var fire bool
+	if store {
+		c.storeGate--
+		fire = c.storeGate == 0
+	} else {
+		c.loadGate--
+		fire = c.loadGate == 0
+	}
+	if fire || c.cycles >= c.hookCycle {
+		c.gateFired(ip, addr, size, store, res, fire)
 	}
 	return res
+}
+
+// gateFired dispatches a gated hook invocation (kept out of memAccess so
+// the common path stays small enough to stay fast).
+func (c *Core) gateFired(ip, addr uint64, size int, store bool, res memhier.AccessResult, fire bool) {
+	if c.gatedHook == nil {
+		// Nothing armed the gates on purpose: disarm so an (astronomically
+		// unlikely) wrap cannot fire again soon.
+		if fire {
+			if store {
+				c.storeGate = GateNever
+			} else {
+				c.loadGate = GateNever
+			}
+		}
+		return
+	}
+	c.gatedHook(MemOp{
+		IP: ip, Addr: addr, Size: size, Store: store,
+		Latency: res.Latency, Source: res.Source, Cycle: c.cycles,
+	})
 }
 
 // Load retires one load instruction at ip referencing addr.
@@ -245,6 +367,146 @@ func (c *Core) LoadDep(ip, addr uint64, size int) memhier.AccessResult {
 // Store retires one store instruction at ip referencing addr.
 func (c *Core) Store(ip, addr uint64, size int) memhier.AccessResult {
 	return c.memAccess(ip, addr, size, true, false)
+}
+
+// LoadStream retires n loads at ip sweeping addresses base, base+stride,
+// ..., base+(n-1)*stride. It is semantically identical to n Load calls —
+// same counters, cache state, stall cycles and samples — but only re-probes
+// the hierarchy on cache-line crossings: the first access of each line
+// segment runs the full path and the remaining same-line touches are
+// charged in bulk, splitting only where a sample gate or quantum hook must
+// fire mid-segment.
+func (c *Core) LoadStream(ip, base uint64, stride, size, n int) {
+	c.stream(ip, base, stride, size, n, false, false)
+}
+
+// LoadDepStream is LoadStream with LoadDep semantics: each element load is
+// part of a dependency chain and stalls for its full latency.
+func (c *Core) LoadDepStream(ip, base uint64, stride, size, n int) {
+	c.stream(ip, base, stride, size, n, false, true)
+}
+
+// StoreStream is LoadStream for stores.
+func (c *Core) StoreStream(ip, base uint64, stride, size, n int) {
+	c.stream(ip, base, stride, size, n, true, false)
+}
+
+func (c *Core) stream(ip, base uint64, stride, size, n int, store, dependent bool) {
+	if n <= 0 {
+		return
+	}
+	// The bulk path requires: batched issue enabled, no per-op observer, a
+	// PMU whose bulk accounting is exact, and a forward stride (the
+	// kernels' element sweeps are all ascending).
+	if c.cfg.PerOpStreams || c.memHook != nil || !c.pmu.bulkOK() || stride <= 0 {
+		addr := base
+		for i := 0; i < n; i++ {
+			c.memAccess(ip, addr, size, store, dependent)
+			addr += uint64(stride)
+		}
+		return
+	}
+	lineSize := uint64(c.hier.LineSize())
+	addr := base
+	i := 0
+	for i < n {
+		// Probe the first access of the line segment through the full path.
+		res := c.memAccess(ip, addr, size, store, dependent)
+		i++
+		addr += uint64(stride)
+		if i >= n || uint64(stride) >= lineSize {
+			continue
+		}
+		// Count how many subsequent accesses stay on the same line.
+		lineEnd := res.LineAddr + lineSize
+		if addr >= lineEnd {
+			continue
+		}
+		k := int((lineEnd - addr + uint64(stride) - 1) / uint64(stride))
+		if k > n-i {
+			k = n - i
+		}
+		k = c.bulkL1(ip, addr, res.LineAddr, stride, size, k, store, dependent)
+		i += k
+		addr += uint64(k) * uint64(stride)
+	}
+}
+
+// bulkL1 charges up to k same-line accesses (which are L1 MRU hits: the
+// caller just touched the line) in bulk, issuing any access on which a
+// sample gate or the hook cycle would fire through the full per-op path so
+// monitoring observes exactly what per-op issue would. It returns the
+// number of accesses actually retired (always k unless the hierarchy
+// refuses the bulk hit, which the per-op fallback in stream handles by
+// construction of the return value).
+func (c *Core) bulkL1(ip, addr, lineAddr uint64, stride, size, k int, store, dependent bool) int {
+	cyc := c.memCyc[memhier.SrcL1]
+	done := 0
+	for done < k {
+		rem := uint64(k - done)
+		// Ops until a gate would fire on this class (gate hits zero on the
+		// j-th op from now).
+		j := rem + 1
+		gate := c.loadGate
+		if store {
+			gate = c.storeGate
+		}
+		if gate <= rem {
+			j = gate
+		}
+		// Ops until the hook cycle passes: each op costs cyc cycles.
+		if c.hookCycle != ^uint64(0) && c.cycles < c.hookCycle {
+			need := c.hookCycle - c.cycles
+			jb := (need + cyc - 1) / cyc
+			if jb < j {
+				j = jb
+			}
+		} else if c.cycles >= c.hookCycle {
+			j = 1
+		}
+		if j > rem {
+			// No monitoring event inside the remaining ops: pure bulk.
+			b := rem
+			if !c.hier.BulkL1Hits(lineAddr, b, store) {
+				break
+			}
+			c.pmu.countMemBulk(store, b, b*cyc)
+			c.cycles += b * cyc
+			if store {
+				c.storeGate -= b
+			} else {
+				c.loadGate -= b
+			}
+			done += int(b)
+			continue
+		}
+		// Bulk-advance the silent ops before the firing one.
+		if j > 1 {
+			b := j - 1
+			if !c.hier.BulkL1Hits(lineAddr, b, store) {
+				break
+			}
+			c.pmu.countMemBulk(store, b, b*cyc)
+			c.cycles += b * cyc
+			if store {
+				c.storeGate -= b
+			} else {
+				c.loadGate -= b
+			}
+			done += int(b)
+		}
+		// The firing op goes through the full path (hook and re-arm).
+		c.memAccess(ip, addr+uint64(done)*uint64(stride), size, store, dependent)
+		done++
+	}
+	if done < k {
+		// The hierarchy lost the MRU line (cannot happen on this call
+		// pattern, but stay correct): finish per-op.
+		for ; done < k; done++ {
+			c.memAccess(ip, addr+uint64(done)*uint64(stride), size, store, dependent)
+		}
+	}
+	return k
 }
 
 // Stall advances the clock by the given cycles without retiring

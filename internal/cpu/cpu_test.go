@@ -181,6 +181,31 @@ func TestPMUProgramValidation(t *testing.T) {
 	}
 }
 
+// TestPMUProgramPreservesCounts pins two Program behaviours: switching from
+// the never-multiplexed fast path to a multiplexed config must fold the
+// fast path's skipped bookkeeping forward (pre-mux counts stay readable),
+// and a failed Program must leave the old programming fully readable.
+func TestPMUProgramPreservesCounts(t *testing.T) {
+	p := NewPMU()
+	p.count(CtrLoads, 100)
+	p.tick(50)
+	if err := p.Program([][]CounterID{{CtrLoads}, {CtrStores}}, 10); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Read(CtrLoads); got != 100 {
+		t.Errorf("pre-mux loads lost across Program: Read = %d, want 100", got)
+	}
+
+	p2 := NewPMU()
+	p2.count(CtrStores, 5)
+	if err := p2.Program([][]CounterID{{CounterID(77)}}, 0); err == nil {
+		t.Fatal("invalid counter accepted")
+	}
+	if got := p2.Read(CtrStores); got != 5 {
+		t.Errorf("failed Program corrupted state: Read(stores) = %d, want 5", got)
+	}
+}
+
 func TestPMUNoMultiplexingExact(t *testing.T) {
 	c := newCore(t)
 	for i := uint64(0); i < 1000; i++ {

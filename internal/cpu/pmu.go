@@ -1,6 +1,10 @@
 package cpu
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/memhier"
+)
 
 // PMU models a performance monitoring unit with two fixed counters
 // (instructions, cycles) and a limited set of programmable counter slots.
@@ -21,6 +25,16 @@ type PMU struct {
 	quantum uint64           // cycles per multiplexing slot (0 = no multiplexing)
 	slotAge uint64           // cycles consumed in the current slot
 	inGroup [NumCounters]int // group index per counter, -1 if unprogrammed
+
+	// everMux is set once a multiplexed configuration has been programmed.
+	// While false (the default single-group setup), every programmed
+	// counter is always counting, so the per-op hot path can skip the
+	// visible/active bookkeeping entirely: Read returns raw, tick is a
+	// single addition, and countMem/countMemBulk touch only raw counters.
+	// Program folds the skipped bookkeeping forward before multiplexing
+	// starts, so a later mux phase observes the same state as if the slow
+	// path had run from the beginning.
+	everMux bool
 }
 
 // NewPMU creates a PMU with all programmable events in one always-on group
@@ -50,8 +64,12 @@ func (p *PMU) Program(groups [][]CounterID, quantum uint64) error {
 	if len(groups) > 1 && quantum == 0 {
 		return fmt.Errorf("cpu: multiplexing %d groups needs a positive quantum", len(groups))
 	}
-	for i := range p.inGroup {
-		p.inGroup[i] = -1
+	// Validate into a fresh map first: on error the old programming must
+	// survive untouched (p.inGroup is not modified until validation passes —
+	// the fast-path catch-up below also still needs the old assignments).
+	var inGroup [NumCounters]int
+	for i := range inGroup {
+		inGroup[i] = -1
 	}
 	for gi, g := range groups {
 		for _, c := range g {
@@ -61,16 +79,31 @@ func (p *PMU) Program(groups [][]CounterID, quantum uint64) error {
 			if c.fixed() {
 				return fmt.Errorf("cpu: fixed counter %v cannot be multiplexed", c)
 			}
-			if p.inGroup[c] != -1 {
+			if inGroup[c] != -1 {
 				return fmt.Errorf("cpu: counter %v in multiple groups", c)
 			}
-			p.inGroup[c] = gi
+			inGroup[c] = gi
 		}
 	}
+	if !p.everMux {
+		// Catch up the bookkeeping the fast path skipped: under the
+		// single-group regime every programmed counter was counting the
+		// whole time.
+		for c := CounterID(0); c < NumCounters; c++ {
+			if !c.fixed() && p.inGroup[c] != -1 {
+				p.visible[c] = p.raw[c]
+				p.active[c] = p.total
+			}
+		}
+	}
+	p.inGroup = inGroup
 	p.groups = groups
 	p.quantum = quantum
 	p.slot = 0
 	p.slotAge = 0
+	if len(groups) > 1 && quantum > 0 {
+		p.everMux = true
+	}
 	return nil
 }
 
@@ -97,9 +130,78 @@ func (p *PMU) count(c CounterID, n uint64) {
 	}
 }
 
+// countMem records all counter updates of one retired memory operation in a
+// single call: the instruction, the load/store event, the miss events
+// implied by the data source, and the cycle cost. On the (default)
+// never-multiplexed configuration this is a handful of plain additions.
+func (p *PMU) countMem(store bool, src memhier.DataSource, cycles uint64) {
+	if !p.everMux {
+		p.raw[CtrInstructions]++
+		p.raw[CtrCycles] += cycles
+		if store {
+			p.raw[CtrStores]++
+		} else {
+			p.raw[CtrLoads]++
+		}
+		switch src {
+		case memhier.SrcL2:
+			p.raw[CtrL1DMiss]++
+		case memhier.SrcL3:
+			p.raw[CtrL1DMiss]++
+			p.raw[CtrL2Miss]++
+		case memhier.SrcDRAM:
+			p.raw[CtrL1DMiss]++
+			p.raw[CtrL2Miss]++
+			p.raw[CtrL3Miss]++
+		}
+		return
+	}
+	p.count(CtrInstructions, 1)
+	p.count(CtrCycles, cycles)
+	if store {
+		p.count(CtrStores, 1)
+	} else {
+		p.count(CtrLoads, 1)
+	}
+	switch src {
+	case memhier.SrcL2:
+		p.count(CtrL1DMiss, 1)
+	case memhier.SrcL3:
+		p.count(CtrL1DMiss, 1)
+		p.count(CtrL2Miss, 1)
+	case memhier.SrcDRAM:
+		p.count(CtrL1DMiss, 1)
+		p.count(CtrL2Miss, 1)
+		p.count(CtrL3Miss, 1)
+	}
+}
+
+// countMemBulk records n identical L1-hit memory operations costing cycles
+// in total. Callers must check bulkOK first (no multiplexing has ever been
+// programmed); under multiplexing per-op attribution matters and the
+// caller must fall back to per-op issue.
+func (p *PMU) countMemBulk(store bool, n, cycles uint64) {
+	p.raw[CtrInstructions] += n
+	p.raw[CtrCycles] += cycles
+	if store {
+		p.raw[CtrStores] += n
+	} else {
+		p.raw[CtrLoads] += n
+	}
+	p.total += cycles
+}
+
+// bulkOK reports whether bulk (non-per-op) accounting is exact: true until
+// a multiplexed configuration is programmed.
+func (p *PMU) bulkOK() bool { return !p.everMux }
+
 // tick advances the PMU clock by the given cycles, rotating multiplexing
 // slots as quanta expire and charging active time to counting events.
 func (p *PMU) tick(cycles uint64) {
+	if !p.everMux {
+		p.total += cycles
+		return
+	}
 	for cycles > 0 {
 		step := cycles
 		if p.quantum > 0 && len(p.groups) > 1 {
@@ -138,6 +240,10 @@ func (p *PMU) Read(c CounterID) uint64 {
 	}
 	if p.inGroup[c] == -1 {
 		return 0 // unprogrammed event
+	}
+	if !p.everMux {
+		// Never multiplexed: every programmed counter counted all along.
+		return p.raw[c]
 	}
 	if p.active[c] == 0 {
 		return 0

@@ -39,6 +39,14 @@ type Config struct {
 	// DrainOverheadCycles charges the core for each PEBS buffer drain,
 	// modelling the sampling interrupt cost.
 	DrainOverheadCycles uint64
+	// PerOpObserve selects the straightforward reference path: the monitor
+	// hooks every retired memory operation and runs the engine's per-op
+	// countdown, exactly like real PEBS observed through a per-op tap. The
+	// default (false) inverts the control flow: the countdowns are exported
+	// to the core's sample gates and the monitor only runs when a sample
+	// fires or a multiplexing quantum expires. Both paths must produce
+	// identical traces; equivalence tests run them against each other.
+	PerOpObserve bool
 }
 
 // DefaultConfig returns the paper-like monitoring setup: default PEBS
@@ -84,6 +92,18 @@ type Monitor struct {
 	enabled  bool
 	started  bool
 	finished bool
+
+	// Countdown-gated state (when !cfg.PerOpObserve). loadRem/storeRem are
+	// the authoritative per-class countdowns: armed into the core's sample
+	// gates while the class is in the event mask, frozen here while it is
+	// masked out. lastLoads/lastStores checkpoint the core's true
+	// load/store counters so Eligible accrues arithmetically per
+	// constant-mask span instead of per op.
+	gated      bool
+	loadRem    uint64
+	storeRem   uint64
+	lastLoads  uint64
+	lastStores uint64
 }
 
 // New builds a monitor around a core, binary image and address space. The
@@ -118,7 +138,14 @@ func New(cfg Config, core *cpu.Core, bin *prog.Binary, as *prog.AddressSpace) (*
 	if err := m.reg.ScanBinary(bin); err != nil {
 		return nil, err
 	}
-	core.SetMemHook(m.onMemOp)
+	if cfg.PerOpObserve {
+		core.SetMemHook(m.onMemOp)
+	} else {
+		m.gated = true
+		m.loadRem, m.storeRem = m.engine.Countdowns()
+		core.SetGatedMemHook(m.onGatedMemOp)
+		// Gates stay disarmed (never firing) until Start.
+	}
 	as.SetHooks(prog.Hooks{OnAlloc: m.onAlloc, OnFree: m.onFree})
 	m.initLabels()
 	return m, nil
@@ -173,13 +200,80 @@ func (m *Monitor) Start() {
 	if m.cfg.MuxQuantumNs > 0 {
 		m.muxNext = m.core.NowNs() + m.cfg.MuxQuantumNs
 	}
+	if m.gated {
+		p := m.core.PMU()
+		m.lastLoads = p.True(cpu.CtrLoads)
+		m.lastStores = p.True(cpu.CtrStores)
+		m.armGates()
+	}
 }
 
 // Stop disables sampling and flushes pending samples.
 func (m *Monitor) Stop() {
+	if m.gated && m.enabled {
+		ev := m.engine.Events()
+		m.accrueEligible(ev)
+		// Preserve countdown progress: ops retired since the last hook
+		// decremented the core's live gates, not loadRem/storeRem. Pull
+		// that state back before disarming so a later Start re-arms
+		// exactly where the per-op reference path would be.
+		lg, sg, _ := m.core.SampleGates()
+		if ev.Has(pebs.SampleLoads) {
+			m.loadRem = lg
+		}
+		if ev.Has(pebs.SampleStores) {
+			m.storeRem = sg
+		}
+		m.core.SetSampleGate(cpu.GateNever, cpu.GateNever, ^uint64(0))
+	}
 	m.engine.Flush()
 	m.enabled = false
 	m.finished = true
+}
+
+// armGates programs the core's sample gates from the monitor's countdown
+// state: classes in the event mask count down, others never fire, and the
+// hook cycle is the next multiplexing boundary (if any).
+func (m *Monitor) armGates() {
+	lg, sg := cpu.GateNever, cpu.GateNever
+	ev := m.engine.Events()
+	if ev.Has(pebs.SampleLoads) {
+		lg = m.loadRem
+	}
+	if ev.Has(pebs.SampleStores) {
+		sg = m.storeRem
+	}
+	hc := ^uint64(0)
+	if m.cfg.MuxQuantumNs > 0 {
+		hc = m.core.CycleForNs(m.muxNext)
+	}
+	m.core.SetSampleGate(lg, sg, hc)
+}
+
+// accrueEligible credits the engine's Eligible statistic with every
+// mask-matching operation retired since the last checkpoint, and advances
+// the checkpoint. Valid only while the event mask has been constant over
+// the span, which the hook protocol guarantees.
+func (m *Monitor) accrueEligible(ev pebs.EventMask) {
+	p := m.core.PMU()
+	m.accrueEligibleAt(ev, p.True(cpu.CtrLoads), p.True(cpu.CtrStores))
+}
+
+// accrueEligibleAt is the shared tail of the eligibility accountants: it
+// credits the span ending at the given load/store totals and advances the
+// checkpoint to them.
+func (m *Monitor) accrueEligibleAt(ev pebs.EventMask, curL, curS uint64) {
+	var n uint64
+	if ev.Has(pebs.SampleLoads) {
+		n += curL - m.lastLoads
+	}
+	if ev.Has(pebs.SampleStores) {
+		n += curS - m.lastStores
+	}
+	if n > 0 {
+		m.engine.AddEligible(n)
+	}
+	m.lastLoads, m.lastStores = curL, curS
 }
 
 // Enabled reports whether the monitor is currently recording.
@@ -317,7 +411,7 @@ func (m *Monitor) onFree(info prog.AllocInfo) {
 	m.emit([]trace.TypeValue{{Type: trace.TypeFreeAddr, Value: int64(info.Addr)}})
 }
 
-// onMemOp is the core's memory hook: multiplex rotation, then PEBS.
+// onMemOp is the per-op reference hook: multiplex rotation, then PEBS.
 func (m *Monitor) onMemOp(op cpu.MemOp) {
 	if !m.enabled {
 		return
@@ -336,8 +430,110 @@ func (m *Monitor) onMemOp(op cpu.MemOp) {
 	if m.engine.Observe(op, now, m.stackID()) {
 		// The op became a sample: capture the PMU at sample time so the
 		// counters line up with the PEBS record when the buffer drains.
-		m.pendingSnaps = append(m.pendingSnaps, m.core.PMU().Snapshot())
+		m.recordSnapshotAndMaybeDrain()
 	}
+}
+
+// recordSnapshotAndMaybeDrain attaches the sample-time PMU snapshot and
+// drains the PEBS buffer as soon as it is full. Draining here — identically
+// in the per-op and gated paths — keeps the drain stall at the same point
+// of the instruction stream in both, which the equivalence tests require.
+func (m *Monitor) recordSnapshotAndMaybeDrain() {
+	m.pendingSnaps = append(m.pendingSnaps, m.core.PMU().Snapshot())
+	if m.engine.Pending() >= m.engine.BufferSize() {
+		m.engine.Flush()
+	}
+}
+
+// onGatedMemOp is the countdown-gated hook: it runs only for operations
+// whose class countdown fired (selected) or that crossed a multiplexing
+// quantum boundary, and re-arms the core's gates before returning. The
+// protocol reproduces the per-op path exactly: rotation is applied before
+// the operation is evaluated, the boundary operation counts against the
+// post-rotation mask, and the engine's inter-sample gaps are drawn in the
+// same order.
+func (m *Monitor) onGatedMemOp(op cpu.MemOp) {
+	if !m.enabled {
+		// Stop disarms the gates; a stray hook just stays disarmed.
+		m.core.SetSampleGate(cpu.GateNever, cpu.GateNever, ^uint64(0))
+		return
+	}
+	ev := m.engine.Events()
+	// Sync the live countdowns the core decremented for masked-in classes.
+	lg, sg, _ := m.core.SampleGates()
+	if ev.Has(pebs.SampleLoads) {
+		m.loadRem = lg
+	}
+	if ev.Has(pebs.SampleStores) {
+		m.storeRem = sg
+	}
+	now := m.core.NowNs()
+	rotated := false
+	if m.cfg.MuxQuantumNs > 0 && now >= m.muxNext {
+		// Ops strictly before this one were eligible under the old mask;
+		// the boundary op itself is evaluated under the rotated mask, as
+		// in the per-op path where rotation precedes the observation.
+		m.accrueEligibleExcluding(ev, op)
+		for now >= m.muxNext {
+			m.muxNext += m.cfg.MuxQuantumNs
+		}
+		// Undo the core's decrement for the boundary op: under the per-op
+		// path a class rotated out of the mask is not decremented.
+		if op.Store {
+			if ev.Has(pebs.SampleStores) {
+				m.storeRem++
+			}
+		} else if ev.Has(pebs.SampleLoads) {
+			m.loadRem++
+		}
+		if ev.Has(pebs.SampleLoads) {
+			ev = pebs.SampleStores
+		} else {
+			ev = pebs.SampleLoads
+		}
+		m.engine.SetEvents(ev)
+		rotated = true
+	}
+	// Decide whether this op samples under the (possibly rotated) mask.
+	sampled := false
+	if op.Store {
+		if ev.Has(pebs.SampleStores) {
+			if rotated {
+				m.storeRem-- // boundary op counts under the new mask
+			}
+			sampled = m.storeRem == 0
+		}
+	} else if ev.Has(pebs.SampleLoads) {
+		if rotated {
+			m.loadRem--
+		}
+		sampled = m.loadRem == 0
+	}
+	if sampled {
+		recorded, gap := m.engine.ObserveSampled(op, now, m.stackID())
+		if op.Store {
+			m.storeRem = gap
+		} else {
+			m.loadRem = gap
+		}
+		if recorded {
+			m.recordSnapshotAndMaybeDrain()
+		}
+	}
+	m.armGates()
+}
+
+// accrueEligibleExcluding is accrueEligible with the in-flight operation op
+// excluded from the span (it belongs to the next, post-rotation span).
+func (m *Monitor) accrueEligibleExcluding(ev pebs.EventMask, op cpu.MemOp) {
+	p := m.core.PMU()
+	curL, curS := p.True(cpu.CtrLoads), p.True(cpu.CtrStores)
+	if op.Store {
+		curS--
+	} else {
+		curL--
+	}
+	m.accrueEligibleAt(ev, curL, curS)
 }
 
 // onDrain receives the PEBS buffer: resolve objects, emit trace records.

@@ -95,6 +95,51 @@ func TestDisabledUntilStart(t *testing.T) {
 	}
 }
 
+// TestStopStartPreservesCountdowns pins Stop/Start behaviour of the gated
+// path against the per-op reference path: ops retired between the last
+// hook and Stop have decremented the core's live gates, and that progress
+// must survive a Stop/Start cycle (ops while stopped advance neither
+// path). The two paths must emit identical traces across the restart.
+func TestStopStartPreservesCountdowns(t *testing.T) {
+	run := func(perOp bool) []trace.Record {
+		cfg := noMux(t)
+		cfg.PerOpObserve = perOp
+		r := newRig(t, cfg)
+		ip, _ := r.fn.IPForLine(10)
+		reg := r.mon.RegisterRegion("k")
+		r.mon.Start()
+		r.mon.EnterRegion(reg)
+		// 72 loads: partway into the 100-op period, so countdown progress
+		// exists at Stop.
+		r.sweep(ip, 0x1000, 72*8, false)
+		r.mon.ExitRegion(reg)
+		r.mon.Stop()
+		// Unmonitored ops: must advance neither path's countdown.
+		r.sweep(ip, 0x40000, 64*8, false)
+		r.mon.Start()
+		r.mon.EnterRegion(reg)
+		r.sweep(ip, 0x80000, 512*8, false)
+		r.mon.ExitRegion(reg)
+		r.mon.Stop()
+		return r.mon.Records()
+	}
+	ref, fast := run(true), run(false)
+	if len(ref) != len(fast) {
+		t.Fatalf("record counts diverge across restart: reference %d, gated %d", len(ref), len(fast))
+	}
+	for i := range ref {
+		a, b := ref[i], fast[i]
+		if a.TimeNs != b.TimeNs || a.Task != b.Task || a.Thread != b.Thread || len(a.Pairs) != len(b.Pairs) {
+			t.Fatalf("record %d diverges: ref %+v, gated %+v", i, a, b)
+		}
+		for j := range a.Pairs {
+			if a.Pairs[j] != b.Pairs[j] {
+				t.Fatalf("record %d pair %d diverges: ref %+v, gated %+v", i, j, a.Pairs[j], b.Pairs[j])
+			}
+		}
+	}
+}
+
 func TestAllocationTrackedBeforeStart(t *testing.T) {
 	// Objects allocated during setup (before Start) must be resolvable
 	// during the execution phase — the paper's HPCG data is allocated in

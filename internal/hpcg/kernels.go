@@ -12,7 +12,10 @@ package hpcg
 //     then n-1..0 (backward sweep: descending addresses);
 //   - SpMV traverses rows 0..n-1 once.
 
-// SpMV computes y = A*x on the given level.
+// SpMV computes y = A*x on the given level. The per-row coefficient and
+// column-index traffic is sequential, so it is issued as two streams (one
+// hierarchy probe per line crossing); the x gathers stay per-op because
+// their addresses are data-dependent.
 func (p *Problem) SpMV(lv *Level, x, y *Vector) {
 	core, ips := p.core, &p.ips
 	p.mon.EnterRegion(p.RegionSPMV)
@@ -21,9 +24,9 @@ func (p *Problem) SpMV(lv *Level, x, y *Vector) {
 		nnz := int(lv.NonzerosInRow[i])
 		vals := lv.Vals[i]
 		cols := lv.Cols[i]
+		core.LoadStream(ips.spmvVal, lv.ValsAddr[i], 8, 8, nnz)
+		core.LoadStream(ips.spmvCol, lv.ColsAddr[i], 4, 4, nnz)
 		for j := 0; j < nnz; j++ {
-			core.Load(ips.spmvVal, lv.ValsAddr[i]+uint64(j)*8, 8)
-			core.Load(ips.spmvCol, lv.ColsAddr[i]+uint64(j)*4, 4)
 			col := int(cols[j])
 			core.Load(ips.spmvX, x.ElemAddr(col), 8)
 			sum += vals[j] * x.Data[col]
@@ -64,14 +67,14 @@ func (p *Problem) symgsRow(lv *Level, r, x *Vector, i int, ipVal, ipCol, ipX, ip
 	core.Load(ipX, r.ElemAddr(i), 8)
 	sum := r.Data[i]
 	var diag float64
+	// Gauss–Seidel rows are sequentially dependent (row i consumes the
+	// x values row i-1 just produced), so the out-of-order window cannot
+	// overlap value traffic across rows the way SpMV's independent rows
+	// allow: value loads stall for their full latency (LoadDepStream).
+	// Index loads still run ahead (address generation only).
+	core.LoadDepStream(ipVal, lv.ValsAddr[i], 8, 8, nnz)
+	core.LoadStream(ipCol, lv.ColsAddr[i], 4, 4, nnz)
 	for j := 0; j < nnz; j++ {
-		// Gauss–Seidel rows are sequentially dependent (row i consumes the
-		// x values row i-1 just produced), so the out-of-order window
-		// cannot overlap value traffic across rows the way SpMV's
-		// independent rows allow: value loads stall for their full
-		// latency. Index loads still run ahead (address generation only).
-		core.LoadDep(ipVal, lv.ValsAddr[i]+uint64(j)*8, 8)
-		core.Load(ipCol, lv.ColsAddr[i]+uint64(j)*4, 4)
 		col := int(cols[j])
 		if col == i {
 			diag = vals[j]
@@ -91,16 +94,26 @@ func (p *Problem) symgsRow(lv *Level, r, x *Vector, i int, ipVal, ipCol, ipX, ip
 	core.Branch()
 }
 
+// vecChunk is the element batch used by the dense vector kernels: one
+// 64-byte cache line of float64s, so each stream call inside a chunk is a
+// single hierarchy probe and the arrays still interleave at line
+// granularity (preserving the cache behaviour of elementwise traversal).
+const vecChunk = 8
+
 // Dot computes the dot product of a and b.
 func (p *Problem) Dot(a, b *Vector) float64 {
 	core, ips := p.core, &p.ips
 	p.mon.EnterRegion(p.RegionDot)
 	var sum float64
-	for i := range a.Data {
-		core.Load(ips.dotA, a.ElemAddr(i), 8)
-		core.Load(ips.dotB, b.ElemAddr(i), 8)
-		sum += a.Data[i] * b.Data[i]
-		core.Compute(2)
+	n := len(a.Data)
+	for i := 0; i < n; i += vecChunk {
+		k := min(vecChunk, n-i)
+		core.LoadStream(ips.dotA, a.ElemAddr(i), 8, 8, k)
+		core.LoadStream(ips.dotB, b.ElemAddr(i), 8, 8, k)
+		for e := i; e < i+k; e++ {
+			sum += a.Data[e] * b.Data[e]
+		}
+		core.Compute(uint64(2 * k))
 	}
 	p.mon.ExitRegion(p.RegionDot)
 	return sum
@@ -110,12 +123,16 @@ func (p *Problem) Dot(a, b *Vector) float64 {
 func (p *Problem) WAXPBY(alpha float64, x *Vector, beta float64, y, w *Vector) {
 	core, ips := p.core, &p.ips
 	p.mon.EnterRegion(p.RegionWAXPBY)
-	for i := range w.Data {
-		core.Load(ips.waxpbyX, x.ElemAddr(i), 8)
-		core.Load(ips.waxpbyY, y.ElemAddr(i), 8)
-		w.Data[i] = alpha*x.Data[i] + beta*y.Data[i]
-		core.Store(ips.waxpbyW, w.ElemAddr(i), 8)
-		core.Compute(3)
+	n := len(w.Data)
+	for i := 0; i < n; i += vecChunk {
+		k := min(vecChunk, n-i)
+		core.LoadStream(ips.waxpbyX, x.ElemAddr(i), 8, 8, k)
+		core.LoadStream(ips.waxpbyY, y.ElemAddr(i), 8, 8, k)
+		for e := i; e < i+k; e++ {
+			w.Data[e] = alpha*x.Data[e] + beta*y.Data[e]
+		}
+		core.StoreStream(ips.waxpbyW, w.ElemAddr(i), 8, 8, k)
+		core.Compute(uint64(3 * k))
 	}
 	p.mon.ExitRegion(p.RegionWAXPBY)
 }
@@ -206,8 +223,10 @@ func (p *Problem) MG(r, z *Vector) {
 // moveVector issues the load/store traffic of copying src into dst.
 func (p *Problem) moveVector(src, dst *Vector) {
 	core := p.core
-	for i := range src.Data {
-		core.Load(p.ips.waxpbyX, src.ElemAddr(i), 8)
-		core.Store(p.ips.waxpbyW, dst.ElemAddr(i), 8)
+	n := len(src.Data)
+	for i := 0; i < n; i += vecChunk {
+		k := min(vecChunk, n-i)
+		core.LoadStream(p.ips.waxpbyX, src.ElemAddr(i), 8, 8, k)
+		core.StoreStream(p.ips.waxpbyW, dst.ElemAddr(i), 8, 8, k)
 	}
 }

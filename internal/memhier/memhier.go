@@ -13,6 +13,7 @@
 package memhier
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math/bits"
 )
@@ -124,30 +125,181 @@ type AccessResult struct {
 	Prefetched bool
 }
 
-type line struct {
-	tag     uint64
-	valid   bool
-	dirty   bool
-	pref    bool // installed by prefetcher, not yet demand-hit
-	lastUse uint64
-}
+// Packed line encoding. Each way is ONE 8-byte word in a flat per-level
+// slab, so a whole set is a short streak of loads over one or two host
+// cache lines; lookups additionally go through a one-byte-per-way
+// partial-tag signature filter (see cache.sigs) so most probes verify at
+// most one slab word. Valid ways form a prefix of the set (lines are never
+// invalidated outside Reset), tracked by a per-set occupancy count, so
+// free-way discovery is the occupancy itself.
+//
+//	bits 0..2   flags (valid, dirty, prefetched)
+//	bits 3..22  LRU tick (20 bits; zero on matrix-LRU levels)
+//	bits 23..63 set-relative tag (41 bits)
+//
+// LRU recency is tracked by one of two equivalent policies, chosen per
+// level at construction:
+//
+//   - assoc ≤ 8: a per-set 8×8 bit matrix packed in a uint64 (bit 8i+j set
+//     ⇒ way i touched more recently than way j). A touch sets row i and
+//     clears column i (~4 ALU ops); the LRU victim is the unique all-zero
+//     row among the valid ways, found with a zero-byte scan — O(1), no
+//     second pass over the set.
+//   - assoc > 8: a 20-bit tick stored in each way's word, stamped on every
+//     touch; the victim is the branchless min of tick<<7|way over the set,
+//     computed in a second pass only when an eviction is actually needed.
+//     The tick wraps roughly every million touches; tickNext renormalizes
+//     all ticks to their per-set recency ranks before that happens.
+//
+// Both policies order ways by last touch, i.e. both are exact LRU; they
+// pick identical victims.
+const (
+	entValid = 1 << 0
+	entDirty = 1 << 1
+	entPref  = 1 << 2 // installed by prefetcher, not yet demand-hit
+
+	lruShift     = 3
+	lruBits      = 20
+	lruMax       = 1<<lruBits - 1
+	lruFieldMask = uint64(lruMax) << lruShift
+
+	tagShift = lruShift + lruBits
+	tagBits  = 64 - tagShift
+
+	// matchMask strips the tick and the mutable flags, keeping tag|valid —
+	// the fields a resident line must match.
+	matchMask = ^uint64(lruFieldMask | entDirty | entPref)
+
+	// victimShift packs an LRU tick with a way index (assoc is validated to
+	// fit in 7 bits) so tick-policy victim selection is a branchless min.
+	victimShift = 7
+
+	// matMaxAssoc is the widest set the matrix-LRU policy covers (8 rows of
+	// a uint64).
+	matMaxAssoc = 8
+
+	oneBytes  = 0x0101010101010101
+	highBytes = 0x8080808080808080
+)
 
 type cache struct {
-	cfg       LevelConfig
-	sets      [][]line
+	cfg  LevelConfig
+	slab []uint64 // nsets*assoc packed tag|lru|flags words
+	occ  []uint8  // per-set count of valid ways (valid ways form a prefix)
+	// sigs holds one partial-tag byte per way (tag's low 8 bits), sets
+	// padded to whole 8-byte words. A probe compares a whole set's
+	// signatures against the wanted tag byte in one or three XOR+zero-byte
+	// steps and verifies only candidate ways in the slab — an L1/L2 miss
+	// usually touches no slab words at all, a hit exactly one. False
+	// positives (1/256 per way) cost one extra verify; the slab compare
+	// stays authoritative.
+	sigs      []byte
+	sigStride int      // bytes of sigs per set (assoc rounded up to 8)
+	mats      []uint64 // per-set recency matrices (assoc <= 8); nil selects the tick policy
+	matRow    uint64   // low-assoc column bits a touch sets in its row
+	matPad    uint64   // bytes >= assoc forced non-zero in the victim search
 	setMask   uint64
 	lineShift uint
-	tick      uint64
+	setBits   uint // log2(nsets), tag = line >> setBits
+	assoc     int
+	tick      uint32
 	stats     LevelStats
+
+	// MRU shortcut: the slab index / set / way and line address of the most
+	// recently demand-touched line. MRU lines never carry entPref (demand
+	// contact clears it), so a hit here needs no prefetch bookkeeping.
+	mruIdx   int
+	mruSet   int
+	mruWay   int
+	mruLine  uint64
+	mruValid bool
+}
+
+// touch marks way w of set setIdx as the most recently used (matrix policy).
+func (c *cache) touch(setIdx, w int) {
+	m := c.mats[setIdx]
+	m |= c.matRow << (8 * uint(w)) // w beats every way
+	m &^= uint64(oneBytes) << w    // every way loses to w (incl. the diagonal)
+	c.mats[setIdx] = m
+}
+
+// matVictim returns the LRU way of a full set under the matrix policy: the
+// unique way whose row is zero (it beats nobody), via a zero-byte scan.
+func (c *cache) matVictim(setIdx int) int {
+	x := c.mats[setIdx] | c.matPad
+	return bits.TrailingZeros64((x-oneBytes)&^x&highBytes) >> 3
+}
+
+// tickNext advances the tick policy's LRU clock. When the 20-bit clock is
+// about to wrap it renormalizes every way's tick to its per-set recency
+// rank — victim selection only compares ticks within one set, so rank
+// compression is behaviour-preserving — and restarts the clock above the
+// ranks.
+func (c *cache) tickNext() uint32 {
+	c.tick++
+	if c.tick == lruMax {
+		c.renorm()
+	}
+	return c.tick
+}
+
+// renorm rank-compresses the LRU ticks of every set's valid ways. Ticks
+// are unique while live (every touch draws a fresh tick), so ranks are
+// unambiguous and victim selection is unchanged.
+func (c *cache) renorm() {
+	var lrus [128]uint32
+	for s, base := 0, 0; base < len(c.slab); s, base = s+1, base+c.assoc {
+		set := c.slab[base : base+int(c.occ[s])]
+		for i, e := range set {
+			lrus[i] = uint32(e>>lruShift) & lruMax
+		}
+		for i, e := range set {
+			r := uint32(1)
+			for j := range set {
+				if lrus[j] < lrus[i] {
+					r++
+				}
+			}
+			set[i] = e&^lruFieldMask | uint64(r)<<lruShift
+		}
+	}
+	c.tick = uint32(c.assoc) + 1
+}
+
+// setMRU records a demand-touched line as the level's MRU shortcut.
+func (c *cache) setMRU(setIdx, way int, lineAddr uint64) {
+	c.mruIdx = setIdx*c.assoc + way
+	c.mruSet = setIdx
+	c.mruWay = way
+	c.mruLine = lineAddr
+	c.mruValid = true
+}
+
+// dropMRUAt invalidates the shortcut when slab slot idx is repurposed.
+func (c *cache) dropMRUAt(idx int) {
+	if c.mruValid && c.mruIdx == idx {
+		c.mruValid = false
+	}
 }
 
 // Hierarchy is a simulated cache hierarchy. It is not safe for concurrent
 // use; each simulated core owns its own Hierarchy (the L3 slice model keeps
 // per-core simulations independent, matching the paper's per-thread traces).
 type Hierarchy struct {
-	cfg    Config
-	levels []*cache
-	dram   uint64 // DRAM access count
+	cfg      Config
+	levels   []*cache
+	l1       *cache // levels[0], kept flat for the Access fast path
+	lineMask uint64 // LineSize-1
+	maxLine  uint64 // first line address the packed tags cannot represent
+	dram     uint64 // DRAM access count
+	// mruHits counts L1 accesses served by the MRU fast path and probeOps
+	// those that took the probe loop; LevelStats folds them lazily.
+	mruHits  uint64
+	probeOps uint64
+	warmSink uint64 // keeps the set-warming loads live; never read
+	// hints is the per-level probe→fill scratch for the current access
+	// (persistent to avoid re-zeroing per op; Hierarchy is single-threaded).
+	hints [8]probeHint
 }
 
 // New validates the configuration and builds the hierarchy.
@@ -158,7 +310,14 @@ func New(cfg Config) (*Hierarchy, error) {
 	if cfg.DRAMLatency == 0 {
 		return nil, fmt.Errorf("memhier: DRAMLatency must be > 0")
 	}
-	h := &Hierarchy{cfg: cfg}
+	if len(cfg.Levels) >= NumSources {
+		// DataSource (and the PMU's per-source miss counters) encode
+		// exactly L1..L3 plus DRAM; a deeper hierarchy has no meaningful
+		// source labels, so reject it instead of mislabelling levels.
+		return nil, fmt.Errorf("memhier: %d cache levels exceed the modelled %d (L1..L3 + DRAM)",
+			len(cfg.Levels), NumSources-1)
+	}
+	h := &Hierarchy{cfg: cfg, maxLine: ^uint64(0)}
 	lineSize := cfg.Levels[0].LineSize
 	for i, lc := range cfg.Levels {
 		if lc.LineSize != lineSize {
@@ -168,8 +327,8 @@ func New(cfg Config) (*Hierarchy, error) {
 		if lc.LineSize <= 0 || bits.OnesCount(uint(lc.LineSize)) != 1 {
 			return nil, fmt.Errorf("memhier: level %s line size %d not a power of two", lc.Name, lc.LineSize)
 		}
-		if lc.Assoc <= 0 {
-			return nil, fmt.Errorf("memhier: level %s associativity %d invalid", lc.Name, lc.Assoc)
+		if lc.Assoc <= 0 || lc.Assoc > 127 {
+			return nil, fmt.Errorf("memhier: level %s associativity %d invalid (1..127)", lc.Name, lc.Assoc)
 		}
 		if lc.Size <= 0 || lc.Size%(lc.LineSize*lc.Assoc) != 0 {
 			return nil, fmt.Errorf("memhier: level %s size %d not divisible by line*assoc", lc.Name, lc.Size)
@@ -185,17 +344,38 @@ func New(cfg Config) (*Hierarchy, error) {
 			return nil, fmt.Errorf("memhier: level %s latency %d not greater than previous level",
 				lc.Name, lc.HitLatency)
 		}
+		setBits := uint(bits.TrailingZeros(uint(nsets)))
+		lineShift := uint(bits.TrailingZeros(uint(lc.LineSize)))
+		// The packed tag is set-relative, so this level represents line
+		// addresses below 2^(tagBits+setBits+lineShift) exactly; the
+		// hierarchy supports the tightest level's range (53 bits of address
+		// for the default 64-set L1 — far beyond the simulated 46-bit
+		// address space, but guarded in Access all the same).
+		if total := tagBits + setBits + lineShift; total < 64 && uint64(1)<<total < h.maxLine {
+			h.maxLine = uint64(1) << total
+		}
 		c := &cache{
 			cfg:       lc,
-			sets:      make([][]line, nsets),
+			slab:      make([]uint64, nsets*lc.Assoc),
+			occ:       make([]uint8, nsets),
 			setMask:   uint64(nsets - 1),
-			lineShift: uint(bits.TrailingZeros(uint(lc.LineSize))),
+			lineShift: lineShift,
+			setBits:   setBits,
+			assoc:     lc.Assoc,
 		}
-		for s := range c.sets {
-			c.sets[s] = make([]line, lc.Assoc)
+		c.sigStride = (lc.Assoc + 7) &^ 7
+		c.sigs = make([]byte, nsets*c.sigStride)
+		if lc.Assoc <= matMaxAssoc {
+			c.mats = make([]uint64, nsets)
+			c.matRow = uint64(1)<<lc.Assoc - 1
+			if lc.Assoc < matMaxAssoc {
+				c.matPad = ^uint64(0) << (8 * uint(lc.Assoc))
+			}
 		}
 		h.levels = append(h.levels, c)
 	}
+	h.l1 = h.levels[0]
+	h.lineMask = uint64(cfg.Levels[0].LineSize - 1)
 	return h, nil
 }
 
@@ -205,78 +385,316 @@ func (h *Hierarchy) LineSize() int { return h.cfg.Levels[0].LineSize }
 // Levels returns the number of cache levels.
 func (h *Hierarchy) Levels() int { return len(h.levels) }
 
-// LevelStats returns a copy of the counters for level i (0 = L1).
-func (h *Hierarchy) LevelStats(i int) LevelStats { return h.levels[i].stats }
+// LevelStats returns a copy of the counters for level i (0 = L1). The hot
+// path only counts misses; accesses and hits are derived here — every
+// demand access probes L1 (fast-path hits are in mruHits, slow probes in
+// probeOps), each level's accesses are the previous level's misses, and
+// hits are accesses minus misses. The folded numbers match a hierarchy
+// that counted every probe eagerly.
+func (h *Hierarchy) LevelStats(i int) LevelStats {
+	s := h.levels[i].stats
+	if i == 0 {
+		s.Accesses = h.mruHits + h.probeOps
+	} else {
+		s.Accesses = h.levels[i-1].stats.Misses
+	}
+	s.Hits = s.Accesses - s.Misses
+	return s
+}
+
+// SourceLatency returns the access cost charged when the given level serves
+// the data (the core uses it to precompute per-source stall tables).
+func (h *Hierarchy) SourceLatency(s DataSource) uint64 {
+	if int(s) < len(h.levels) {
+		return h.levels[s].cfg.HitLatency
+	}
+	return h.cfg.DRAMLatency
+}
 
 // DRAMAccesses returns the number of line fills served by DRAM.
 func (h *Hierarchy) DRAMAccesses() uint64 { return h.dram }
 
-// lookup probes a single level. On hit it refreshes LRU state and (for
-// writes) marks the line dirty.
-func (c *cache) lookup(lineAddr uint64, write bool) (hit, wasPref bool) {
+// setBase returns the set index and slab base index of lineAddr's set plus
+// the packed tag|valid word (tick field zero) a resident line would carry.
+func (c *cache) setBase(lineAddr uint64) (setIdx, base int, want uint64) {
+	line := lineAddr >> c.lineShift
+	setIdx = int(line & c.setMask)
+	return setIdx, setIdx * c.assoc, (line>>c.setBits)<<tagShift | entValid
+}
+
+// lineOf reconstructs the line address of the packed word e resident in
+// the set holding lineAddr (tags are set-relative, so the set index comes
+// from the co-resident line).
+func (c *cache) lineOf(e, lineAddr uint64) uint64 {
 	set := (lineAddr >> c.lineShift) & c.setMask
-	tag := lineAddr >> c.lineShift
-	c.tick++
-	c.stats.Accesses++
-	ways := c.sets[set]
-	for i := range ways {
-		if ways[i].valid && ways[i].tag == tag {
-			c.stats.Hits++
-			ways[i].lastUse = c.tick
-			if write {
-				ways[i].dirty = true
+	return ((e>>tagShift)<<c.setBits | set) << c.lineShift
+}
+
+// probeHint carries a miss's fill destination from probe to fill, plus the
+// set coordinates probe already computed so fill does not recompute them:
+// hint >= 0 is a free way index; hint < 0 encodes the LRU victim way as
+// ^victim. The hint stays valid until the set is next modified, which the
+// access path guarantees happens only at fillAbove (the probe loop touches
+// deeper levels, never this set, in between; dirty propagation installs
+// into level i+1 only after level i+1's own fill consumed its hint).
+type probeHint struct {
+	hint   int
+	setIdx int
+	base   int
+	want   uint64
+}
+
+// Recency refresh on a hit is policy-dependent and appears manually
+// inlined at each hit site (the compiler does not inline a shared helper
+// here, and these are the hottest instructions in the model): matrix
+// levels touch the set's matrix, tick levels restamp the word's tick
+// field.
+
+// probe is the demand lookup of one level. On a hit it refreshes LRU state
+// and (for writes) marks the line dirty. On a miss it fills ph with the
+// fill destination. The match scan is deliberately minimal — valid ways
+// form a prefix (lines are never invalidated outside Reset), so it walks
+// occ packed words with one compare each; the victim is found only on a
+// miss of a full set, O(1) from the recency matrix (assoc ≤ 8) or in a
+// second pass over set data the match scan just pulled into host cache.
+func (c *cache) probe(lineAddr uint64, write bool, ph *probeHint) (hit, wasPref bool) {
+	if c.mruValid && c.mruLine == lineAddr {
+		// MRU lines are demand-touched, so no prefetch bookkeeping applies.
+		e := c.slab[c.mruIdx]
+		if c.mats != nil {
+			c.touch(c.mruSet, c.mruWay)
+		} else {
+			e = e&^lruFieldMask | uint64(c.tickNext())<<lruShift
+		}
+		if write {
+			e |= entDirty
+		}
+		c.slab[c.mruIdx] = e
+		return true, false
+	}
+	setIdx, base, want := c.setBase(lineAddr)
+	// Signature match: compare the wanted tag byte against the whole set's
+	// signature bytes with the zero-byte trick, then verify candidates in
+	// the slab. Most misses touch no slab words; hits verify exactly one
+	// (plus 1/256-rate false positives). Empty ways' zero signatures can
+	// only produce false candidates — the slab word 0 never matches want,
+	// which carries the valid bit.
+	bcast := (want >> tagShift & 0xFF) * oneBytes
+	sb := setIdx * c.sigStride
+	for k := 0; k < c.sigStride; k += 8 {
+		x := binary.LittleEndian.Uint64(c.sigs[sb+k:]) ^ bcast
+		for zeros := (x - oneBytes) & ^x & highBytes; zeros != 0; zeros &= zeros - 1 {
+			i := k + bits.TrailingZeros64(zeros)>>3
+			if i >= c.assoc {
+				break // padding bytes of the last word
 			}
-			wasPref = ways[i].pref
-			if wasPref {
-				ways[i].pref = false
-				c.stats.PrefHits++
+			if e := c.slab[base+i]; e&matchMask == want {
+				if c.mats != nil {
+					c.touch(setIdx, i)
+				} else {
+					e = e&^lruFieldMask | uint64(c.tickNext())<<lruShift
+				}
+				if write {
+					e |= entDirty
+				}
+				wasPref = e&entPref != 0
+				if wasPref {
+					e &^= entPref
+					c.stats.PrefHits++
+				}
+				c.slab[base+i] = e
+				c.setMRU(setIdx, i, lineAddr)
+				return true, wasPref
 			}
-			return true, wasPref
 		}
 	}
 	c.stats.Misses++
+	ph.setIdx, ph.base, ph.want = setIdx, base, want
+	switch {
+	case int(c.occ[setIdx]) < c.assoc:
+		ph.hint = int(c.occ[setIdx]) // first free way: the prefix invariant
+	case c.mats != nil:
+		ph.hint = ^c.matVictim(setIdx)
+	default:
+		ph.hint = ^c.tickVictim(c.slab[base : base+c.assoc])
+	}
 	return false, false
+}
+
+// tickVictim scans a full set for the way with the oldest tick.
+// Victim tracking is branchless: tick<<victimShift|way packs recency and
+// the way index so a single min() both orders by last use and breaks ties
+// toward the lowest way. Ticks are unique while live, so this matches a
+// first-strictly-smaller linear scan. The compare compiles to a CMOV,
+// which matters because random LRU order makes a tracking branch
+// mispredict roughly log(assoc) times per scan.
+func (c *cache) tickVictim(set []uint64) int {
+	minVictim := ^uint64(0)
+	for i := range set {
+		if v := (set[i]&lruFieldMask)<<victimShift | uint64(i); v < minVictim {
+			minVictim = v
+		}
+	}
+	return int(minVictim & (1<<victimShift - 1))
+}
+
+// fill completes a miss using the hint computed by probe: it places
+// lineAddr in the free way, or evicts the LRU victim. It returns whether a
+// dirty line was evicted (writeback). The place/evict logic is flattened
+// into the body — fills are demand fills (never prefetch-flagged), so the
+// MRU shortcut always moves here and every helper left is inlinable.
+func (c *cache) fill(lineAddr uint64, ph *probeHint, dirty bool) (evictedDirty bool, evictedAddr uint64) {
+	w := ph.hint
+	var ev uint64
+	if w >= 0 {
+		c.occ[ph.setIdx]++
+	} else {
+		w = ^w
+		ev = c.slab[ph.base+w]
+	}
+	fresh := ph.want
+	if c.mats != nil {
+		c.touch(ph.setIdx, w)
+	} else {
+		fresh |= uint64(c.tickNext()) << lruShift
+	}
+	if dirty {
+		fresh |= entDirty
+	}
+	c.slab[ph.base+w] = fresh
+	c.sigs[ph.setIdx*c.sigStride+w] = byte(ph.want >> tagShift)
+	c.setMRU(ph.setIdx, w, lineAddr)
+	if ev&entDirty != 0 {
+		c.stats.Writebacks++
+		return true, c.lineOf(ev, lineAddr)
+	}
+	return false, 0
 }
 
 // install places a line into the level, evicting LRU if needed.
 // It returns whether a dirty line was evicted (writeback).
 func (c *cache) install(lineAddr uint64, dirty, pref bool) (evictedDirty bool, evictedAddr uint64) {
-	set := (lineAddr >> c.lineShift) & c.setMask
-	tag := lineAddr >> c.lineShift
-	c.tick++
-	ways := c.sets[set]
-	victim := 0
-	for i := range ways {
-		if ways[i].valid && ways[i].tag == tag {
+	setIdx, base, want := c.setBase(lineAddr)
+	set := c.slab[base : base+c.assoc]
+	for i := range set {
+		e := set[i]
+		if e&matchMask == want {
 			// Already present (e.g. prefetch raced a demand fill): refresh.
-			ways[i].lastUse = c.tick
-			ways[i].dirty = ways[i].dirty || dirty
+			if c.mats != nil {
+				c.touch(setIdx, i)
+			} else {
+				e = e&^lruFieldMask | uint64(c.tickNext())<<lruShift
+			}
+			if dirty {
+				e |= entDirty
+			}
+			set[i] = e
 			return false, 0
-		}
-		if !ways[i].valid {
-			victim = i
-			ways[i] = line{tag: tag, valid: true, dirty: dirty, pref: pref, lastUse: c.tick}
-			return false, 0
-		}
-		if ways[i].lastUse < ways[victim].lastUse {
-			victim = i
 		}
 	}
-	ev := ways[victim]
-	ways[victim] = line{tag: tag, valid: true, dirty: dirty, pref: pref, lastUse: c.tick}
-	if ev.dirty {
-		c.stats.Writebacks++
-		return true, (ev.tag << c.lineShift)
+	occ := int(c.occ[setIdx])
+	switch {
+	case occ < c.assoc:
+		c.occ[setIdx]++
+		return c.place(setIdx, base, occ, want, lineAddr, dirty, pref)
+	case c.mats != nil:
+		return c.evict(setIdx, base, c.matVictim(setIdx), want, lineAddr, dirty, pref)
+	default:
+		return c.evict(setIdx, base, c.tickVictim(set), want, lineAddr, dirty, pref)
+	}
+}
+
+// place writes the line into way i of set setIdx and stamps its recency.
+func (c *cache) place(setIdx, base, i int, want, lineAddr uint64, dirty, pref bool) (bool, uint64) {
+	fresh := want
+	if c.mats != nil {
+		c.touch(setIdx, i)
+	} else {
+		fresh |= uint64(c.tickNext()) << lruShift
+	}
+	if dirty {
+		fresh |= entDirty
+	}
+	if pref {
+		fresh |= entPref
+	}
+	c.slab[base+i] = fresh
+	c.sigs[setIdx*c.sigStride+i] = byte(want >> tagShift)
+	if pref {
+		c.dropMRUAt(base + i)
+	} else {
+		c.setMRU(setIdx, i, lineAddr)
 	}
 	return false, 0
 }
 
+// evict replaces the victim way (chosen by the caller) with the line and
+// reports a writeback when the victim was dirty. Like fill, the body is
+// flattened so it makes no non-inlinable calls.
+func (c *cache) evict(setIdx, base, victim int, want, lineAddr uint64, dirty, pref bool) (bool, uint64) {
+	ev := c.slab[base+victim]
+	fresh := want
+	if c.mats != nil {
+		c.touch(setIdx, victim)
+	} else {
+		fresh |= uint64(c.tickNext()) << lruShift
+	}
+	if dirty {
+		fresh |= entDirty
+	}
+	if pref {
+		fresh |= entPref
+		c.dropMRUAt(base + victim)
+	} else {
+		c.setMRU(setIdx, victim, lineAddr)
+	}
+	c.slab[base+victim] = fresh
+	c.sigs[setIdx*c.sigStride+victim] = byte(want >> tagShift)
+	if ev&entDirty != 0 {
+		c.stats.Writebacks++
+		return true, c.lineOf(ev, lineAddr)
+	}
+	return false, 0
+}
+
+// prefetchInstall is the prefetcher's contains-then-install pair fused into
+// one scan: it reports present=true (with no side effects) when the line is
+// already cached, and otherwise installs it with the prefetch flag.
+func (c *cache) prefetchInstall(lineAddr uint64) (present, evictedDirty bool, evictedAddr uint64) {
+	if c.mruValid && c.mruLine == lineAddr {
+		return true, false, 0
+	}
+	setIdx, base, want := c.setBase(lineAddr)
+	set := c.slab[base : base+c.assoc]
+	for i := range set {
+		if set[i]&matchMask == want {
+			return true, false, 0
+		}
+	}
+	occ := int(c.occ[setIdx])
+	var victim int
+	switch {
+	case occ < c.assoc:
+		c.occ[setIdx]++
+		evictedDirty, evictedAddr = c.place(setIdx, base, occ, want, lineAddr, false, true)
+		return false, evictedDirty, evictedAddr
+	case c.mats != nil:
+		victim = c.matVictim(setIdx)
+	default:
+		victim = c.tickVictim(set)
+	}
+	evictedDirty, evictedAddr = c.evict(setIdx, base, victim, want, lineAddr, false, true)
+	return false, evictedDirty, evictedAddr
+}
+
 // contains reports (without LRU side effects) whether the line is cached.
 func (c *cache) contains(lineAddr uint64) bool {
-	set := (lineAddr >> c.lineShift) & c.setMask
-	tag := lineAddr >> c.lineShift
-	for _, w := range c.sets[set] {
-		if w.valid && w.tag == tag {
+	if c.mruValid && c.mruLine == lineAddr {
+		return true
+	}
+	_, base, want := c.setBase(lineAddr)
+	for _, e := range c.slab[base : base+c.assoc] {
+		if e&matchMask == want {
 			return true
 		}
 	}
@@ -288,11 +706,52 @@ func (c *cache) contains(lineAddr uint64) bool {
 // issue naturally aligned 4/8-byte element accesses, so splits are rare and
 // irrelevant to the sampled statistics). write selects store semantics
 // (write-back, write-allocate).
+//
+// Addresses must lie below the packed-tag range reported at construction
+// (2^53 for the default geometry — far beyond the simulated 46-bit address
+// space); Access panics otherwise rather than alias tags silently.
 func (h *Hierarchy) Access(addr uint64, size int, write bool) AccessResult {
-	lineAddr := addr &^ uint64(h.LineSize()-1)
-	// Probe levels top-down.
+	lineAddr := addr &^ h.lineMask
+	// L1 MRU fast path: a repeat touch of the most recently used line costs
+	// one compare plus an LRU refresh — no way scan, no per-access stats
+	// (folded from mruHits), no fill work. This is the common case for the
+	// element-granular workloads (8 touches per 64-byte line).
+	if l1 := h.l1; l1.mruValid && l1.mruLine == lineAddr {
+		h.mruHits++
+		e := l1.slab[l1.mruIdx]
+		if l1.mats != nil {
+			l1.touch(l1.mruSet, l1.mruWay)
+		} else {
+			e = e&^lruFieldMask | uint64(l1.tickNext())<<lruShift
+		}
+		if write {
+			e |= entDirty
+		}
+		l1.slab[l1.mruIdx] = e
+		return AccessResult{Source: SrcL1, Latency: l1.cfg.HitLatency, LineAddr: lineAddr}
+	}
+	if lineAddr >= h.maxLine {
+		panic(fmt.Sprintf("memhier: address %#x beyond the %d-bit packed-tag range", addr, bits.Len64(h.maxLine-1)))
+	}
+	h.probeOps++
+	// Warm the deeper levels' sets before the L1 scan: the probe loop walks
+	// the levels serially, so without this each level's set loads start only
+	// after the previous level missed. The early loads have no model side
+	// effects; they just overlap the host-cache misses of all levels' sets
+	// (the xor into warmSink keeps the compiler from dropping them).
+	if len(h.levels) > 1 {
+		line := lineAddr >> h.l1.lineShift
+		warm := uint64(0)
+		for _, c := range h.levels[1:] {
+			warm ^= uint64(c.sigs[int(line&c.setMask)*c.sigStride])
+		}
+		h.warmSink = warm
+	}
+	// Probe levels top-down; each miss leaves its fill hint in h.hints so
+	// the fills after a miss reuse the work of the miss scans instead of
+	// rescanning.
 	for i, c := range h.levels {
-		hit, wasPref := c.lookup(lineAddr, write && i == 0)
+		hit, wasPref := c.probe(lineAddr, write && i == 0, &h.hints[i])
 		if hit {
 			// Fill the line into all faster levels (inclusive fills).
 			h.fillAbove(i, lineAddr, write)
@@ -307,19 +766,23 @@ func (h *Hierarchy) Access(addr uint64, size int, write bool) AccessResult {
 	// Miss everywhere: DRAM services the line.
 	h.dram++
 	h.fillAbove(len(h.levels), lineAddr, write)
-	if h.cfg.NextLinePrefetch {
-		h.prefetch(lineAddr + uint64(h.LineSize()))
+	// The next-line target can sit one line past the packed-tag range when
+	// the demand access was the last representable line; the prefetcher
+	// simply does not cross that boundary (no silent tag truncation).
+	if next := lineAddr + uint64(h.LineSize()); h.cfg.NextLinePrefetch && next < h.maxLine {
+		h.prefetch(next)
 	}
 	return AccessResult{Source: SrcDRAM, Latency: h.cfg.DRAMLatency, LineAddr: lineAddr}
 }
 
-// fillAbove installs lineAddr into every level faster than hitLevel.
+// fillAbove installs lineAddr into every level faster than hitLevel, using
+// the fill hints the probe loop computed during the miss scans.
 // Dirty state lands in L1 for writes (write-allocate); evicted dirty lines
 // are pushed one level down, approximating write-back traffic.
 func (h *Hierarchy) fillAbove(hitLevel int, lineAddr uint64, write bool) {
 	for i := hitLevel - 1; i >= 0; i-- {
 		dirty := write && i == 0
-		evDirty, evAddr := h.levels[i].install(lineAddr, dirty, false)
+		evDirty, evAddr := h.levels[i].fill(lineAddr, &h.hints[i], dirty)
 		if evDirty && i+1 < len(h.levels) {
 			// Propagate the dirty line into the next level (it may already be
 			// there under inclusion; install refreshes and merges dirtiness).
@@ -333,36 +796,66 @@ func (h *Hierarchy) fillAbove(hitLevel int, lineAddr uint64, write bool) {
 func (h *Hierarchy) prefetch(lineAddr uint64) {
 	for i := 1; i < len(h.levels); i++ {
 		c := h.levels[i]
-		if c.contains(lineAddr) {
+		present, evDirty, evAddr := c.prefetchInstall(lineAddr)
+		if present {
 			continue
 		}
 		c.stats.Prefetches++
-		evDirty, evAddr := c.install(lineAddr, false, true)
 		if evDirty && i+1 < len(h.levels) {
 			h.levels[i+1].install(evAddr, true, false)
 		}
 	}
 }
 
+// BulkL1Hits applies n repeated L1 accesses to the line at lineAddr in one
+// step. The caller must have just accessed that line (it is the L1 MRU
+// line); the batched stream-issue path uses this to charge a whole run of
+// same-line element touches without re-probing. It reports false, with no
+// side effects, when lineAddr is not the L1 MRU line — the caller then
+// falls back to per-access issue.
+func (h *Hierarchy) BulkL1Hits(lineAddr uint64, n uint64, write bool) bool {
+	l1 := h.l1
+	if !l1.mruValid || l1.mruLine != lineAddr {
+		return false
+	}
+	h.mruHits += n
+	// LRU victim selection consumes only the order of touches, and all n
+	// touches land on the one MRU line, so a single recency refresh is
+	// equivalent to n per-op refreshes.
+	e := l1.slab[l1.mruIdx]
+	if l1.mats != nil {
+		l1.touch(l1.mruSet, l1.mruWay)
+	} else {
+		e = e&^lruFieldMask | uint64(l1.tickNext())<<lruShift
+	}
+	if write {
+		e |= entDirty
+	}
+	l1.slab[l1.mruIdx] = e
+	return true
+}
+
 // Contains reports whether the line holding addr is present at level i,
 // without disturbing replacement state. Intended for tests.
 func (h *Hierarchy) Contains(i int, addr uint64) bool {
-	lineAddr := addr &^ uint64(h.LineSize()-1)
+	lineAddr := addr &^ h.lineMask
 	return h.levels[i].contains(lineAddr)
 }
 
 // Reset clears all cached state and counters.
 func (h *Hierarchy) Reset() {
 	for _, c := range h.levels {
-		for s := range c.sets {
-			for w := range c.sets[s] {
-				c.sets[s][w] = line{}
-			}
-		}
+		clear(c.slab)
+		clear(c.occ)
+		clear(c.sigs)
+		clear(c.mats)
 		c.stats = LevelStats{}
 		c.tick = 0
+		c.mruValid = false
 	}
 	h.dram = 0
+	h.mruHits = 0
+	h.probeOps = 0
 }
 
 // MissLatencyName maps a DataSource to the PMU counter name used by the

@@ -46,6 +46,17 @@ func TestConfigValidation(t *testing.T) {
 		{Levels: base.Levels}, // DRAMLatency 0
 		func() Config {
 			c := base
+			// 4 cache levels: DataSource/PMU encode only L1..L3 + DRAM.
+			c.Levels = []LevelConfig{
+				{Name: "a", Size: 512, LineSize: 64, Assoc: 2, HitLatency: 1},
+				{Name: "b", Size: 1024, LineSize: 64, Assoc: 2, HitLatency: 2},
+				{Name: "c", Size: 2048, LineSize: 64, Assoc: 2, HitLatency: 3},
+				{Name: "d", Size: 4096, LineSize: 64, Assoc: 2, HitLatency: 4},
+			}
+			return c
+		}(), // too many levels
+		func() Config {
+			c := base
 			c.Levels = []LevelConfig{{Name: "x", Size: 100, LineSize: 64, Assoc: 2, HitLatency: 1}}
 			return c
 		}(), // size not divisible

@@ -1,0 +1,291 @@
+package memhier
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// This file pins the packed-slab + MRU-fast-path hierarchy to a
+// straightforward reference model: a direct port of the original
+// [][]line implementation (pointer-chased per-set slices, no MRU
+// shortcut, per-access stats). Every access must produce the identical
+// AccessResult, and the aggregate stats must match exactly.
+
+type refLine struct {
+	tag     uint64
+	valid   bool
+	dirty   bool
+	pref    bool
+	lastUse uint64
+}
+
+type refCache struct {
+	cfg       LevelConfig
+	sets      [][]refLine
+	setMask   uint64
+	lineShift uint
+	tick      uint64
+	stats     LevelStats
+}
+
+type refHier struct {
+	cfg    Config
+	levels []*refCache
+	dram   uint64
+}
+
+func newRefHier(t *testing.T, cfg Config) *refHier {
+	t.Helper()
+	h := &refHier{cfg: cfg}
+	for _, lc := range cfg.Levels {
+		nsets := lc.Size / (lc.LineSize * lc.Assoc)
+		c := &refCache{
+			cfg:       lc,
+			sets:      make([][]refLine, nsets),
+			setMask:   uint64(nsets - 1),
+			lineShift: uint(trailingZeros(lc.LineSize)),
+		}
+		for s := range c.sets {
+			c.sets[s] = make([]refLine, lc.Assoc)
+		}
+		h.levels = append(h.levels, c)
+	}
+	return h
+}
+
+func trailingZeros(v int) int {
+	n := 0
+	for v&1 == 0 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+func (c *refCache) lookup(lineAddr uint64, write bool) (hit, wasPref bool) {
+	set := (lineAddr >> c.lineShift) & c.setMask
+	tag := lineAddr >> c.lineShift
+	c.tick++
+	c.stats.Accesses++
+	ways := c.sets[set]
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			c.stats.Hits++
+			ways[i].lastUse = c.tick
+			if write {
+				ways[i].dirty = true
+			}
+			wasPref = ways[i].pref
+			if wasPref {
+				ways[i].pref = false
+				c.stats.PrefHits++
+			}
+			return true, wasPref
+		}
+	}
+	c.stats.Misses++
+	return false, false
+}
+
+func (c *refCache) install(lineAddr uint64, dirty, pref bool) (evictedDirty bool, evictedAddr uint64) {
+	set := (lineAddr >> c.lineShift) & c.setMask
+	tag := lineAddr >> c.lineShift
+	c.tick++
+	ways := c.sets[set]
+	victim := 0
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			ways[i].lastUse = c.tick
+			ways[i].dirty = ways[i].dirty || dirty
+			return false, 0
+		}
+		if !ways[i].valid {
+			ways[i] = refLine{tag: tag, valid: true, dirty: dirty, pref: pref, lastUse: c.tick}
+			return false, 0
+		}
+		if ways[i].lastUse < ways[victim].lastUse {
+			victim = i
+		}
+	}
+	ev := ways[victim]
+	ways[victim] = refLine{tag: tag, valid: true, dirty: dirty, pref: pref, lastUse: c.tick}
+	if ev.dirty {
+		c.stats.Writebacks++
+		return true, (ev.tag << c.lineShift)
+	}
+	return false, 0
+}
+
+func (c *refCache) contains(lineAddr uint64) bool {
+	set := (lineAddr >> c.lineShift) & c.setMask
+	tag := lineAddr >> c.lineShift
+	for _, w := range c.sets[set] {
+		if w.valid && w.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+func (h *refHier) Access(addr uint64, size int, write bool) AccessResult {
+	lineAddr := addr &^ uint64(h.cfg.Levels[0].LineSize-1)
+	for i, c := range h.levels {
+		hit, wasPref := c.lookup(lineAddr, write && i == 0)
+		if hit {
+			h.fillAbove(i, lineAddr, write)
+			return AccessResult{
+				Source:     DataSource(i),
+				Latency:    c.cfg.HitLatency,
+				LineAddr:   lineAddr,
+				Prefetched: wasPref,
+			}
+		}
+	}
+	h.dram++
+	h.fillAbove(len(h.levels), lineAddr, write)
+	if h.cfg.NextLinePrefetch {
+		h.prefetch(lineAddr + uint64(h.cfg.Levels[0].LineSize))
+	}
+	return AccessResult{Source: SrcDRAM, Latency: h.cfg.DRAMLatency, LineAddr: lineAddr}
+}
+
+func (h *refHier) fillAbove(hitLevel int, lineAddr uint64, write bool) {
+	for i := hitLevel - 1; i >= 0; i-- {
+		dirty := write && i == 0
+		evDirty, evAddr := h.levels[i].install(lineAddr, dirty, false)
+		if evDirty && i+1 < len(h.levels) {
+			h.levels[i+1].install(evAddr, true, false)
+		}
+	}
+}
+
+func (h *refHier) prefetch(lineAddr uint64) {
+	for i := 1; i < len(h.levels); i++ {
+		c := h.levels[i]
+		if c.contains(lineAddr) {
+			continue
+		}
+		c.stats.Prefetches++
+		evDirty, evAddr := c.install(lineAddr, false, true)
+		if evDirty && i+1 < len(h.levels) {
+			h.levels[i+1].install(evAddr, true, false)
+		}
+	}
+}
+
+// drive runs the same access sequence through both models, failing on the
+// first divergent result, and then compares aggregate stats.
+func drive(t *testing.T, cfg Config, accesses func(emit func(addr uint64, write bool))) {
+	t.Helper()
+	fast, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := newRefHier(t, cfg)
+	n := 0
+	accesses(func(addr uint64, write bool) {
+		got := fast.Access(addr, 8, write)
+		want := ref.Access(addr, 8, write)
+		if got != want {
+			t.Fatalf("access %d (addr %#x write %v): packed %+v, reference %+v",
+				n, addr, write, got, want)
+		}
+		n++
+	})
+	for i := range cfg.Levels {
+		if got, want := fast.LevelStats(i), ref.levels[i].stats; got != want {
+			t.Errorf("level %d stats: packed %+v, reference %+v", i, got, want)
+		}
+	}
+	if fast.DRAMAccesses() != ref.dram {
+		t.Errorf("DRAM accesses: packed %d, reference %d", fast.DRAMAccesses(), ref.dram)
+	}
+}
+
+func TestPackedMatchesReferenceRandom(t *testing.T) {
+	for _, prefetch := range []bool{false, true} {
+		cfg := DefaultConfig()
+		cfg.NextLinePrefetch = prefetch
+		drive(t, cfg, func(emit func(addr uint64, write bool)) {
+			rng := rand.New(rand.NewSource(7))
+			for i := 0; i < 200000; i++ {
+				emit(uint64(rng.Intn(1<<24)), rng.Intn(4) == 0)
+			}
+		})
+	}
+}
+
+func TestPackedMatchesReferenceStreaming(t *testing.T) {
+	// Sequential element sweeps: the pattern that exercises the MRU fast
+	// path hardest (7 of 8 accesses repeat the current line).
+	drive(t, DefaultConfig(), func(emit func(addr uint64, write bool)) {
+		for pass := 0; pass < 3; pass++ {
+			for a := uint64(0); a < 1<<21; a += 8 {
+				emit(a, pass == 1)
+			}
+		}
+	})
+}
+
+func TestPackedMatchesReferenceTinyEvictionHeavy(t *testing.T) {
+	// A tiny hierarchy makes every set boil: evictions, writebacks and
+	// prefetch collisions on nearly every access.
+	cfg := Config{
+		Levels: []LevelConfig{
+			{Name: "L1D", Size: 512, LineSize: 64, Assoc: 2, HitLatency: 4},
+			{Name: "L2", Size: 1024, LineSize: 64, Assoc: 2, HitLatency: 12},
+		},
+		DRAMLatency:      100,
+		NextLinePrefetch: true,
+	}
+	drive(t, cfg, func(emit func(addr uint64, write bool)) {
+		rng := rand.New(rand.NewSource(11))
+		for i := 0; i < 100000; i++ {
+			// Small footprint: high hit rates with constant eviction churn.
+			emit(uint64(rng.Intn(1<<12)), rng.Intn(3) == 0)
+		}
+	})
+}
+
+func TestBulkL1HitsMatchesPerAccess(t *testing.T) {
+	cfg := DefaultConfig()
+	fast, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := newRefHier(t, cfg)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		addr := uint64(rng.Intn(1 << 20))
+		write := rng.Intn(4) == 0
+		got := fast.Access(addr, 8, write)
+		want := ref.Access(addr, 8, write)
+		if got != want {
+			t.Fatalf("probe access diverged: %+v vs %+v", got, want)
+		}
+		// A batch of repeat touches on the just-accessed line must equal the
+		// same touches issued individually against the reference.
+		n := rng.Intn(7) + 1
+		bw := rng.Intn(2) == 0
+		if !fast.BulkL1Hits(got.LineAddr, uint64(n), bw) {
+			t.Fatalf("BulkL1Hits refused the just-accessed line %#x", got.LineAddr)
+		}
+		for j := 0; j < n; j++ {
+			r := ref.Access(addr, 8, bw)
+			if r.Source != SrcL1 {
+				t.Fatalf("reference repeat touch left L1: %+v", r)
+			}
+		}
+	}
+	for i := range cfg.Levels {
+		if got, want := fast.LevelStats(i), ref.levels[i].stats; got != want {
+			t.Errorf("level %d stats: packed %+v, reference %+v", i, got, want)
+		}
+	}
+	// BulkL1Hits must refuse a line that is not the MRU line.
+	if fast.BulkL1Hits(^uint64(0)&^h64LineMask(fast), 1, false) {
+		t.Error("BulkL1Hits accepted a non-MRU line")
+	}
+}
+
+func h64LineMask(h *Hierarchy) uint64 { return uint64(h.LineSize() - 1) }

@@ -238,6 +238,58 @@ func (e *Engine) Observe(op cpu.MemOp, timeNs uint64, stackID uint32) bool {
 	return true
 }
 
+// Countdowns returns the operations remaining until the next load and
+// store sample. The countdown-gated monitoring path exports these to the
+// core, which decrements them inline and calls back only when one fires.
+func (e *Engine) Countdowns() (load, store uint64) { return e.nextLoad, e.nextStore }
+
+// AddEligible credits n mask-matching operations observed outside the
+// engine. The gated path computes eligibility arithmetically from the
+// core's load/store counters instead of counting per op.
+func (e *Engine) AddEligible(n uint64) { e.stats.Eligible += n }
+
+// ObserveSampled processes an operation already selected by an external
+// countdown (the core's sample gate): it draws the next inter-sample gap
+// for the op's class — in the same order the per-op path would, keeping
+// randomized runs reproducible across both paths — applies the latency
+// threshold, and records the sample. It returns whether the op was
+// recorded and the new countdown for the op's class.
+func (e *Engine) ObserveSampled(op cpu.MemOp, timeNs uint64, stackID uint32) (recorded bool, nextGap uint64) {
+	if len(e.buf) >= e.cfg.BufferSize {
+		e.flushBuffer()
+	}
+	nextGap = e.gap()
+	if op.Store {
+		e.nextStore = nextGap
+	} else {
+		e.nextLoad = nextGap
+	}
+	e.stats.Fired++
+	if !op.Store && e.cfg.LatencyThreshold > 0 && op.Latency < e.cfg.LatencyThreshold {
+		e.stats.BelowThreshold++
+		return false, nextGap
+	}
+	lat := op.Latency
+	if op.Store && !e.cfg.RecordStoreLatency {
+		lat = 0
+	}
+	e.buf = append(e.buf, Sample{
+		TimeNs:  timeNs,
+		IP:      op.IP,
+		Addr:    op.Addr,
+		Size:    op.Size,
+		Store:   op.Store,
+		Latency: lat,
+		Source:  op.Source,
+		StackID: stackID,
+	})
+	e.stats.Recorded++
+	return true, nextGap
+}
+
+// BufferSize returns the configured hardware buffer capacity.
+func (e *Engine) BufferSize() int { return e.cfg.BufferSize }
+
 // Flush drains any buffered samples to the callback.
 func (e *Engine) Flush() {
 	if len(e.buf) > 0 {

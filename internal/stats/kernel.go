@@ -98,8 +98,25 @@ func silverman(xs []float64) float64 {
 	return 1.06 * sd * math.Pow(n, -0.2)
 }
 
-// Fit evaluates the regression of ys on xs at each grid point. xs need not be
-// sorted. The returned slice is aligned with grid.
+// support returns the kernel's effective half-width in normalized units:
+// distances beyond it contribute nothing detectable. Compact kernels cut at
+// their true support; the Gaussian is cut at 8 bandwidths, where the weight
+// (exp(-32) ≈ 1.3e-14) is far below the noise floor of any folded curve.
+func (k Kernel) support() float64 {
+	if k == Gaussian {
+		return 8
+	}
+	return 1
+}
+
+// Fit evaluates the regression of ys on xs at each grid point. xs need not
+// be sorted. The returned slice is aligned with grid.
+//
+// The evaluation sorts the samples once (materializing the boundary
+// reflections as explicit samples) and restricts every grid point to the
+// samples within the kernel support, turning the naive
+// O(len(grid)·len(xs)) kernel evaluation — the wall-clock bottleneck of
+// folding large traces — into O(len(grid)·window).
 func (s Smoother) Fit(xs, ys, grid []float64) ([]float64, error) {
 	if len(xs) == 0 {
 		return nil, ErrNoSamples
@@ -118,20 +135,49 @@ func (s Smoother) Fit(xs, ys, grid []float64) ([]float64, error) {
 		return nil, ErrBadBandwidth
 	}
 	reflect := s.Hi > s.Lo
+	n := len(xs)
+	if reflect {
+		n *= 3
+	}
+	// Sorted working copy, with reflected samples materialized so the
+	// windowed pass treats them like any other sample.
+	type pt struct{ x, y float64 }
+	pts := make([]pt, 0, n)
+	for j, x := range xs {
+		pts = append(pts, pt{x, ys[j]})
+		if reflect {
+			// Reflect about both boundaries to correct edge bias.
+			pts = append(pts, pt{2*s.Lo - x, ys[j]}, pt{2*s.Hi - x, ys[j]})
+		}
+	}
+	sort.Slice(pts, func(a, b int) bool { return pts[a].x < pts[b].x })
+	cut := s.Kernel.support() * h
+
 	out := make([]float64, len(grid))
 	for i, g := range grid {
+		lo := sort.Search(len(pts), func(j int) bool { return pts[j].x >= g-cut })
+		hi := sort.Search(len(pts), func(j int) bool { return pts[j].x > g+cut })
 		var num, den float64
-		for j, x := range xs {
-			w := s.Kernel.weight((g - x) / h)
-			if reflect {
-				// Reflect about both boundaries to correct edge bias.
-				w += s.Kernel.weight((g - (2*s.Lo - x)) / h)
-				w += s.Kernel.weight((g - (2*s.Hi - x)) / h)
-			}
-			num += w * ys[j]
+		for j := lo; j < hi; j++ {
+			w := s.Kernel.weight((g - pts[j].x) / h)
+			num += w * pts[j].y
 			den += w
 		}
 		if den == 0 {
+			if s.Kernel == Gaussian {
+				// The Gaussian is unbounded — the 8-bandwidth window only
+				// drops terms below the noise floor. For a grid point beyond
+				// it from every sample the regression limit is the nearest
+				// sample's value (its weight dominates exponentially), so
+				// return that rather than NaN, which downstream folding
+				// (Isotonic, Derivative) cannot digest.
+				j := lo
+				if j >= len(pts) || (j > 0 && g-pts[j-1].x <= pts[j].x-g) {
+					j--
+				}
+				out[i] = pts[j].y
+				continue
+			}
 			out[i] = math.NaN()
 			continue
 		}

@@ -58,6 +58,29 @@ func TestSmootherRecoversLinear(t *testing.T) {
 	}
 }
 
+// TestSmootherGaussianFarGrid pins the windowed Fit's behaviour for grid
+// points farther than the 8-bandwidth support from every sample: the
+// Gaussian (unbounded) must still return a finite value — the nearest
+// sample's — never NaN, because folding feeds the result into Isotonic
+// and Derivative unfiltered.
+func TestSmootherGaussianFarGrid(t *testing.T) {
+	xs := []float64{0.49, 0.50, 0.51}
+	ys := []float64{3, 3, 3}
+	grid := UniformGrid(0, 1, 11) // points up to ~25 bandwidths away
+	fit, err := Smoother{Bandwidth: 0.02}.Fit(xs, ys, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range grid {
+		if math.IsNaN(fit[i]) {
+			t.Fatalf("fit(%.2f) is NaN", g)
+		}
+		if math.Abs(fit[i]-3) > 1e-9 {
+			t.Errorf("fit(%.2f) = %g, want 3 (nearest-sample limit)", g, fit[i])
+		}
+	}
+}
+
 func TestSmootherErrors(t *testing.T) {
 	var sm Smoother
 	if _, err := sm.Fit(nil, nil, UniformGrid(0, 1, 3)); err != ErrNoSamples {

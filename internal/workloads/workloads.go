@@ -107,17 +107,23 @@ func (s *Stream) Setup(ctx *Ctx) error {
 	return nil
 }
 
-// Run implements Workload.
+// Run implements Workload. The triad's three arrays are swept in cache-line
+// chunks through the core's batched stream-issue API: one hierarchy probe
+// per line crossing instead of one per element.
 func (s *Stream) Run(ctx *Ctx, iters int) error {
 	core := ctx.Core
+	const chunk = 8 // float64s per 64-byte line
 	for it := 0; it < iters; it++ {
 		ctx.Mon.EnterRegion(s.region)
-		for i := 0; i < s.N; i++ {
-			core.Load(s.ipLoadB, s.bAddr+uint64(i)*8, 8)
-			core.Load(s.ipLoadC, s.cAddr+uint64(i)*8, 8)
-			s.a[i] = s.b[i] + s.Scale*s.c[i]
-			core.Store(s.ipStoreA, s.aAddr+uint64(i)*8, 8)
-			core.Compute(2)
+		for i := 0; i < s.N; i += chunk {
+			k := min(chunk, s.N-i)
+			core.LoadStream(s.ipLoadB, s.bAddr+uint64(i)*8, 8, 8, k)
+			core.LoadStream(s.ipLoadC, s.cAddr+uint64(i)*8, 8, 8, k)
+			for e := i; e < i+k; e++ {
+				s.a[e] = s.b[e] + s.Scale*s.c[e]
+			}
+			core.StoreStream(s.ipStoreA, s.aAddr+uint64(i)*8, 8, 8, k)
+			core.Compute(uint64(2 * k))
 		}
 		ctx.Mon.ExitRegion(s.region)
 	}
