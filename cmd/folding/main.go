@@ -22,6 +22,8 @@ func main() {
 	var (
 		in      = flag.String("i", "trace.prv", "input trace (.prv)")
 		region  = flag.Int64("region", 0, "region id to fold (0 = largest total time)")
+		task    = flag.Int("task", 1, "task id to fold (multi-thread traces carry one stream per (task, thread))")
+		thread  = flag.Int("thread", 1, "thread id to fold")
 		grid    = flag.Int("grid", 200, "folded grid resolution")
 		bw      = flag.Float64("bandwidth", 0.02, "kernel regression bandwidth")
 		csvOut  = flag.String("csv", "", "write folded counter series to this CSV file")
@@ -42,10 +44,10 @@ func main() {
 	if err != nil && !errors.Is(err, io.EOF) {
 		fatal(err)
 	}
-	fmt.Printf("%s: %d records, %d task(s) x %d thread(s)\n",
-		*in, len(records), tr.Tasks(), tr.Threads())
+	fmt.Printf("%s: %d records, %d task(s) x %d thread(s); analyzing thread %d.%d\n",
+		*in, len(records), tr.Tasks(), tr.Threads(), *task, *thread)
 
-	spans, err := paraver.Timeline(records, 1, 1)
+	spans, err := paraver.Timeline(records, *task, *thread)
 	if err != nil {
 		fatal(err)
 	}
@@ -70,7 +72,7 @@ func main() {
 		fmt.Printf("\nfolding region %d (largest total time)\n", target)
 	}
 
-	instances, err := folding.Extract(records, target)
+	instances, err := folding.ExtractThread(records, target, *task, *thread)
 	if err != nil {
 		fatal(err)
 	}

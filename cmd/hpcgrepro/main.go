@@ -24,6 +24,7 @@ func main() {
 		nx       = flag.Int("nx", 32, "local box dimension (nx=ny=nz; paper used 104)")
 		levels   = flag.Int("mg-levels", 4, "multigrid levels")
 		iters    = flag.Int("iters", 8, "CG iterations to fold over")
+		threads  = flag.Int("threads", 1, "simulated hardware threads (OpenMP-style row partitioning, shared L3, one trace stream and folded analysis per thread)")
 		period   = flag.Uint64("period", 1000, "PEBS sampling period (memory ops per sample)")
 		muxNs    = flag.Uint64("mux-ns", 1_000_000, "load/store multiplexing quantum in ns (0 = sample both always)")
 		outDir   = flag.String("out", "", "directory for CSV series and trace files (optional)")
@@ -54,8 +55,13 @@ func main() {
 	if *noGroups {
 		fmt.Println("note: running with allocation grouping effectively disabled")
 	}
-	fmt.Printf("HPCG %d^3, %d MG levels, %d iterations, PEBS period %d, mux %d ns\n",
-		*nx, *levels, *iters, *period, *muxNs)
+	fmt.Printf("HPCG %d^3, %d MG levels, %d iterations, %d threads, PEBS period %d, mux %d ns\n",
+		*nx, *levels, *iters, *threads, *period, *muxNs)
+
+	if *threads > 1 {
+		runParallel(cfg, params, *threads, *outDir)
+		return
+	}
 
 	run, err := core.RunHPCG(cfg, params)
 	if err != nil {
@@ -95,6 +101,63 @@ func main() {
 		}
 		fmt.Printf("\nCSV series and trace written to %s\n", *outDir)
 	}
+}
+
+// runParallel is the multi-threaded reproduction: one simulated core per
+// thread with private L1/L2, a shared L3, static row partitioning of
+// every kernel, and a separate folded analysis per thread.
+func runParallel(cfg core.Config, params hpcg.Params, threads int, outDir string) {
+	run, err := core.RunHPCGParallel(cfg, params, threads)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nCG finished: %d iterations, final residual %.3e, |x - xexact| = %.3e\n",
+		run.CG.Iterations, run.CG.Residuals[len(run.CG.Residuals)-1], run.CG.FinalError)
+
+	fig := run.Figure()
+	if err := fig.Render(os.Stdout); err != nil {
+		fatal(err)
+	}
+	reg := run.Machine.Primary().Mon.Registry()
+	fmt.Printf("\nsample resolution rate: %.1f%% (shared object registry)\n", 100*reg.ResolutionRate())
+
+	if outDir != "" {
+		if err := writeParallelOutputs(outDir, run); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nPer-thread CSV series and merged trace written to %s\n", outDir)
+	}
+}
+
+func writeParallelOutputs(dir string, run *core.MachineHPCGRun) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, tr := range run.Threads {
+		name := fmt.Sprintf("phases_t%d.csv", tr.Thread)
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if err := report.WritePhasesCSV(f, tr.Folded); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	prv, err := os.Create(filepath.Join(dir, "hpcg.prv"))
+	if err != nil {
+		return err
+	}
+	defer prv.Close()
+	pcf, err := os.Create(filepath.Join(dir, "hpcg.pcf"))
+	if err != nil {
+		return err
+	}
+	defer pcf.Close()
+	return run.Machine.WriteTrace(prv, pcf)
 }
 
 func writeOutputs(dir string, run *core.HPCGRun, fig *report.Figure1) error {

@@ -23,6 +23,8 @@ func main() {
 	var (
 		in     = flag.String("i", "trace.prv", "input trace (.prv)")
 		region = flag.Int64("region", 0, "region id to fold (0 = largest total time)")
+		task   = flag.Int("task", 1, "task id to fold (multi-thread traces carry one stream per (task, thread))")
+		thread = flag.Int("thread", 1, "thread id to fold")
 		width  = flag.Int("width", 100, "panel width")
 		height = flag.Int("height", 24, "panel height")
 	)
@@ -43,7 +45,7 @@ func main() {
 	}
 	target := *region
 	if target == 0 {
-		spans, err := paraver.Timeline(records, 1, 1)
+		spans, err := paraver.Timeline(records, *task, *thread)
 		if err != nil {
 			fatal(err)
 		}
@@ -53,7 +55,7 @@ func main() {
 		}
 		target = prof[0].Region
 	}
-	instances, err := folding.Extract(records, target)
+	instances, err := folding.ExtractThread(records, target, *task, *thread)
 	if err != nil {
 		fatal(err)
 	}

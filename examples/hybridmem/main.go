@@ -39,11 +39,13 @@ func main() {
 		if c == 0 {
 			continue
 		}
-		lo := 1 << b
-		if b == 0 {
-			lo = 0
+		// Bucket 0 holds exactly distance 0; bucket b >= 1 holds
+		// [2^(b-1), 2^b) (the bits.Len64 bucketing).
+		lo := 0
+		if b >= 1 {
+			lo = 1 << (b - 1)
 		}
-		fmt.Printf("  distance [%6d, %6d): %5.1f%%\n", lo, 1<<(b+1),
+		fmt.Printf("  distance [%6d, %6d): %5.1f%%\n", lo, 1<<b,
 			100*float64(c)/float64(h.Total))
 	}
 

@@ -1,0 +1,394 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/cpu"
+	"repro/internal/extrae"
+	"repro/internal/folding"
+	"repro/internal/hpcg"
+	"repro/internal/memhier"
+	"repro/internal/prog"
+	"repro/internal/report"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// MachineThread is one simulated core's private stack: its own cache
+// levels (L1/L2), core, PMU, PEBS engine and Extrae monitor — exactly what
+// the paper's per-hardware-thread monitoring attaches to each OpenMP
+// thread. The hierarchy's last level is the Machine's shared L3.
+type MachineThread struct {
+	Hier *memhier.Hierarchy
+	Core *cpu.Core
+	Mon  *extrae.Monitor
+}
+
+// Machine is an N-core simulated shared-memory node: N MachineThreads
+// running concurrently (one goroutine each during parallel sections),
+// sharing one thread-safe L3, one address space, one synthetic binary and
+// one data-object registry. A 1-thread Machine is observationally
+// identical to a Session — the fastpath equivalence suite pins this.
+type Machine struct {
+	Cfg     Config
+	Threads []*MachineThread
+	// L3 is the shared last-level cache all threads' hierarchies drain to.
+	L3  *memhier.SharedCache
+	Bin *prog.Binary
+	AS  *prog.AddressSpace
+
+	// sortedLog memoizes MergedRecords and threadLogs the per-thread
+	// sorted streams (the per-monitor logs are append-only, so an
+	// unchanged length means an unchanged log).
+	sortedLog  []trace.Record
+	sortedLen  int
+	threadLogs []threadLog
+}
+
+type threadLog struct {
+	recs []trace.Record
+	n    int
+}
+
+// NewMachine builds an n-thread machine from the session configuration:
+// the last configured cache level becomes the shared L3, the remaining
+// levels are replicated privately per thread.
+func NewMachine(cfg Config, n int) (*Machine, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("core: machine needs at least one thread, got %d", n)
+	}
+	cfg = applyReference(cfg)
+	levels := cfg.Cache.Levels
+	if len(levels) < 2 {
+		return nil, fmt.Errorf("core: machine needs >= 2 cache levels (private + shared LLC), got %d", len(levels))
+	}
+	llc, err := memhier.NewSharedCache(levels[len(levels)-1], 0)
+	if err != nil {
+		return nil, err
+	}
+	privCfg := memhier.Config{
+		Levels:           levels[:len(levels)-1],
+		DRAMLatency:      cfg.Cache.DRAMLatency,
+		NextLinePrefetch: cfg.Cache.NextLinePrefetch,
+	}
+	m := &Machine{
+		Cfg: cfg, L3: llc,
+		Bin:        prog.NewBinary(),
+		AS:         prog.NewAddressSpace(heapBase(cfg)),
+		threadLogs: make([]threadLog, n),
+	}
+	for t := 0; t < n; t++ {
+		hier, err := memhier.NewWithSharedLLC(privCfg, llc)
+		if err != nil {
+			return nil, err
+		}
+		c, err := cpu.New(cfg.CPU, hier)
+		if err != nil {
+			return nil, err
+		}
+		mcfg := cfg.Monitor
+		mcfg.Thread = t + 1
+		if t > 0 {
+			// Secondary threads resolve samples against the primary's
+			// registry and leave the allocator hooks to the primary
+			// (setup is single-threaded on thread 1).
+			mcfg.Registry = m.Threads[0].Mon.Registry()
+			mcfg.DisableAllocHooks = true
+		}
+		mon, err := extrae.New(mcfg, c, m.Bin, m.AS)
+		if err != nil {
+			return nil, err
+		}
+		m.Threads = append(m.Threads, &MachineThread{Hier: hier, Core: c, Mon: mon})
+	}
+	return m, nil
+}
+
+// NThreads returns the number of simulated hardware threads.
+func (m *Machine) NThreads() int { return len(m.Threads) }
+
+// Primary returns thread 1's stack (setup, allocation instrumentation and
+// scalar bookkeeping run there).
+func (m *Machine) Primary() *MachineThread { return m.Threads[0] }
+
+// StartAll enables monitoring on every thread.
+func (m *Machine) StartAll() {
+	for _, th := range m.Threads {
+		th.Mon.Start()
+	}
+}
+
+// StopAll disables monitoring and flushes pending samples on every thread.
+func (m *Machine) StopAll() {
+	for _, th := range m.Threads {
+		th.Mon.Stop()
+	}
+}
+
+// Team builds the hpcg worker team over the machine's threads (worker
+// index = thread id - 1). Close it when done.
+func (m *Machine) Team() (*hpcg.Team, error) {
+	workers := make([]*hpcg.Worker, len(m.Threads))
+	for i, th := range m.Threads {
+		workers[i] = &hpcg.Worker{Core: th.Core, Mon: th.Mon}
+	}
+	return hpcg.NewTeam(workers)
+}
+
+// FuncOf resolves an instruction pointer to its function name ("" when
+// unknown); used to label folded phases.
+func (m *Machine) FuncOf(ip uint64) string {
+	if loc, ok := m.Bin.Lookup(ip); ok {
+		return loc.Function
+	}
+	return ""
+}
+
+// MergedRecords returns all threads' trace records merged into one
+// chronological stream (the trace.Merge of the per-thread streams, which
+// also time-sorts each thread's buffered-PEBS reorderings). The result is
+// memoized; callers must not mutate it.
+func (m *Machine) MergedRecords() []trace.Record {
+	var total int
+	for _, th := range m.Threads {
+		total += len(th.Mon.Records())
+	}
+	if m.sortedLog != nil && m.sortedLen == total {
+		return m.sortedLog
+	}
+	streams := make([][]trace.Record, len(m.Threads))
+	for i, th := range m.Threads {
+		streams[i] = th.Mon.Records()
+	}
+	m.sortedLog, m.sortedLen = trace.Merge(streams...), total
+	return m.sortedLog
+}
+
+// threadRecords returns thread i's (0-based) own trace stream, time-sorted
+// (buffered PEBS drains log sample records out of order) and memoized —
+// per-thread folding never needs the full merged trace.
+func (m *Machine) threadRecords(i int) []trace.Record {
+	log := m.Threads[i].Mon.Records()
+	tl := &m.threadLogs[i]
+	if tl.recs != nil && tl.n == len(log) {
+		return tl.recs
+	}
+	tl.recs, tl.n = trace.Merge(log), len(log)
+	return tl.recs
+}
+
+// Fold extracts and folds the named region for one thread (1-based) from
+// that thread's own stream (equivalent to ExtractThread over the merged
+// trace, without re-scanning every other thread's records).
+func (m *Machine) Fold(region extrae.Region, thread int) (*folding.Folded, error) {
+	if thread < 1 || thread > len(m.Threads) {
+		return nil, fmt.Errorf("core: thread %d out of range 1..%d", thread, len(m.Threads))
+	}
+	th := m.Threads[thread-1]
+	instances, err := folding.ExtractThread(m.threadRecords(thread-1), int64(region), th.Mon.Task(), th.Mon.Thread())
+	if err != nil {
+		return nil, err
+	}
+	if len(instances) == 0 {
+		return nil, fmt.Errorf("core: no instances of region %q on thread %d", th.Mon.RegionName(region), thread)
+	}
+	// Stack ids are monitor-local, so the outermost-frame attribution must
+	// resolve against this thread's own monitor.
+	return foldInstances(instances, m.Cfg.Folding, region, m.FuncOf, th.Mon)
+}
+
+// WriteTrace serializes the merged multi-thread trace and labels to the
+// writers (PRV-style text and PCF). All monitors carry identical labels;
+// the primary's are written.
+func (m *Machine) WriteTrace(prv, pcf interface {
+	Write(p []byte) (int, error)
+}) error {
+	recs := m.MergedRecords()
+	var dur uint64
+	if len(recs) > 0 {
+		dur = recs[len(recs)-1].TimeNs
+	}
+	w, err := trace.NewWriter(prv, 1, len(m.Threads), dur)
+	if err != nil {
+		return err
+	}
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			return err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	return m.Primary().Mon.Labels().WritePCF(pcf)
+}
+
+// RunWorkloadParallel runs a partitionable synthetic workload across an
+// n-thread Machine: setup on the primary thread, then one goroutine per
+// thread free-running its static element block (the triad-style workloads
+// have no cross-block dependencies, so no barriers are needed), then one
+// folded analysis per thread. With one thread the run is identical to
+// RunWorkload.
+func RunWorkloadParallel(cfg Config, w workloads.PartitionedWorkload, iters, threads int) (*MachineWorkloadResult, error) {
+	m, err := NewMachine(cfg, threads)
+	if err != nil {
+		return nil, err
+	}
+	primary := m.Primary()
+	if err := w.Setup(&workloads.Ctx{Core: primary.Core, Mon: primary.Mon, Bin: m.Bin}); err != nil {
+		return nil, err
+	}
+	for _, th := range m.Threads[1:] {
+		// Setup registered the region on the primary; secondaries must
+		// assign the same id for the merged streams to agree.
+		if got := th.Mon.RegisterRegion(w.Name()); got != w.Region() {
+			return nil, fmt.Errorf("core: region %q registered as %d on thread %d, primary has %d",
+				w.Name(), got, th.Mon.Thread(), w.Region())
+		}
+	}
+	m.StartAll()
+	n := w.Elements()
+	errs := make([]error, len(m.Threads))
+	var wg sync.WaitGroup
+	for t, th := range m.Threads {
+		wg.Add(1)
+		go func(t int, th *MachineThread) {
+			defer wg.Done()
+			lo, hi := t*n/len(m.Threads), (t+1)*n/len(m.Threads)
+			errs[t] = w.RunPartition(&workloads.Ctx{Core: th.Core, Mon: th.Mon, Bin: m.Bin}, iters, lo, hi)
+		}(t, th)
+	}
+	wg.Wait()
+	for t, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: thread %d: %w", t+1, err)
+		}
+	}
+	m.StopAll()
+	res := &MachineWorkloadResult{Machine: m}
+	for t := 1; t <= len(m.Threads); t++ {
+		folded, err := m.Fold(w.Region(), t)
+		if err != nil {
+			return nil, err
+		}
+		res.Threads = append(res.Threads, MachineThreadRun{Thread: t, Folded: folded})
+	}
+	return res, nil
+}
+
+// MachineWorkloadResult bundles a multi-threaded synthetic-workload run
+// with its per-thread foldings.
+type MachineWorkloadResult struct {
+	Machine *Machine
+	Threads []MachineThreadRun
+}
+
+// MachineThreadRun is one thread's folded view of a machine HPCG run.
+type MachineThreadRun struct {
+	// Thread is the 1-based thread id.
+	Thread int
+	// Folded is the thread's folded CG_iteration region.
+	Folded *folding.Folded
+	// Paper maps the thread's detected phases onto the paper's letters.
+	Paper []PaperPhase
+}
+
+// MachineHPCGRun bundles the multi-threaded HPCG reproduction: the shared
+// solve plus one folded analysis per thread.
+type MachineHPCGRun struct {
+	Machine *Machine
+	Problem *hpcg.Problem
+	CG      *hpcg.CGResult
+	Threads []MachineThreadRun
+}
+
+// RunHPCGParallel executes the paper's evaluation on an n-thread Machine:
+// generate the problem once (setup on thread 1), run the OpenMP-style
+// domain-partitioned CG across all threads under monitoring, merge the
+// per-thread trace streams and fold each thread separately.
+func RunHPCGParallel(cfg Config, params hpcg.Params, threads int) (*MachineHPCGRun, error) {
+	m, err := NewMachine(cfg, threads)
+	if err != nil {
+		return nil, err
+	}
+	if err := hpcg.SetupBinary(m.Bin); err != nil {
+		return nil, err
+	}
+	primary := m.Primary()
+	problem, err := hpcg.Generate(params, primary.Core, primary.Mon, m.Bin)
+	if err != nil {
+		return nil, err
+	}
+	for _, th := range m.Threads[1:] {
+		if err := problem.RegisterRegions(th.Mon); err != nil {
+			return nil, err
+		}
+	}
+	team, err := m.Team()
+	if err != nil {
+		return nil, err
+	}
+	defer team.Close()
+	m.StartAll()
+	cg, err := problem.RunCGParallel(team)
+	if err != nil {
+		return nil, err
+	}
+	m.StopAll()
+	run := &MachineHPCGRun{Machine: m, Problem: problem, CG: cg}
+	for t := 1; t <= len(m.Threads); t++ {
+		folded, err := m.Fold(problem.RegionIteration, t)
+		if err != nil {
+			return nil, err
+		}
+		run.Threads = append(run.Threads, MachineThreadRun{
+			Thread: t,
+			Folded: folded,
+			Paper:  LabelPaperPhases(folded, m.FuncOf),
+		})
+	}
+	return run, nil
+}
+
+// Figure assembles the cross-thread report: per-thread folded curves and
+// phase tables plus the shared-L3 miss attribution.
+func (r *MachineHPCGRun) Figure() *report.MachineFigure {
+	fig := &report.MachineFigure{}
+	for _, tr := range r.Threads {
+		labels := make([]string, len(tr.Paper))
+		for i, pp := range tr.Paper {
+			labels[i] = pp.Label
+		}
+		fig.Threads = append(fig.Threads, report.ThreadFigure{
+			Thread:      tr.Thread,
+			Folded:      tr.Folded,
+			PaperLabels: labels,
+		})
+	}
+	llcLevel := r.Machine.Primary().Hier.Levels() - 1
+	for _, mt := range r.Machine.Threads {
+		st := mt.Hier.LevelStats(llcLevel)
+		fig.L3.PerThread = append(fig.L3.PerThread, report.L3ThreadRow{
+			Thread:   mt.Mon.Thread(),
+			Accesses: st.Accesses,
+			Misses:   st.Misses,
+		})
+	}
+	llc := r.Machine.L3.Stats()
+	fig.L3.Writebacks = llc.Writebacks
+	fig.L3.Prefetches = llc.Prefetches
+	fig.L3.PrefHits = llc.PrefHits
+	return fig
+}
+
+// PhaseByLabel returns thread t's (1-based) first phase with the given
+// paper label.
+func (r *MachineHPCGRun) PhaseByLabel(thread int, label string) (folding.Phase, bool) {
+	for _, pp := range r.Threads[thread-1].Paper {
+		if pp.Label == label {
+			return pp.Phase, true
+		}
+	}
+	return folding.Phase{}, false
+}

@@ -76,12 +76,20 @@ type Session struct {
 	sortedLen int
 }
 
-// NewSession builds the stack.
-func NewSession(cfg Config) (*Session, error) {
+// applyReference expands the Reference shorthand into the concrete
+// per-operation knobs of the sub-configurations (shared by Session and
+// Machine so the two assemble identical reference stacks).
+func applyReference(cfg Config) Config {
 	if cfg.Reference {
 		cfg.CPU.PerOpStreams = true
 		cfg.Monitor.PerOpObserve = true
 	}
+	return cfg
+}
+
+// NewSession builds the stack.
+func NewSession(cfg Config) (*Session, error) {
+	cfg = applyReference(cfg)
 	hier, err := memhier.New(cfg.Cache)
 	if err != nil {
 		return nil, err
@@ -91,22 +99,27 @@ func NewSession(cfg Config) (*Session, error) {
 		return nil, err
 	}
 	bin := prog.NewBinary()
-	base := cfg.HeapBase
-	if base == 0 {
-		base = defaultHeapBase
-	}
-	if cfg.ASLRSeed != 0 {
-		// Randomize the mmap base by up to 1 TiB in page steps, like
-		// Linux ASLR does for the heap of a PIE binary.
-		rng := rand.New(rand.NewSource(cfg.ASLRSeed))
-		base += uint64(rng.Int63n(1<<40)) &^ 0xfff
-	}
-	as := prog.NewAddressSpace(base)
+	as := prog.NewAddressSpace(heapBase(cfg))
 	mon, err := extrae.New(cfg.Monitor, c, bin, as)
 	if err != nil {
 		return nil, err
 	}
 	return &Session{Cfg: cfg, Hier: hier, Core: c, Bin: bin, AS: as, Mon: mon}, nil
+}
+
+// heapBase resolves the configured heap base, randomizing it by up to
+// 1 TiB in page steps when an ASLR seed is set — like Linux ASLR does for
+// the heap of a PIE binary.
+func heapBase(cfg Config) uint64 {
+	base := cfg.HeapBase
+	if base == 0 {
+		base = defaultHeapBase
+	}
+	if cfg.ASLRSeed != 0 {
+		rng := rand.New(rand.NewSource(cfg.ASLRSeed))
+		base += uint64(rng.Int63n(1<<40)) &^ 0xfff
+	}
+	return base
 }
 
 // Ctx returns the workload-facing view of the session.
@@ -140,25 +153,20 @@ func (s *Session) sortedRecords() []trace.Record {
 	return recs
 }
 
-// Fold extracts and folds the named region from the monitor's trace.
-func (s *Session) Fold(region extrae.Region) (*folding.Folded, error) {
-	instances, err := folding.Extract(s.sortedRecords(), int64(region))
-	if err != nil {
-		return nil, err
-	}
-	if len(instances) == 0 {
-		return nil, fmt.Errorf("core: no instances of region %q in trace", s.Mon.RegionName(region))
-	}
-	cfg := s.Cfg.Folding
+// foldInstances is the shared folding tail of Session.Fold and
+// Machine.Fold: bind the config defaults — FuncOf resolves through the
+// binary, PhaseIP attributes samples taken under an instrumented call
+// frame to the outermost frame of the emitting monitor's stack table
+// (e.g. the multigrid coarse-level smoother runs the same code as the
+// fine smoother, but belongs to ComputeMG_ref) — then fold and label.
+func foldInstances(instances []folding.Instance, cfg folding.Config, region extrae.Region,
+	funcOf func(ip uint64) string, mon *extrae.Monitor) (*folding.Folded, error) {
 	if cfg.FuncOf == nil {
-		cfg.FuncOf = s.FuncOf
+		cfg.FuncOf = funcOf
 	}
 	if cfg.PhaseIP == nil {
-		// Attribute samples taken under an instrumented call frame to the
-		// outermost frame (e.g. the multigrid coarse-level smoother runs
-		// the same code as the fine smoother, but belongs to ComputeMG_ref).
 		cfg.PhaseIP = func(smp folding.Sample) uint64 {
-			if frames := s.Mon.Stacks().Frames(smp.StackID); len(frames) > 0 {
+			if frames := mon.Stacks().Frames(smp.StackID); len(frames) > 0 {
 				return frames[len(frames)-1]
 			}
 			return smp.IP
@@ -169,8 +177,20 @@ func (s *Session) Fold(region extrae.Region) (*folding.Folded, error) {
 		return nil, err
 	}
 	folded.Region = int64(region)
-	folded.LabelPhases(s.FuncOf)
+	folded.LabelPhases(funcOf)
 	return folded, nil
+}
+
+// Fold extracts and folds the named region from the monitor's trace.
+func (s *Session) Fold(region extrae.Region) (*folding.Folded, error) {
+	instances, err := folding.Extract(s.sortedRecords(), int64(region))
+	if err != nil {
+		return nil, err
+	}
+	if len(instances) == 0 {
+		return nil, fmt.Errorf("core: no instances of region %q in trace", s.Mon.RegionName(region))
+	}
+	return foldInstances(instances, s.Cfg.Folding, region, s.FuncOf, s.Mon)
 }
 
 // RunWorkloadResult bundles a monitored workload run with its folding.

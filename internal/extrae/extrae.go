@@ -47,6 +47,21 @@ type Config struct {
 	// fires or a multiplexing quantum expires. Both paths must produce
 	// identical traces; equivalence tests run them against each other.
 	PerOpObserve bool
+	// Task and Thread identify the emitting Paraver object in trace records
+	// (1-based; 0 defaults to 1). A Machine assigns one thread id per
+	// simulated core so the merged trace keeps per-thread streams apart.
+	Task, Thread int
+	// Registry, when non-nil, is a shared data-object registry used instead
+	// of a monitor-private one — the Machine's monitors all resolve samples
+	// against the same object table. The binary scan is skipped (the
+	// registry's creator performed it); the registry must be safe for
+	// concurrent Record calls.
+	Registry *objects.Registry
+	// DisableAllocHooks leaves the address space's allocation hooks alone.
+	// In a Machine only the primary monitor instruments the allocator
+	// (setup is single-threaded); secondary monitors set this so the last
+	// monitor constructed does not steal the hooks.
+	DisableAllocHooks bool
 }
 
 // DefaultConfig returns the paper-like monitoring setup: default PEBS
@@ -65,9 +80,11 @@ func DefaultConfig() Config {
 // Region identifies an instrumented code region (user function).
 type Region int
 
-// Monitor is the per-thread monitoring runtime. Not safe for concurrent
-// use; the simulated workloads are single software threads (the paper's
-// analysis is likewise per-thread).
+// Monitor is the per-thread monitoring runtime. One Monitor is driven by
+// one simulated hardware thread at a time (the paper's analysis is
+// likewise per-thread); a Machine builds one Monitor per core, each
+// emitting its own trace stream under its own thread id, optionally
+// sharing one object registry.
 type Monitor struct {
 	cfg    Config
 	core   *cpu.Core
@@ -76,6 +93,8 @@ type Monitor struct {
 	stacks *prog.StackTable
 	engine *pebs.Engine
 	reg    *objects.Registry
+
+	task, thread int
 
 	records []trace.Record
 	labels  *trace.Labels
@@ -120,11 +139,26 @@ func New(cfg Config, core *cpu.Core, bin *prog.Binary, as *prog.AddressSpace) (*
 		as:     as,
 		stacks: prog.NewStackTable(),
 		labels: trace.NewLabels(),
+		task:   cfg.Task,
+		thread: cfg.Thread,
 	}
-	m.reg = objects.NewRegistry(objects.Config{
-		MinTrackSize: cfg.MinTrackSize,
-		Namer:        func(id uint32) string { return m.stacks.SiteName(id, bin) },
-	})
+	if m.task <= 0 {
+		m.task = 1
+	}
+	if m.thread <= 0 {
+		m.thread = 1
+	}
+	if cfg.Registry != nil {
+		m.reg = cfg.Registry
+	} else {
+		m.reg = objects.NewRegistry(objects.Config{
+			MinTrackSize: cfg.MinTrackSize,
+			Namer:        func(id uint32) string { return m.stacks.SiteName(id, bin) },
+		})
+		if err := m.reg.ScanBinary(bin); err != nil {
+			return nil, err
+		}
+	}
 	eng, err := pebs.New(cfg.PEBS, m.onDrain)
 	if err != nil {
 		return nil, err
@@ -135,9 +169,6 @@ func New(cfg Config, core *cpu.Core, bin *prog.Binary, as *prog.AddressSpace) (*
 		m.engine.SetEvents(pebs.SampleLoads)
 		m.muxNext = core.NowNs() + cfg.MuxQuantumNs
 	}
-	if err := m.reg.ScanBinary(bin); err != nil {
-		return nil, err
-	}
 	if cfg.PerOpObserve {
 		core.SetMemHook(m.onMemOp)
 	} else {
@@ -146,7 +177,9 @@ func New(cfg Config, core *cpu.Core, bin *prog.Binary, as *prog.AddressSpace) (*
 		core.SetGatedMemHook(m.onGatedMemOp)
 		// Gates stay disarmed (never firing) until Start.
 	}
-	as.SetHooks(prog.Hooks{OnAlloc: m.onAlloc, OnFree: m.onFree})
+	if !cfg.DisableAllocHooks {
+		as.SetHooks(prog.Hooks{OnAlloc: m.onAlloc, OnFree: m.onFree})
+	}
 	m.initLabels()
 	return m, nil
 }
@@ -311,11 +344,17 @@ func counterPairs(snap [cpu.NumCounters]uint64) []trace.TypeValue {
 func (m *Monitor) emit(pairs []trace.TypeValue) {
 	m.records = append(m.records, trace.Record{
 		TimeNs: m.core.NowNs(),
-		Task:   1,
-		Thread: 1,
+		Task:   m.task,
+		Thread: m.thread,
 		Pairs:  pairs,
 	})
 }
+
+// Thread returns the 1-based thread id stamped on this monitor's records.
+func (m *Monitor) Thread() int { return m.thread }
+
+// Task returns the 1-based task id stamped on this monitor's records.
+func (m *Monitor) Task() int { return m.task }
 
 // EnterRegion records entry into an instrumented region, with a counter
 // snapshot (folding needs counters at instance boundaries).
@@ -558,7 +597,7 @@ func (m *Monitor) onDrain(samples []pebs.Sample) {
 		}
 		pairs = append(pairs, counterPairs(m.pendingSnaps[i])...)
 		m.records = append(m.records, trace.Record{
-			TimeNs: s.TimeNs, Task: 1, Thread: 1, Pairs: pairs,
+			TimeNs: s.TimeNs, Task: m.task, Thread: m.thread, Pairs: pairs,
 		})
 	}
 	m.pendingSnaps = m.pendingSnaps[:0]

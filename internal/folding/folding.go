@@ -55,14 +55,47 @@ func (in *Instance) DurationNs() uint64 { return in.T1 - in.T0 }
 // Extract collects the instances of the given region id from a chronological
 // trace record stream, attaching the samples that fall inside each instance.
 // Regions nest (an HPCG iteration contains SYMGS/SPMV/MG sub-regions); the
-// nesting depth is tracked so only the matching end event closes an
-// instance. Nested occurrences of the *same* region id are rejected.
+// nesting depth of sub-regions opened inside the instance is tracked so
+// only the matching end event closes an instance. End events are anonymous
+// (value 0), so matching is LIFO, as in any well-nested stream: a depth-0
+// end inside an instance closes it — extracting a nested region from
+// inside an enclosing one (SYMGS inside CG_iteration) depends on this.
+// Ends seen outside any instance (an enclosing region's end, or an
+// unmatched end whose entry predates the trace) are ignored. Nested
+// occurrences of the *same* region id are rejected.
+//
+// Extract assumes a single-thread stream: every record must come from one
+// (task, thread). For a merged multi-thread trace use ExtractThread, which
+// filters by emitter — scanning a merged trace thread-blind interleaves
+// region events from different threads (a foreign end event lands inside
+// an open instance and truncates it at the wrong timestamp) and corrupts
+// every folded curve.
 func Extract(records []trace.Record, region int64) ([]Instance, error) {
+	return extract(records, region, 0, 0)
+}
+
+// ExtractThread is Extract over the records emitted by one (task, thread)
+// of a merged multi-thread trace (ids are 1-based, as in Paraver). Records
+// from other emitters are ignored, so each simulated thread of a Machine
+// run folds independently.
+func ExtractThread(records []trace.Record, region int64, task, thread int) ([]Instance, error) {
+	if task <= 0 || thread <= 0 {
+		return nil, fmt.Errorf("folding: task/thread must be 1-based, got %d/%d", task, thread)
+	}
+	return extract(records, region, task, thread)
+}
+
+// extract implements Extract and ExtractThread; task == 0 disables the
+// emitter filter.
+func extract(records []trace.Record, region int64, task, thread int) ([]Instance, error) {
 	var out []Instance
 	var cur *Instance
 	depth := 0 // nested sub-regions opened inside the current instance
 	for i := range records {
 		rec := &records[i]
+		if task != 0 && (rec.Task != task || rec.Thread != thread) {
+			continue
+		}
 		if v, ok := rec.Get(trace.TypeRegion); ok {
 			switch {
 			case v == region:
@@ -78,11 +111,18 @@ func Extract(records []trace.Record, region int64) ([]Instance, error) {
 					depth--
 					continue
 				}
+				// LIFO: the innermost open region is the instance itself,
+				// so a depth-0 end closes it. (Ends carry no region id; a
+				// trace whose enclosing region ends mid-instance is not
+				// well-nested and indistinguishable from this case.)
 				cur.T1 = rec.TimeNs
 				cur.C1 = countersOf(rec)
 				out = append(out, *cur)
 				cur = nil
 			}
+			// Region events outside any instance — enclosing opens, their
+			// ends, and unmatched ends whose opens predate the trace — do
+			// not affect extraction.
 			continue
 		}
 		if cur == nil {

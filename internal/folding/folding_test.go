@@ -368,3 +368,142 @@ func TestExtractIgnoresOtherRegions(t *testing.T) {
 		t.Errorf("ins = %v, err = %v", ins, err)
 	}
 }
+
+// regionRec builds a one-pair region record for the given emitter.
+func regionRec(tns uint64, task, thread int, value int64, instr uint64) trace.Record {
+	return trace.Record{TimeNs: tns, Task: task, Thread: thread, Pairs: []trace.TypeValue{
+		{Type: trace.TypeRegion, Value: value},
+		{Type: trace.TypeCounterBase + uint32(cpu.CtrInstructions), Value: int64(instr)},
+	}}
+}
+
+// sampleRec builds a one-address sample record for the given emitter.
+func sampleRec(tns uint64, task, thread int, addr uint64) trace.Record {
+	return trace.Record{TimeNs: tns, Task: task, Thread: thread, Pairs: []trace.TypeValue{
+		{Type: trace.TypeSampleAddr, Value: int64(addr)},
+	}}
+}
+
+// TestExtractThreadInterleaved is the regression test for thread-blind
+// extraction: a merged two-thread trace interleaves region events and
+// samples, and a per-thread extraction must see only its own thread's
+// instances and samples, at its own timestamps.
+func TestExtractThreadInterleaved(t *testing.T) {
+	// Thread 1: instance [100, 300] with a sample at 200.
+	// Thread 2: instance [150, 420] with samples at 180 and 350 — its
+	// region events land inside thread 1's instance in the merged order.
+	merged := trace.Merge([]trace.Record{
+		regionRec(100, 1, 1, 7, 10),
+		sampleRec(200, 1, 1, 0x1000),
+		regionRec(300, 1, 1, 0, 110),
+	}, []trace.Record{
+		regionRec(150, 1, 2, 7, 1000),
+		sampleRec(180, 1, 2, 0x2000),
+		sampleRec(350, 1, 2, 0x3000),
+		regionRec(420, 1, 2, 0, 1500),
+	})
+	for _, tc := range []struct {
+		thread  int
+		t0, t1  uint64
+		samples []uint64
+		c0, c1  uint64
+	}{
+		{thread: 1, t0: 100, t1: 300, samples: []uint64{0x1000}, c0: 10, c1: 110},
+		{thread: 2, t0: 150, t1: 420, samples: []uint64{0x2000, 0x3000}, c0: 1000, c1: 1500},
+	} {
+		ins, err := ExtractThread(merged, 7, 1, tc.thread)
+		if err != nil {
+			t.Fatalf("thread %d: %v", tc.thread, err)
+		}
+		if len(ins) != 1 {
+			t.Fatalf("thread %d: %d instances, want 1", tc.thread, len(ins))
+		}
+		in := ins[0]
+		if in.T0 != tc.t0 || in.T1 != tc.t1 {
+			t.Errorf("thread %d: bounds %d..%d, want %d..%d", tc.thread, in.T0, in.T1, tc.t0, tc.t1)
+		}
+		if in.C0[cpu.CtrInstructions] != tc.c0 || in.C1[cpu.CtrInstructions] != tc.c1 {
+			t.Errorf("thread %d: counters %d..%d, want %d..%d", tc.thread,
+				in.C0[cpu.CtrInstructions], in.C1[cpu.CtrInstructions], tc.c0, tc.c1)
+		}
+		if len(in.Samples) != len(tc.samples) {
+			t.Fatalf("thread %d: %d samples, want %d", tc.thread, len(in.Samples), len(tc.samples))
+		}
+		for i, want := range tc.samples {
+			if in.Samples[i].Addr != want {
+				t.Errorf("thread %d sample %d: addr %#x, want %#x", tc.thread, i, in.Samples[i].Addr, want)
+			}
+		}
+	}
+	if _, err := ExtractThread(merged, 7, 0, 1); err == nil {
+		t.Error("0-based task accepted")
+	}
+	// The thread-blind Extract cannot parse this stream (thread 2's entry
+	// nests inside thread 1's open instance of the same region id).
+	if _, err := Extract(merged, 7); err == nil {
+		t.Error("thread-blind Extract accepted an interleaved merged trace")
+	}
+}
+
+// TestExtractNestedRegionInsideEnclosure pins the nesting semantics for
+// the common well-nested case: extracting a nested region (SYMGS inside a
+// CG iteration) must close each instance at its own LIFO-matched end, not
+// at the enclosing region's end — region events of the enclosure (its
+// open before the instance, its end after) must not perturb the instance
+// bounds.
+func TestExtractNestedRegionInsideEnclosure(t *testing.T) {
+	recs := []trace.Record{
+		regionRec(0, 1, 1, 5, 0),    // enclosing iteration opens
+		regionRec(10, 1, 1, 7, 100), // nested target instance opens
+		sampleRec(20, 1, 1, 0x1000),
+		regionRec(50, 1, 1, 0, 400), // the instance's own end (LIFO)
+		sampleRec(60, 1, 1, 0x2000), // outside the instance: dropped
+		regionRec(90, 1, 1, 0, 900), // the enclosure's end: ignored
+		// Second iteration with a second instance.
+		regionRec(100, 1, 1, 5, 1000),
+		regionRec(110, 1, 1, 7, 1100),
+		regionRec(150, 1, 1, 0, 1400),
+		regionRec(190, 1, 1, 0, 1900),
+	}
+	ins, err := Extract(recs, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ins) != 2 {
+		t.Fatalf("%d instances, want 2", len(ins))
+	}
+	if in := ins[0]; in.T0 != 10 || in.T1 != 50 || in.C1[cpu.CtrInstructions] != 400 {
+		t.Errorf("instance 0 = %d..%d (exit ctr %d), want 10..50 (400)",
+			in.T0, in.T1, in.C1[cpu.CtrInstructions])
+	}
+	if len(ins[0].Samples) != 1 || ins[0].Samples[0].Addr != 0x1000 {
+		t.Errorf("instance 0 samples = %+v, want the single in-instance sample", ins[0].Samples)
+	}
+	if in := ins[1]; in.T0 != 110 || in.T1 != 150 {
+		t.Errorf("instance 1 = %d..%d, want 110..150", in.T0, in.T1)
+	}
+}
+
+// TestExtractIgnoresUnmatchedEnds covers ends whose opens are not in the
+// records (regions entered before monitoring started): between instances
+// they must not disturb extraction.
+func TestExtractIgnoresUnmatchedEnds(t *testing.T) {
+	recs := []trace.Record{
+		regionRec(5, 1, 1, 0, 0), // end of a region opened before the trace
+		regionRec(10, 1, 1, 7, 100),
+		regionRec(100, 1, 1, 0, 900),
+		regionRec(150, 1, 1, 0, 950), // another stray end between instances
+		regionRec(200, 1, 1, 7, 1000),
+		regionRec(300, 1, 1, 0, 1900),
+	}
+	ins, err := Extract(recs, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ins) != 2 {
+		t.Fatalf("%d instances, want 2", len(ins))
+	}
+	if ins[0].T0 != 10 || ins[0].T1 != 100 || ins[1].T0 != 200 || ins[1].T1 != 300 {
+		t.Errorf("instances mishandled around stray ends: %+v", ins)
+	}
+}

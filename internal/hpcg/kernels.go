@@ -1,5 +1,7 @@
 package hpcg
 
+import "repro/internal/cpu"
+
 // This file contains the instrumented computational kernels. Every kernel
 // performs the real arithmetic on the Go slices and, for each element it
 // touches, issues the corresponding simulated memory instruction so that
@@ -11,15 +13,28 @@ package hpcg
 //   - SYMGS traverses rows 0..n-1 (forward sweep: ascending addresses)
 //     then n-1..0 (backward sweep: descending addresses);
 //   - SpMV traverses rows 0..n-1 once.
+//
+// Each kernel body operates on a row range [lo, hi) against an explicit
+// core, which is how the OpenMP-style static domain partitioning works:
+// the sequential methods run the full range on the problem's own core,
+// while the parallel driver (parallel.go) hands each simulated thread its
+// own contiguous block, mirroring `#pragma omp parallel for schedule(static)`
+// over the row loops.
 
 // SpMV computes y = A*x on the given level. The per-row coefficient and
 // column-index traffic is sequential, so it is issued as two streams (one
 // hierarchy probe per line crossing); the x gathers stay per-op because
 // their addresses are data-dependent.
 func (p *Problem) SpMV(lv *Level, x, y *Vector) {
-	core, ips := p.core, &p.ips
 	p.mon.EnterRegion(p.RegionSPMV)
-	for i := 0; i < lv.NRows; i++ {
+	p.spmvRows(p.core, lv, x, y, 0, lv.NRows)
+	p.mon.ExitRegion(p.RegionSPMV)
+}
+
+// spmvRows applies the SpMV row loop over [lo, hi).
+func (p *Problem) spmvRows(core *cpu.Core, lv *Level, x, y *Vector, lo, hi int) {
+	ips := &p.ips
+	for i := lo; i < hi; i++ {
 		var sum float64
 		nnz := int(lv.NonzerosInRow[i])
 		vals := lv.Vals[i]
@@ -36,31 +51,46 @@ func (p *Problem) SpMV(lv *Level, x, y *Vector) {
 		core.Store(ips.spmvStore, y.ElemAddr(i), 8)
 		core.Branch()
 	}
-	p.mon.ExitRegion(p.RegionSPMV)
 }
 
 // SYMGS performs one symmetric Gauss–Seidel smoothing step on the level:
 // a forward sweep followed by a backward sweep, updating x in place toward
 // the solution of A*x = r.
 func (p *Problem) SYMGS(lv *Level, r, x *Vector) {
-	ips := &p.ips
 	p.mon.EnterRegion(p.RegionSYMGS)
 	// Forward sweep: rows in ascending order (the paper's a1/d1 phases).
-	for i := 0; i < lv.NRows; i++ {
-		p.symgsRow(lv, r, x, i,
-			ips.symgsFwdVal, ips.symgsFwdCol, ips.symgsFwdX, ips.symgsFwdStore)
-	}
+	p.symgsSweep(p.core, lv, r, x, 0, lv.NRows, true, nil)
 	// Backward sweep: rows in descending order (a2/d2).
-	for i := lv.NRows - 1; i >= 0; i-- {
-		p.symgsRow(lv, r, x, i,
-			ips.symgsBwdVal, ips.symgsBwdCol, ips.symgsBwdX, ips.symgsBwdStore)
-	}
+	p.symgsSweep(p.core, lv, r, x, 0, lv.NRows, false, nil)
 	p.mon.ExitRegion(p.RegionSYMGS)
 }
 
+// symgsSweep relaxes the rows of [lo, hi) in ascending (forward) or
+// descending order. xOld, when non-nil, is a frozen snapshot of x taken at
+// the sweep barrier: values outside [lo, hi) are read from it, which is
+// the block-Jacobi coupling that keeps concurrent sweeps of disjoint
+// blocks race-free (each thread writes only its own block and reads other
+// blocks' pre-sweep values). The simulated traffic is unchanged — the
+// loads still target x's addresses, exactly like the OpenMP code whose
+// neighbouring blocks race on x.
+func (p *Problem) symgsSweep(core *cpu.Core, lv *Level, r, x *Vector, lo, hi int, forward bool, xOld []float64) {
+	ips := &p.ips
+	if forward {
+		for i := lo; i < hi; i++ {
+			p.symgsRow(core, lv, r, x, i, lo, hi, xOld,
+				ips.symgsFwdVal, ips.symgsFwdCol, ips.symgsFwdX, ips.symgsFwdStore)
+		}
+		return
+	}
+	for i := hi - 1; i >= lo; i-- {
+		p.symgsRow(core, lv, r, x, i, lo, hi, xOld,
+			ips.symgsBwdVal, ips.symgsBwdCol, ips.symgsBwdX, ips.symgsBwdStore)
+	}
+}
+
 // symgsRow relaxes one row: x[i] = (r[i] - sum_{j!=i} a_ij x_j) / a_ii.
-func (p *Problem) symgsRow(lv *Level, r, x *Vector, i int, ipVal, ipCol, ipX, ipStore uint64) {
-	core := p.core
+func (p *Problem) symgsRow(core *cpu.Core, lv *Level, r, x *Vector, i, lo, hi int, xOld []float64,
+	ipVal, ipCol, ipX, ipStore uint64) {
 	nnz := int(lv.NonzerosInRow[i])
 	vals := lv.Vals[i]
 	cols := lv.Cols[i]
@@ -83,7 +113,15 @@ func (p *Problem) symgsRow(lv *Level, r, x *Vector, i int, ipVal, ipCol, ipX, ip
 		// Gauss–Seidel reads neighbours updated moments ago: a serialized
 		// dependency chain (LoadDep), unlike SpMV's independent gathers.
 		core.LoadDep(ipX, x.ElemAddr(col), 8)
-		sum -= vals[j] * x.Data[col]
+		var xv float64
+		if xOld != nil && (col < lo || col >= hi) {
+			// Cross-block coupling reads the barrier snapshot, never the
+			// live vector another thread is concurrently writing.
+			xv = xOld[col]
+		} else {
+			xv = x.Data[col]
+		}
+		sum -= vals[j] * xv
 		core.Compute(2)
 	}
 	// sum now holds r[i] - Σ_{j≠i} a_ij x_j (the diagonal was skipped in
@@ -102,12 +140,18 @@ const vecChunk = 8
 
 // Dot computes the dot product of a and b.
 func (p *Problem) Dot(a, b *Vector) float64 {
-	core, ips := p.core, &p.ips
 	p.mon.EnterRegion(p.RegionDot)
+	sum := p.dotRange(p.core, a, b, 0, len(a.Data))
+	p.mon.ExitRegion(p.RegionDot)
+	return sum
+}
+
+// dotRange accumulates a·b over elements [lo, hi).
+func (p *Problem) dotRange(core *cpu.Core, a, b *Vector, lo, hi int) float64 {
+	ips := &p.ips
 	var sum float64
-	n := len(a.Data)
-	for i := 0; i < n; i += vecChunk {
-		k := min(vecChunk, n-i)
+	for i := lo; i < hi; i += vecChunk {
+		k := min(vecChunk, hi-i)
 		core.LoadStream(ips.dotA, a.ElemAddr(i), 8, 8, k)
 		core.LoadStream(ips.dotB, b.ElemAddr(i), 8, 8, k)
 		for e := i; e < i+k; e++ {
@@ -115,17 +159,21 @@ func (p *Problem) Dot(a, b *Vector) float64 {
 		}
 		core.Compute(uint64(2 * k))
 	}
-	p.mon.ExitRegion(p.RegionDot)
 	return sum
 }
 
 // WAXPBY computes w = alpha*x + beta*y.
 func (p *Problem) WAXPBY(alpha float64, x *Vector, beta float64, y, w *Vector) {
-	core, ips := p.core, &p.ips
 	p.mon.EnterRegion(p.RegionWAXPBY)
-	n := len(w.Data)
-	for i := 0; i < n; i += vecChunk {
-		k := min(vecChunk, n-i)
+	p.waxpbyRange(p.core, alpha, x, beta, y, w, 0, len(w.Data))
+	p.mon.ExitRegion(p.RegionWAXPBY)
+}
+
+// waxpbyRange applies the update over elements [lo, hi).
+func (p *Problem) waxpbyRange(core *cpu.Core, alpha float64, x *Vector, beta float64, y, w *Vector, lo, hi int) {
+	ips := &p.ips
+	for i := lo; i < hi; i += vecChunk {
+		k := min(vecChunk, hi-i)
 		core.LoadStream(ips.waxpbyX, x.ElemAddr(i), 8, 8, k)
 		core.LoadStream(ips.waxpbyY, y.ElemAddr(i), 8, 8, k)
 		for e := i; e < i+k; e++ {
@@ -134,14 +182,18 @@ func (p *Problem) WAXPBY(alpha float64, x *Vector, beta float64, y, w *Vector) {
 		core.StoreStream(ips.waxpbyW, w.ElemAddr(i), 8, 8, k)
 		core.Compute(uint64(3 * k))
 	}
-	p.mon.ExitRegion(p.RegionWAXPBY)
 }
 
 // Restrict computes the coarse residual rc = (rf - Axf) at injected points.
 func (p *Problem) Restrict(lv *Level) {
-	core, ips := p.core, &p.ips
+	p.restrictRows(p.core, lv, 0, lv.Coarse.NRows)
+}
+
+// restrictRows restricts the coarse rows [lo, hi).
+func (p *Problem) restrictRows(core *cpu.Core, lv *Level, lo, hi int) {
+	ips := &p.ips
 	coarse := lv.Coarse
-	for i := 0; i < coarse.NRows; i++ {
+	for i := lo; i < hi; i++ {
 		core.Load(ips.restrictF2C, lv.F2CAddr+uint64(i)*4, 4)
 		f := int(lv.F2C[i])
 		core.Load(ips.restrictRf, lv.R.ElemAddr(f), 8)
@@ -154,9 +206,15 @@ func (p *Problem) Restrict(lv *Level) {
 
 // Prolong interpolates the coarse correction back: xf[f2c[i]] += xc[i].
 func (p *Problem) Prolong(lv *Level) {
-	core, ips := p.core, &p.ips
+	p.prolongRows(p.core, lv, 0, lv.Coarse.NRows)
+}
+
+// prolongRows prolongates the coarse rows [lo, hi). The injection map is
+// injective, so disjoint coarse ranges write disjoint fine rows.
+func (p *Problem) prolongRows(core *cpu.Core, lv *Level, lo, hi int) {
+	ips := &p.ips
 	coarse := lv.Coarse
-	for i := 0; i < coarse.NRows; i++ {
+	for i := lo; i < hi; i++ {
 		core.Load(ips.prolongF2C, lv.F2CAddr+uint64(i)*4, 4)
 		f := int(lv.F2C[i])
 		core.Load(ips.prolongXc, coarse.X.ElemAddr(i), 8)
@@ -222,11 +280,15 @@ func (p *Problem) MG(r, z *Vector) {
 
 // moveVector issues the load/store traffic of copying src into dst.
 func (p *Problem) moveVector(src, dst *Vector) {
-	core := p.core
-	n := len(src.Data)
-	for i := 0; i < n; i += vecChunk {
-		k := min(vecChunk, n-i)
-		core.LoadStream(p.ips.waxpbyX, src.ElemAddr(i), 8, 8, k)
-		core.StoreStream(p.ips.waxpbyW, dst.ElemAddr(i), 8, 8, k)
+	p.moveRange(p.core, src, dst, 0, len(src.Data))
+}
+
+// moveRange issues the move traffic for elements [lo, hi).
+func (p *Problem) moveRange(core *cpu.Core, src, dst *Vector, lo, hi int) {
+	ips := &p.ips
+	for i := lo; i < hi; i += vecChunk {
+		k := min(vecChunk, hi-i)
+		core.LoadStream(ips.waxpbyX, src.ElemAddr(i), 8, 8, k)
+		core.StoreStream(ips.waxpbyW, dst.ElemAddr(i), 8, 8, k)
 	}
 }

@@ -51,6 +51,12 @@ type Level struct {
 
 	// Coarse points to the next (coarser) level, nil at the bottom.
 	Coarse *Level
+
+	// xOld is the host-side snapshot buffer the parallel block-Jacobi
+	// SYMGS reads cross-block values from (no simulated address: the
+	// snapshot is an artifact of race-free simulation, not of the
+	// modelled program).
+	xOld []float64
 }
 
 // codeIPs holds the pre-resolved instruction pointers for every simulated

@@ -282,16 +282,19 @@ func (c *cache) dropMRUAt(idx int) {
 	}
 }
 
-// Hierarchy is a simulated cache hierarchy. It is not safe for concurrent
-// use; each simulated core owns its own Hierarchy (the L3 slice model keeps
-// per-core simulations independent, matching the paper's per-thread traces).
+// Hierarchy is one core's view of the memory system: private cache levels
+// plus, optionally, a shared last-level cache. The private state is not
+// safe for concurrent use — each simulated core owns its own Hierarchy —
+// while the attached SharedCache (if any) is internally locked, which is
+// what lets a Machine's cores run concurrently against one L3.
 type Hierarchy struct {
 	cfg      Config
-	levels   []*cache
-	l1       *cache // levels[0], kept flat for the Access fast path
-	lineMask uint64 // LineSize-1
-	maxLine  uint64 // first line address the packed tags cannot represent
-	dram     uint64 // DRAM access count
+	levels   []*cache     // private levels (L1 [, L2])
+	shared   *SharedCache // optional shared last-level cache
+	l1       *cache       // levels[0], kept flat for the Access fast path
+	lineMask uint64       // LineSize-1
+	maxLine  uint64       // first line address the packed tags cannot represent
+	dram     uint64       // DRAM access count
 	// mruHits counts L1 accesses served by the MRU fast path and probeOps
 	// those that took the probe loop; LevelStats folds them lazily.
 	mruHits  uint64
@@ -302,77 +305,124 @@ type Hierarchy struct {
 	hints [8]probeHint
 }
 
+// newCache validates one level's configuration and builds its packed cache.
+func newCache(lc LevelConfig) (*cache, error) {
+	if lc.LineSize <= 0 || bits.OnesCount(uint(lc.LineSize)) != 1 {
+		return nil, fmt.Errorf("memhier: level %s line size %d not a power of two", lc.Name, lc.LineSize)
+	}
+	if lc.Assoc <= 0 || lc.Assoc > 127 {
+		return nil, fmt.Errorf("memhier: level %s associativity %d invalid (1..127)", lc.Name, lc.Assoc)
+	}
+	if lc.Size <= 0 || lc.Size%(lc.LineSize*lc.Assoc) != 0 {
+		return nil, fmt.Errorf("memhier: level %s size %d not divisible by line*assoc", lc.Name, lc.Size)
+	}
+	nsets := lc.Size / (lc.LineSize * lc.Assoc)
+	if bits.OnesCount(uint(nsets)) != 1 {
+		return nil, fmt.Errorf("memhier: level %s set count %d not a power of two", lc.Name, nsets)
+	}
+	if lc.HitLatency == 0 {
+		return nil, fmt.Errorf("memhier: level %s hit latency must be > 0", lc.Name)
+	}
+	c := &cache{
+		cfg:       lc,
+		slab:      make([]uint64, nsets*lc.Assoc),
+		occ:       make([]uint8, nsets),
+		setMask:   uint64(nsets - 1),
+		lineShift: uint(bits.TrailingZeros(uint(lc.LineSize))),
+		setBits:   uint(bits.TrailingZeros(uint(nsets))),
+		assoc:     lc.Assoc,
+	}
+	c.sigStride = (lc.Assoc + 7) &^ 7
+	c.sigs = make([]byte, nsets*c.sigStride)
+	if lc.Assoc <= matMaxAssoc {
+		c.mats = make([]uint64, nsets)
+		c.matRow = uint64(1)<<lc.Assoc - 1
+		if lc.Assoc < matMaxAssoc {
+			c.matPad = ^uint64(0) << (8 * uint(lc.Assoc))
+		}
+	}
+	return c, nil
+}
+
+// maxLineOf returns the first line address the cache's packed set-relative
+// tags cannot represent (capped at 2^64-1).
+func (c *cache) maxLineOf() uint64 {
+	if total := tagBits + c.setBits + c.lineShift; total < 64 {
+		return uint64(1) << total
+	}
+	return ^uint64(0)
+}
+
 // New validates the configuration and builds the hierarchy.
 func New(cfg Config) (*Hierarchy, error) {
+	return newHierarchy(cfg, nil)
+}
+
+// NewWithSharedLLC builds a hierarchy whose private levels are cfg.Levels
+// and whose last level is the given shared cache (one L3 shared by all
+// cores of a Machine). cfg.Levels must hold only the private levels.
+func NewWithSharedLLC(cfg Config, llc *SharedCache) (*Hierarchy, error) {
+	if llc == nil {
+		return nil, fmt.Errorf("memhier: nil shared LLC")
+	}
+	return newHierarchy(cfg, llc)
+}
+
+func newHierarchy(cfg Config, llc *SharedCache) (*Hierarchy, error) {
 	if len(cfg.Levels) == 0 {
 		return nil, fmt.Errorf("memhier: no cache levels configured")
 	}
 	if cfg.DRAMLatency == 0 {
 		return nil, fmt.Errorf("memhier: DRAMLatency must be > 0")
 	}
-	if len(cfg.Levels) >= NumSources {
+	nCaches := len(cfg.Levels)
+	if llc != nil {
+		nCaches++
+	}
+	if nCaches >= NumSources {
 		// DataSource (and the PMU's per-source miss counters) encode
 		// exactly L1..L3 plus DRAM; a deeper hierarchy has no meaningful
 		// source labels, so reject it instead of mislabelling levels.
 		return nil, fmt.Errorf("memhier: %d cache levels exceed the modelled %d (L1..L3 + DRAM)",
-			len(cfg.Levels), NumSources-1)
+			nCaches, NumSources-1)
 	}
-	h := &Hierarchy{cfg: cfg, maxLine: ^uint64(0)}
+	h := &Hierarchy{cfg: cfg, shared: llc, maxLine: ^uint64(0)}
 	lineSize := cfg.Levels[0].LineSize
 	for i, lc := range cfg.Levels {
 		if lc.LineSize != lineSize {
 			return nil, fmt.Errorf("memhier: level %s line size %d differs from L1 %d",
 				lc.Name, lc.LineSize, lineSize)
 		}
-		if lc.LineSize <= 0 || bits.OnesCount(uint(lc.LineSize)) != 1 {
-			return nil, fmt.Errorf("memhier: level %s line size %d not a power of two", lc.Name, lc.LineSize)
-		}
-		if lc.Assoc <= 0 || lc.Assoc > 127 {
-			return nil, fmt.Errorf("memhier: level %s associativity %d invalid (1..127)", lc.Name, lc.Assoc)
-		}
-		if lc.Size <= 0 || lc.Size%(lc.LineSize*lc.Assoc) != 0 {
-			return nil, fmt.Errorf("memhier: level %s size %d not divisible by line*assoc", lc.Name, lc.Size)
-		}
-		nsets := lc.Size / (lc.LineSize * lc.Assoc)
-		if bits.OnesCount(uint(nsets)) != 1 {
-			return nil, fmt.Errorf("memhier: level %s set count %d not a power of two", lc.Name, nsets)
-		}
-		if lc.HitLatency == 0 {
-			return nil, fmt.Errorf("memhier: level %s hit latency must be > 0", lc.Name)
-		}
 		if i > 0 && lc.HitLatency <= cfg.Levels[i-1].HitLatency {
 			return nil, fmt.Errorf("memhier: level %s latency %d not greater than previous level",
 				lc.Name, lc.HitLatency)
 		}
-		setBits := uint(bits.TrailingZeros(uint(nsets)))
-		lineShift := uint(bits.TrailingZeros(uint(lc.LineSize)))
-		// The packed tag is set-relative, so this level represents line
+		c, err := newCache(lc)
+		if err != nil {
+			return nil, err
+		}
+		// The packed tag is set-relative, so each level represents line
 		// addresses below 2^(tagBits+setBits+lineShift) exactly; the
 		// hierarchy supports the tightest level's range (53 bits of address
 		// for the default 64-set L1 — far beyond the simulated 46-bit
 		// address space, but guarded in Access all the same).
-		if total := tagBits + setBits + lineShift; total < 64 && uint64(1)<<total < h.maxLine {
-			h.maxLine = uint64(1) << total
-		}
-		c := &cache{
-			cfg:       lc,
-			slab:      make([]uint64, nsets*lc.Assoc),
-			occ:       make([]uint8, nsets),
-			setMask:   uint64(nsets - 1),
-			lineShift: lineShift,
-			setBits:   setBits,
-			assoc:     lc.Assoc,
-		}
-		c.sigStride = (lc.Assoc + 7) &^ 7
-		c.sigs = make([]byte, nsets*c.sigStride)
-		if lc.Assoc <= matMaxAssoc {
-			c.mats = make([]uint64, nsets)
-			c.matRow = uint64(1)<<lc.Assoc - 1
-			if lc.Assoc < matMaxAssoc {
-				c.matPad = ^uint64(0) << (8 * uint(lc.Assoc))
-			}
+		if ml := c.maxLineOf(); ml < h.maxLine {
+			h.maxLine = ml
 		}
 		h.levels = append(h.levels, c)
+	}
+	if llc != nil {
+		if llc.cfg.LineSize != lineSize {
+			return nil, fmt.Errorf("memhier: shared LLC line size %d differs from L1 %d",
+				llc.cfg.LineSize, lineSize)
+		}
+		if last := cfg.Levels[len(cfg.Levels)-1]; llc.cfg.HitLatency <= last.HitLatency {
+			return nil, fmt.Errorf("memhier: shared LLC latency %d not greater than level %s",
+				llc.cfg.HitLatency, last.Name)
+		}
+		if llc.maxLine < h.maxLine {
+			h.maxLine = llc.maxLine
+		}
 	}
 	h.l1 = h.levels[0]
 	h.lineMask = uint64(cfg.Levels[0].LineSize - 1)
@@ -382,8 +432,18 @@ func New(cfg Config) (*Hierarchy, error) {
 // LineSize returns the cache-line size in bytes.
 func (h *Hierarchy) LineSize() int { return h.cfg.Levels[0].LineSize }
 
-// Levels returns the number of cache levels.
-func (h *Hierarchy) Levels() int { return len(h.levels) }
+// Levels returns the number of cache levels, counting the shared LLC.
+func (h *Hierarchy) Levels() int {
+	n := len(h.levels)
+	if h.shared != nil {
+		n++
+	}
+	return n
+}
+
+// SharedLLC returns the attached shared last-level cache (nil when every
+// level is private).
+func (h *Hierarchy) SharedLLC() *SharedCache { return h.shared }
 
 // LevelStats returns a copy of the counters for level i (0 = L1). The hot
 // path only counts misses; accesses and hits are derived here — every
@@ -391,7 +451,19 @@ func (h *Hierarchy) Levels() int { return len(h.levels) }
 // probeOps), each level's accesses are the previous level's misses, and
 // hits are accesses minus misses. The folded numbers match a hierarchy
 // that counted every probe eagerly.
+//
+// For a shared LLC, Accesses and Misses are this core's share (its L2
+// misses and its DRAM fills), while Writebacks/Prefetches/PrefHits are the
+// cache-wide totals — eviction work on a shared cache is not attributable
+// to one core.
 func (h *Hierarchy) LevelStats(i int) LevelStats {
+	if h.shared != nil && i == len(h.levels) {
+		s := h.shared.Stats()
+		s.Accesses = h.levels[i-1].stats.Misses
+		s.Misses = h.dram
+		s.Hits = s.Accesses - s.Misses
+		return s
+	}
 	s := h.levels[i].stats
 	if i == 0 {
 		s.Accesses = h.mruHits + h.probeOps
@@ -407,6 +479,9 @@ func (h *Hierarchy) LevelStats(i int) LevelStats {
 func (h *Hierarchy) SourceLatency(s DataSource) uint64 {
 	if int(s) < len(h.levels) {
 		return h.levels[s].cfg.HitLatency
+	}
+	if h.shared != nil && int(s) == len(h.levels) {
+		return h.shared.cfg.HitLatency
 	}
 	return h.cfg.DRAMLatency
 }
@@ -763,6 +838,29 @@ func (h *Hierarchy) Access(addr uint64, size int, write bool) AccessResult {
 			}
 		}
 	}
+	if s := h.shared; s != nil {
+		// The shared LLC probes and (on a miss) fills in one critical
+		// section, so another core cannot invalidate a fill hint between
+		// the two steps. The mutation order matches the private path: LLC
+		// first, then the private fills (whose dirty evictions install
+		// into the LLC afterwards).
+		hit, wasPref := s.access(lineAddr)
+		if hit {
+			h.fillAbove(len(h.levels), lineAddr, write)
+			return AccessResult{
+				Source:     DataSource(len(h.levels)),
+				Latency:    s.cfg.HitLatency,
+				LineAddr:   lineAddr,
+				Prefetched: wasPref,
+			}
+		}
+		h.dram++
+		h.fillAbove(len(h.levels), lineAddr, write)
+		if next := lineAddr + uint64(h.LineSize()); h.cfg.NextLinePrefetch && next < h.maxLine {
+			h.prefetch(next)
+		}
+		return AccessResult{Source: SrcDRAM, Latency: h.cfg.DRAMLatency, LineAddr: lineAddr}
+	}
 	// Miss everywhere: DRAM services the line.
 	h.dram++
 	h.fillAbove(len(h.levels), lineAddr, write)
@@ -780,13 +878,21 @@ func (h *Hierarchy) Access(addr uint64, size int, write bool) AccessResult {
 // Dirty state lands in L1 for writes (write-allocate); evicted dirty lines
 // are pushed one level down, approximating write-back traffic.
 func (h *Hierarchy) fillAbove(hitLevel int, lineAddr uint64, write bool) {
+	if hitLevel > len(h.levels) {
+		hitLevel = len(h.levels)
+	}
 	for i := hitLevel - 1; i >= 0; i-- {
 		dirty := write && i == 0
 		evDirty, evAddr := h.levels[i].fill(lineAddr, &h.hints[i], dirty)
-		if evDirty && i+1 < len(h.levels) {
+		if evDirty {
 			// Propagate the dirty line into the next level (it may already be
 			// there under inclusion; install refreshes and merges dirtiness).
-			h.levels[i+1].install(evAddr, true, false)
+			switch {
+			case i+1 < len(h.levels):
+				h.levels[i+1].install(evAddr, true, false)
+			case h.shared != nil:
+				h.shared.installDirty(evAddr)
+			}
 		}
 	}
 }
@@ -801,9 +907,17 @@ func (h *Hierarchy) prefetch(lineAddr uint64) {
 			continue
 		}
 		c.stats.Prefetches++
-		if evDirty && i+1 < len(h.levels) {
-			h.levels[i+1].install(evAddr, true, false)
+		if evDirty {
+			switch {
+			case i+1 < len(h.levels):
+				h.levels[i+1].install(evAddr, true, false)
+			case h.shared != nil:
+				h.shared.installDirty(evAddr)
+			}
 		}
+	}
+	if h.shared != nil {
+		h.shared.prefetchInstall(lineAddr)
 	}
 }
 
@@ -839,10 +953,15 @@ func (h *Hierarchy) BulkL1Hits(lineAddr uint64, n uint64, write bool) bool {
 // without disturbing replacement state. Intended for tests.
 func (h *Hierarchy) Contains(i int, addr uint64) bool {
 	lineAddr := addr &^ h.lineMask
+	if h.shared != nil && i == len(h.levels) {
+		return h.shared.contains(lineAddr)
+	}
 	return h.levels[i].contains(lineAddr)
 }
 
-// Reset clears all cached state and counters.
+// Reset clears all private cached state and counters. An attached shared
+// LLC is deliberately left alone (other cores may be using it); reset it
+// via SharedCache.Reset.
 func (h *Hierarchy) Reset() {
 	for _, c := range h.levels {
 		clear(c.slab)

@@ -1,0 +1,142 @@
+package memhier
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// sharedTestConfig returns a small private-L1/L2 config plus the L3 level
+// to share.
+func sharedTestConfig() (priv Config, l3 LevelConfig) {
+	full := DefaultConfig()
+	full.Levels[0].Size = 4 << 10 // small caches: evictions and writebacks
+	full.Levels[1].Size = 16 << 10
+	full.Levels[2].Size = 80 << 10 // 20-way × 64 sets
+	priv = Config{
+		Levels:           full.Levels[:2],
+		DRAMLatency:      full.DRAMLatency,
+		NextLinePrefetch: full.NextLinePrefetch,
+	}
+	return priv, full.Levels[2]
+}
+
+// TestSharedLLCSingleCoreEquivalence drives an identical access sequence
+// through a fully private hierarchy and through a private-L1/L2 hierarchy
+// with a sharded shared L3 of the same geometry, and requires identical
+// results and statistics: sharding must be behaviour-preserving.
+func TestSharedLLCSingleCoreEquivalence(t *testing.T) {
+	for _, shards := range []int{1, 4, 16} {
+		priv, l3cfg := sharedTestConfig()
+		fullCfg := Config{
+			Levels:           append(append([]LevelConfig(nil), priv.Levels...), l3cfg),
+			DRAMLatency:      priv.DRAMLatency,
+			NextLinePrefetch: priv.NextLinePrefetch,
+		}
+		ref, err := New(fullCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		llc, err := NewSharedCache(l3cfg, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := NewWithSharedLLC(priv, llc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.Levels() != 3 {
+			t.Fatalf("shards=%d: Levels() = %d, want 3", shards, h.Levels())
+		}
+		rng := rand.New(rand.NewSource(int64(shards)))
+		const base = 0x2adf00000000
+		for i := 0; i < 200_000; i++ {
+			var addr uint64
+			switch rng.Intn(3) {
+			case 0: // linear sweep region
+				addr = base + uint64(i%4096)*8
+			case 1: // random over a region larger than the L3
+				addr = base + uint64(rng.Intn(1<<18))*8
+			default: // hot set-conflict region
+				addr = base + uint64(rng.Intn(64))*uint64(l3cfg.Size)
+			}
+			write := rng.Intn(4) == 0
+			a := ref.Access(addr, 8, write)
+			b := h.Access(addr, 8, write)
+			if a != b {
+				t.Fatalf("shards=%d: access %d (%#x write=%v) diverged: ref %+v shared %+v",
+					shards, i, addr, write, a, b)
+			}
+		}
+		for lvl := 0; lvl < 3; lvl++ {
+			if a, b := ref.LevelStats(lvl), h.LevelStats(lvl); a != b {
+				t.Errorf("shards=%d: level %d stats: ref %+v shared %+v", shards, lvl, a, b)
+			}
+		}
+		if a, b := ref.DRAMAccesses(), h.DRAMAccesses(); a != b {
+			t.Errorf("shards=%d: DRAM accesses: ref %d shared %d", shards, a, b)
+		}
+	}
+}
+
+// TestSharedLLCConcurrent hammers one shared L3 from several goroutine
+// cores with overlapping working sets; it exists chiefly for the race
+// detector, and sanity-checks that every access is accounted for.
+func TestSharedLLCConcurrent(t *testing.T) {
+	priv, l3cfg := sharedTestConfig()
+	llc, err := NewSharedCache(l3cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		cores  = 4
+		ops    = 100_000
+		region = 1 << 18
+	)
+	hiers := make([]*Hierarchy, cores)
+	for c := range hiers {
+		if hiers[c], err = NewWithSharedLLC(priv, llc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for c := 0; c < cores; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c + 1)))
+			h := hiers[c]
+			const base = 0x2adf00000000
+			for i := 0; i < ops; i++ {
+				// Half the traffic is shared across cores, half private.
+				addr := base + uint64(rng.Intn(region))*8
+				if i%2 == 1 {
+					addr += uint64(c+1) * (region * 16)
+				}
+				res := h.Access(addr, 8, rng.Intn(4) == 0)
+				if res.Source < SrcL1 || res.Source > SrcDRAM {
+					t.Errorf("core %d: bad source %v", c, res.Source)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	var l2Misses, dram uint64
+	for _, h := range hiers {
+		l2Misses += h.LevelStats(1).Misses
+		dram += h.DRAMAccesses()
+	}
+	st := llc.Stats()
+	// Every core's DRAM fill was an LLC miss, and LLC misses are exactly
+	// the DRAM fills (demand path), so the global counts must agree.
+	if st.Misses != dram {
+		t.Errorf("LLC misses %d != DRAM fills %d", st.Misses, dram)
+	}
+	if dram > l2Misses {
+		t.Errorf("DRAM fills %d exceed L2 misses %d", dram, l2Misses)
+	}
+	if dram == 0 || l2Misses == 0 {
+		t.Error("degenerate run: no misses reached the shared LLC")
+	}
+}

@@ -20,6 +20,7 @@ package objects
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/interval"
 	"repro/internal/memhier"
@@ -115,9 +116,15 @@ type Stats struct {
 	Unresolved uint64
 }
 
-// Registry is the object table. Not safe for concurrent use.
+// Registry is the object table. Registration (allocation hooks, groups,
+// binary scans) is single-threaded — it happens during problem setup —
+// but one registry may be shared by the monitors of a multi-core Machine,
+// whose sampling paths call Record/Resolve concurrently; those paths are
+// serialized by an internal mutex. Samples are rare (one per PEBS period),
+// so the lock is uncontended and never touches the non-sampled fast path.
 type Registry struct {
 	cfg    Config
+	mu     sync.Mutex
 	tree   interval.Tree[*Object]
 	objs   []*Object
 	byAddr map[uint64]*Object // live dynamic objects by base address
@@ -134,7 +141,11 @@ func NewRegistry(cfg Config) *Registry {
 }
 
 // Stats returns a copy of the counters.
-func (r *Registry) Stats() Stats { return r.stats }
+func (r *Registry) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
 
 func (r *Registry) add(o *Object) *Object {
 	o.ID = len(r.objs)
@@ -254,6 +265,8 @@ func (r *Registry) OnFree(info prog.AllocInfo) {
 
 // Resolve finds the object containing addr.
 func (r *Registry) Resolve(addr uint64) (*Object, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	_, o, ok := r.tree.Stab(addr)
 	return o, ok
 }
@@ -261,8 +274,11 @@ func (r *Registry) Resolve(addr uint64) (*Object, bool) {
 // Record resolves addr and accumulates reference accounting. It returns the
 // object, or ok=false when the address belongs to no tracked object (the
 // unresolved case that dominated the paper's preliminary HPCG analysis).
+// Safe for concurrent use by several monitors sharing the registry.
 func (r *Registry) Record(addr uint64, latency uint64, store bool, src memhier.DataSource) (*Object, bool) {
-	o, ok := r.Resolve(addr)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, o, ok := r.tree.Stab(addr)
 	if !ok {
 		r.stats.Unresolved++
 		return nil, false
@@ -284,6 +300,8 @@ func (r *Registry) Record(addr uint64, latency uint64, store bool, src memhier.D
 // ResolutionRate returns Resolved/(Resolved+Unresolved), the headline metric
 // of the paper's grouping experiment (1 when no references recorded).
 func (r *Registry) ResolutionRate() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	total := r.stats.Resolved + r.stats.Unresolved
 	if total == 0 {
 		return 1

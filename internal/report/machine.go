@@ -1,0 +1,130 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cpu"
+	"repro/internal/folding"
+)
+
+// ThreadFigure is one simulated hardware thread's folded view of a
+// multi-threaded run.
+type ThreadFigure struct {
+	// Thread is the 1-based thread id.
+	Thread int
+	// Folded is the thread's folded region.
+	Folded *folding.Folded
+	// PaperLabels holds the paper letter of each detected phase, aligned
+	// with Folded.Phases ("-" for unlettered phases; nil omits the column).
+	PaperLabels []string
+}
+
+// L3ThreadRow is one thread's share of the shared-L3 traffic.
+type L3ThreadRow struct {
+	// Thread is the 1-based thread id.
+	Thread int
+	// Accesses is the thread's lookups that reached the L3 (its L2 misses).
+	Accesses uint64
+	// Misses is the thread's share of L3 misses (its DRAM fills).
+	Misses uint64
+}
+
+// L3Attribution summarizes the shared last-level cache: per-thread demand
+// attribution plus the cache-wide counters that no single core owns.
+type L3Attribution struct {
+	PerThread []L3ThreadRow
+	// Writebacks, Prefetches and PrefHits are cache-wide totals.
+	Writebacks, Prefetches, PrefHits uint64
+}
+
+// MachineFigure renders the cross-thread aggregate of a Machine run: one
+// folded MIPS curve and phase table per thread, and the shared-L3 miss
+// attribution — the multi-threaded analogue of Figure 1's bottom panel,
+// which Paraver would show as one timeline row per thread.
+type MachineFigure struct {
+	Threads []ThreadFigure
+	L3      L3Attribution
+	// Width controls the raster width (default 100).
+	Width int
+}
+
+// Render writes all panels.
+func (f *MachineFigure) Render(w io.Writer) error {
+	if err := f.RenderMIPS(w); err != nil {
+		return err
+	}
+	if err := f.RenderPhaseTables(w); err != nil {
+		return err
+	}
+	return f.RenderL3(w)
+}
+
+// RenderMIPS draws each thread's folded instruction-rate curve.
+func (f *MachineFigure) RenderMIPS(w io.Writer) error {
+	width := f.Width
+	if width <= 0 {
+		width = 100
+	}
+	fmt.Fprintf(w, "\n== Per-thread folded MIPS vs folded time ==\n")
+	for _, th := range f.Threads {
+		name := fmt.Sprintf("thread %d MIPS (%d instances)", th.Thread, th.Folded.InstancesUsed)
+		if err := renderSeries(w, name, th.Folded.Grid, th.Folded.MIPS(), width, 8); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderPhaseTables writes one detected-phase table per thread, with the
+// paper letters when provided.
+func (f *MachineFigure) RenderPhaseTables(w io.Writer) error {
+	for _, th := range f.Threads {
+		fmt.Fprintf(w, "\n== Thread %d detected phases ==\n", th.Thread)
+		fmt.Fprintf(w, "%-6s %-28s %7s %7s %9s %9s %10s %12s\n",
+			"paper", "phase", "from", "to", "dir", "MIPS", "L1Dm/ins", "span BW MB/s")
+		for i, p := range th.Folded.Phases {
+			label := "-"
+			if i < len(th.PaperLabels) {
+				label = th.PaperLabels[i]
+			}
+			name := p.Name
+			if name == "" {
+				name = fmt.Sprintf("phase%d", i)
+			}
+			if len(name) > 28 {
+				name = name[:28]
+			}
+			fmt.Fprintf(w, "%-6s %-28s %7.3f %7.3f %9s %9.0f %10.4f %12.0f\n",
+				label, name, p.Lo, p.Hi, p.Direction, p.MIPSMean,
+				p.PerInstr[cpu.CtrL1DMiss], p.SpanBandwidth/1e6)
+		}
+		fmt.Fprintf(w, "thread %d mean IPC: %.3f\n", th.Thread, th.Folded.MeanIPC())
+	}
+	return nil
+}
+
+// RenderL3 writes the shared-L3 attribution table.
+func (f *MachineFigure) RenderL3(w io.Writer) error {
+	fmt.Fprintf(w, "\n== Shared L3: per-thread miss attribution ==\n")
+	fmt.Fprintf(w, "%-8s %12s %12s %12s %10s\n", "thread", "accesses", "hits", "misses", "miss%")
+	var acc, miss uint64
+	for _, row := range f.L3.PerThread {
+		acc += row.Accesses
+		miss += row.Misses
+		pct := 0.0
+		if row.Accesses > 0 {
+			pct = 100 * float64(row.Misses) / float64(row.Accesses)
+		}
+		fmt.Fprintf(w, "%-8d %12d %12d %12d %9.1f%%\n",
+			row.Thread, row.Accesses, row.Accesses-row.Misses, row.Misses, pct)
+	}
+	pct := 0.0
+	if acc > 0 {
+		pct = 100 * float64(miss) / float64(acc)
+	}
+	fmt.Fprintf(w, "%-8s %12d %12d %12d %9.1f%%\n", "total", acc, acc-miss, miss, pct)
+	fmt.Fprintf(w, "cache-wide: writebacks %d, prefetches %d, prefetch hits %d\n",
+		f.L3.Writebacks, f.L3.Prefetches, f.L3.PrefHits)
+	return nil
+}

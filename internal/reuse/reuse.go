@@ -18,7 +18,7 @@ package reuse
 
 import (
 	"fmt"
-	"math"
+	"math/bits"
 	"sort"
 
 	"repro/internal/folding"
@@ -74,10 +74,15 @@ func NewAnalyzer(lineSize int) (*Analyzer, error) {
 	for 1<<shift != lineSize {
 		shift++
 	}
+	// marked and the Fenwick tree must start at the same capacity: Touch
+	// grows both when a.now outruns len(a.marked), so a shorter marked
+	// would discard the pre-sized tree on the first access.
+	const initialTimestamps = 1024
 	return &Analyzer{
 		lineShift: shift,
 		lastTime:  make(map[uint64]int),
-		bit:       newFenwick(1024),
+		marked:    make([]bool, initialTimestamps),
+		bit:       newFenwick(initialTimestamps),
 		hist:      NewHistogram(),
 	}, nil
 }
@@ -131,7 +136,11 @@ func (a *Analyzer) Histogram() *Histogram { return a.hist }
 type Histogram struct {
 	// Cold counts first-touch accesses.
 	Cold uint64
-	// Buckets[i] counts distances in [2^i, 2^(i+1)) (bucket 0 holds 0 and 1).
+	// Buckets[b] counts distances d with bits.Len64(d) == b: bucket 0 holds
+	// exactly distance 0, bucket b >= 1 holds [2^(b-1), 2^b). Every bucket
+	// therefore has the exact upper edge 2^b (exclusive), so HitRatio is
+	// precise at power-of-two capacities — in particular a distance-0
+	// re-reference hits in any cache with at least one line.
 	Buckets []uint64
 	// Total counts all accesses.
 	Total uint64
@@ -147,10 +156,9 @@ func (h *Histogram) Add(dist int) {
 		h.Cold++
 		return
 	}
-	b := 0
-	if dist > 1 {
-		b = int(math.Log2(float64(dist)))
-	}
+	// bits.Len64 is the exact bucket index for every uint distance, unlike
+	// the float64 rounding of math.Log2 above 2^53.
+	b := bits.Len64(uint64(dist))
 	for len(h.Buckets) <= b {
 		h.Buckets = append(h.Buckets, 0)
 	}
@@ -166,12 +174,9 @@ func (h *Histogram) HitRatio(lines int) float64 {
 	}
 	var hits uint64
 	for b, c := range h.Buckets {
-		// Bucket b spans [2^b, 2^(b+1)); it fits when the upper edge does.
-		upper := 1 << (b + 1)
-		if b == 0 {
-			upper = 2 // distances 0 and 1
-		}
-		if upper <= lines {
+		// Bucket b holds distances below 2^b; a distance-d access hits in a
+		// cache of d+1 lines, so the bucket fits when 2^b <= lines.
+		if b < 63 && 1<<b <= lines {
 			hits += c
 		}
 	}

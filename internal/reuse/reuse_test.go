@@ -121,13 +121,56 @@ func TestHistogram(t *testing.T) {
 	if h.Cold != 1 || h.Total != 6 {
 		t.Errorf("cold/total = %d/%d", h.Cold, h.Total)
 	}
-	// Bucket 0: distances 0,1 → 2 entries. Bucket 1: [2,4) → 2 entries.
-	if h.Buckets[0] != 2 || h.Buckets[1] != 2 {
+	// Bucket 0 holds exactly distance 0; bucket 1 exactly distance 1;
+	// bucket 2 spans [2,4); 100 lands in bucket bits.Len64(100) = 7.
+	if h.Buckets[0] != 1 || h.Buckets[1] != 1 || h.Buckets[2] != 2 {
 		t.Errorf("buckets = %v", h.Buckets)
 	}
-	// 100 lands in bucket log2(100) = 6.
-	if h.Buckets[6] != 1 {
+	if h.Buckets[7] != 1 {
 		t.Errorf("buckets = %v", h.Buckets)
+	}
+}
+
+// TestHitRatioSingleLine is the off-by-one regression test: a distance-0
+// re-reference hits in any cache with at least one line, so HitRatio(1)
+// must report it — the old bucketing conflated distances 0 and 1 and
+// returned 0.
+func TestHitRatioSingleLine(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 3; i++ {
+		h.Add(0)
+	}
+	h.Add(1)
+	if r := h.HitRatio(1); r != 0.75 {
+		t.Errorf("HitRatio(1) = %g, want 0.75 (distance-0 hits a 1-line cache)", r)
+	}
+	if r := h.HitRatio(2); r != 1.0 {
+		t.Errorf("HitRatio(2) = %g, want 1", r)
+	}
+	// The analyzer agrees end to end: touch the same line repeatedly.
+	a := mustAnalyzer(t)
+	for i := 0; i < 10; i++ {
+		a.Touch(0x40)
+	}
+	// 9 distance-0 reuses, 1 cold miss.
+	if r := a.Histogram().HitRatio(1); r != 0.9 {
+		t.Errorf("analyzer HitRatio(1) = %g, want 0.9", r)
+	}
+}
+
+// TestHistogramBucketEdges pins the exact power-of-two edges of the
+// bits.Len64 bucketing: distance 2^k-1 fits a 2^k-line cache, distance
+// 2^k needs 2^(k+1) under bucket granularity.
+func TestHistogramBucketEdges(t *testing.T) {
+	for _, k := range []int{1, 2, 5, 10} {
+		h := NewHistogram()
+		h.Add(1<<k - 1)
+		if r := h.HitRatio(1 << k); r != 1 {
+			t.Errorf("dist %d in %d lines: ratio %g, want 1", 1<<k-1, 1<<k, r)
+		}
+		if r := h.HitRatio(1<<k - 1); r != 0 {
+			t.Errorf("dist %d in %d lines: ratio %g, want 0", 1<<k-1, 1<<k-1, r)
+		}
 	}
 }
 
@@ -154,6 +197,41 @@ func TestHitRatio(t *testing.T) {
 	curve := h.HitRatioCurve([]int{4, 4096})
 	if curve[0] != 0.8 || curve[1] != 1.0 {
 		t.Errorf("curve = %v", curve)
+	}
+}
+
+// TestAnalyzerPreallocatedTree is the regression test for the discarded
+// Fenwick tree: the analyzer starts with marked and the tree at the same
+// capacity, so the first growth happens only when the pre-sized capacity
+// is genuinely exhausted, and distances stay exact across growth.
+func TestAnalyzerPreallocatedTree(t *testing.T) {
+	a := mustAnalyzer(t)
+	if got := len(a.marked); got != len(a.bit.tree)-1 {
+		t.Fatalf("marked capacity %d != fenwick capacity %d", got, len(a.bit.tree)-1)
+	}
+	initial := len(a.marked)
+	if initial < 1024 {
+		t.Fatalf("initial capacity %d, want the pre-sized 1024", initial)
+	}
+	var br bruteDistance
+	// Touch well past the initial capacity to force growth, comparing
+	// against the brute-force reference throughout.
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 3*initial; i++ {
+		line := uint64(rng.Intn(700))
+		if got, want := a.Touch(line*64), br.touch(line); got != want {
+			t.Fatalf("access %d: distance %d, want %d", i, got, want)
+		}
+		if i < initial && len(a.marked) != initial {
+			t.Fatalf("grew at access %d despite capacity %d", i, initial)
+		}
+	}
+	if len(a.marked) <= initial {
+		t.Error("never grew past the initial capacity")
+	}
+	if len(a.marked) != len(a.bit.tree)-1 {
+		t.Errorf("marked %d and fenwick %d diverged after growth",
+			len(a.marked), len(a.bit.tree)-1)
 	}
 }
 

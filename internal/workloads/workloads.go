@@ -36,6 +36,22 @@ type Workload interface {
 	Region() extrae.Region
 }
 
+// PartitionedWorkload is a Workload whose per-iteration work splits into
+// disjoint element ranges, one per simulated hardware thread — the
+// OpenMP-style static partitioning a multi-core Machine drives. Each
+// thread calls RunPartition with its own Ctx (its core and monitor) and
+// its static block; the element data is shared, the blocks are disjoint,
+// so concurrent partitions are race-free by construction.
+type PartitionedWorkload interface {
+	Workload
+	// Elements returns the partitionable element count (valid after Setup).
+	Elements() int
+	// RunPartition executes iters instrumented iterations over elements
+	// [lo, hi). Run(ctx, iters) must equal RunPartition(ctx, iters, 0,
+	// Elements()).
+	RunPartition(ctx *Ctx, iters int, lo, hi int) error
+}
+
 // Stream is the STREAM triad: a[i] = b[i] + s*c[i] over N doubles.
 type Stream struct {
 	// N is the number of elements per array.
@@ -111,12 +127,22 @@ func (s *Stream) Setup(ctx *Ctx) error {
 // chunks through the core's batched stream-issue API: one hierarchy probe
 // per line crossing instead of one per element.
 func (s *Stream) Run(ctx *Ctx, iters int) error {
+	return s.RunPartition(ctx, iters, 0, s.N)
+}
+
+// Elements implements PartitionedWorkload.
+func (s *Stream) Elements() int { return s.N }
+
+// RunPartition implements PartitionedWorkload: the triad over elements
+// [lo, hi). Partitions touch disjoint slices of a, so a Machine's threads
+// run their blocks concurrently without synchronization.
+func (s *Stream) RunPartition(ctx *Ctx, iters int, lo, hi int) error {
 	core := ctx.Core
 	const chunk = 8 // float64s per 64-byte line
 	for it := 0; it < iters; it++ {
 		ctx.Mon.EnterRegion(s.region)
-		for i := 0; i < s.N; i += chunk {
-			k := min(chunk, s.N-i)
+		for i := lo; i < hi; i += chunk {
+			k := min(chunk, hi-i)
 			core.LoadStream(s.ipLoadB, s.bAddr+uint64(i)*8, 8, 8, k)
 			core.LoadStream(s.ipLoadC, s.cAddr+uint64(i)*8, 8, 8, k)
 			for e := i; e < i+k; e++ {
