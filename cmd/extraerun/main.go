@@ -6,6 +6,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 
 	"repro/internal/core"
@@ -15,8 +16,8 @@ import (
 
 func main() {
 	var (
-		name   = flag.String("workload", "stream", "workload: stream | gups | chase | matmul")
-		size   = flag.Int("size", 1<<16, "workload size (elements / table words / nodes / matrix dim)")
+		name   = flag.String("workload", "stream", "workload: stream | gups | chase | matmul | spmv")
+		size   = flag.Int("size", 1<<16, "workload size (elements / table words / nodes / matrix dim; spmv rows)")
 		iters  = flag.Int("iters", 20, "instrumented iterations")
 		period = flag.Uint64("period", 500, "PEBS sampling period")
 		muxNs  = flag.Uint64("mux-ns", 0, "load/store multiplexing quantum in ns (0 = both always)")
@@ -34,6 +35,14 @@ func main() {
 		w = workloads.NewPointerChase(*size, 1)
 	case "matmul":
 		w = workloads.NewMatMul(*size)
+	case "spmv":
+		// -size keeps its "elements" meaning: the stencil grid is the cube
+		// root, giving ~size matrix rows.
+		d := int(math.Cbrt(float64(*size)))
+		if d < 2 {
+			d = 2
+		}
+		w = workloads.NewSpMV(d, d, d)
 	default:
 		fatal(fmt.Errorf("unknown workload %q", *name))
 	}

@@ -1,0 +1,166 @@
+// Command simrun drives the deterministic scenario matrix: list the
+// registered scenarios, run one (or all) to its canonical Metrics JSON, and
+// refresh the golden regression files. Runs are bit-reproducible — the same
+// scenario always produces byte-identical JSON, on both the fast and the
+// reference simulation paths — which is what makes the goldens diffable
+// regression artifacts.
+//
+// Usage:
+//
+//	simrun -list
+//	simrun -run stream_triad_4t [-json]
+//	simrun -run spmv_csr_1t -threads 4
+//	simrun -run all -reference
+//	simrun -update-golden [-golden internal/scenario/testdata/golden]
+//
+// Golden diffs produced by -update-golden must be justified in the PR that
+// carries them: a changed golden is a changed simulation result.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+
+	"repro/internal/scenario"
+)
+
+func main() {
+	var (
+		list      = flag.Bool("list", false, "list the registered scenarios and exit")
+		run       = flag.String("run", "", "scenario to run (a registered name, or 'all')")
+		threads   = flag.Int("threads", 0, "override the scenario's thread count (0 = scenario default)")
+		reference = flag.Bool("reference", false, "use the per-op reference simulation path (must produce identical metrics)")
+		jsonOut   = flag.Bool("json", false, "print the full canonical Metrics JSON instead of the summary line")
+		update    = flag.Bool("update-golden", false, "rewrite the golden metrics files for every scenario")
+		golden    = flag.String("golden", filepath.Join("internal", "scenario", "testdata", "golden"), "golden directory used by -update-golden")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		listScenarios()
+	case *update:
+		// Goldens are canonical: always the fast path at the scenarios' own
+		// thread counts, and always amd64 (FMA fusion elsewhere perturbs the
+		// float64 reductions, and amd64 CI would reject the files).
+		if *reference || *threads != 0 {
+			fatal(fmt.Errorf("-update-golden ignores -reference/-threads; drop them (goldens pin the fast path at scenario thread counts)"))
+		}
+		if runtime.GOARCH != "amd64" {
+			fatal(fmt.Errorf("refusing to regenerate goldens on %s: they must be amd64-generated", runtime.GOARCH))
+		}
+		if err := updateGoldens(*golden); err != nil {
+			fatal(err)
+		}
+	case *run != "":
+		if err := runScenarios(*run, scenario.Options{Reference: *reference, Threads: *threads}, *jsonOut); err != nil {
+			fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func listScenarios() {
+	all := scenario.All()
+	fmt.Printf("%d registered scenarios:\n", len(all))
+	for _, sc := range all {
+		kind := "workload"
+		if sc.HPCG != nil {
+			kind = "hpcg"
+		}
+		fmt.Printf("  %-28s %-8s threads=%d hierarchy=%-10s %s\n",
+			sc.Name, kind, sc.Threads, sc.Hierarchy, sc.Description)
+	}
+}
+
+func runScenarios(name string, opts scenario.Options, jsonOut bool) error {
+	var scs []scenario.Scenario
+	if name == "all" {
+		scs = scenario.All()
+	} else {
+		sc, ok := scenario.Get(name)
+		if !ok {
+			return fmt.Errorf("unknown scenario %q (try -list)", name)
+		}
+		scs = []scenario.Scenario{sc}
+	}
+	for _, sc := range scs {
+		if name == "all" && opts.Threads > 1 && sc.HPCG != nil {
+			// The override cannot apply: HPCG scenarios are single-thread
+			// (no deterministic parallel schedule). Skip rather than abort
+			// the rest of the matrix.
+			fmt.Printf("%-28s skipped (HPCG scenarios are single-thread; -threads override ignored)\n", sc.Name)
+			continue
+		}
+		m, err := scenario.Run(sc, opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", sc.Name, err)
+		}
+		if jsonOut {
+			b, err := m.JSON()
+			if err != nil {
+				return err
+			}
+			os.Stdout.Write(b)
+			continue
+		}
+		printSummary(m)
+	}
+	return nil
+}
+
+func printSummary(m *scenario.Metrics) {
+	t0 := m.PerThread[0]
+	fmt.Printf("%-28s %-12s threads=%d instr=%d cycles=%d dram=%d samples=%d phases=%d\n",
+		m.Scenario, m.Workload, m.Threads,
+		t0.Instructions, t0.Cycles, t0.DRAMFills, t0.FoldedSamples, len(t0.Phases))
+	for _, tm := range m.PerThread {
+		llc := tm.Levels[len(tm.Levels)-1]
+		fmt.Printf("  t%-2d instances=%d/%d ipc=%.3f mips[0]=%.0f L1=%.3f LLC=%.3f dram=%d samples=%d\n",
+			tm.Thread, tm.InstancesUsed, tm.InstancesTotal, tm.MeanIPC,
+			firstMIPS(tm), tm.Levels[0].MissRatio, llc.MissRatio, tm.DRAMFills, tm.FoldedSamples)
+	}
+	if m.CG != nil {
+		fmt.Printf("  cg iterations=%d final_residual=%.3e final_error=%.3e\n",
+			m.CG.Iterations, m.CG.FinalResidual, m.CG.FinalError)
+	}
+}
+
+func firstMIPS(tm scenario.ThreadMetrics) float64 {
+	if len(tm.Phases) == 0 {
+		return 0
+	}
+	return tm.Phases[0].MIPSMean
+}
+
+func updateGoldens(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, sc := range scenario.All() {
+		m, err := scenario.Run(sc, scenario.Options{})
+		if err != nil {
+			return fmt.Errorf("%s: %w", sc.Name, err)
+		}
+		b, err := m.JSON()
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(dir, sc.Name+".json")
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", path, len(b))
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "simrun:", err)
+	os.Exit(1)
+}

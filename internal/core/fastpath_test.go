@@ -157,3 +157,51 @@ func TestFastPathEquivalenceRandomAccess(t *testing.T) {
 	}
 	assertRunsIdentical(t, fast.Session, ref.Session)
 }
+
+func TestFastPathEquivalencePointerChase(t *testing.T) {
+	// Dependency-chained loads: every access stalls for its full latency,
+	// so the gated path must agree on every countdown boundary.
+	fastCfg, refCfg := comparableConfigs()
+	fast, err := RunWorkload(fastCfg, workloads.NewPointerChase(1<<12, 5), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := RunWorkload(refCfg, workloads.NewPointerChase(1<<12, 5), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertRunsIdentical(t, fast.Session, ref.Session)
+}
+
+func TestFastPathEquivalenceMatMul(t *testing.T) {
+	// Mixed pattern: cache-resident A rows, strided B columns, per-element
+	// loads with interleaved compute.
+	fastCfg, refCfg := comparableConfigs()
+	fast, err := RunWorkload(fastCfg, workloads.NewMatMul(24), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := RunWorkload(refCfg, workloads.NewMatMul(24), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertRunsIdentical(t, fast.Session, ref.Session)
+}
+
+func TestFastPathEquivalenceSpMV(t *testing.T) {
+	// CSR SpMV mixes the batched stream issue (values, column indices)
+	// with an indexed x gather — the access shape of HPCG's SpMV phase.
+	fastCfg, refCfg := comparableConfigs()
+	fast, err := RunWorkload(fastCfg, workloads.NewSpMV(12, 12, 12), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := RunWorkload(refCfg, workloads.NewSpMV(12, 12, 12), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertRunsIdentical(t, fast.Session, ref.Session)
+	if len(fast.Folded.Mem) == 0 {
+		t.Fatal("no folded samples: equivalence test is vacuous")
+	}
+}

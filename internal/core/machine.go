@@ -231,6 +231,22 @@ func (m *Machine) WriteTrace(prv, pcf interface {
 // folded analysis per thread. With one thread the run is identical to
 // RunWorkload.
 func RunWorkloadParallel(cfg Config, w workloads.PartitionedWorkload, iters, threads int) (*MachineWorkloadResult, error) {
+	return runWorkloadPartitioned(cfg, w, iters, threads, true)
+}
+
+// RunWorkloadSequential is RunWorkloadParallel under a deterministic
+// schedule: the same Machine, partitioning, per-thread monitors and shared
+// L3, but thread t's whole block runs to completion before thread t+1
+// starts. The free-running partitioned workloads have no cross-block
+// dependencies, so the sequential schedule is a legal interleaving; unlike
+// the goroutine schedule it fixes the order of shared-L3 fills, making the
+// run bit-reproducible — the scenario golden-metrics harness depends on
+// this. With one thread both entry points are identical.
+func RunWorkloadSequential(cfg Config, w workloads.PartitionedWorkload, iters, threads int) (*MachineWorkloadResult, error) {
+	return runWorkloadPartitioned(cfg, w, iters, threads, false)
+}
+
+func runWorkloadPartitioned(cfg Config, w workloads.PartitionedWorkload, iters, threads int, concurrent bool) (*MachineWorkloadResult, error) {
 	m, err := NewMachine(cfg, threads)
 	if err != nil {
 		return nil, err
@@ -250,16 +266,25 @@ func RunWorkloadParallel(cfg Config, w workloads.PartitionedWorkload, iters, thr
 	m.StartAll()
 	n := w.Elements()
 	errs := make([]error, len(m.Threads))
-	var wg sync.WaitGroup
-	for t, th := range m.Threads {
-		wg.Add(1)
-		go func(t int, th *MachineThread) {
-			defer wg.Done()
-			lo, hi := t*n/len(m.Threads), (t+1)*n/len(m.Threads)
-			errs[t] = w.RunPartition(&workloads.Ctx{Core: th.Core, Mon: th.Mon, Bin: m.Bin}, iters, lo, hi)
-		}(t, th)
+	runThread := func(t int, th *MachineThread) error {
+		lo, hi := t*n/len(m.Threads), (t+1)*n/len(m.Threads)
+		return w.RunPartition(&workloads.Ctx{Core: th.Core, Mon: th.Mon, Bin: m.Bin}, iters, lo, hi)
 	}
-	wg.Wait()
+	if concurrent {
+		var wg sync.WaitGroup
+		for t, th := range m.Threads {
+			wg.Add(1)
+			go func(t int, th *MachineThread) {
+				defer wg.Done()
+				errs[t] = runThread(t, th)
+			}(t, th)
+		}
+		wg.Wait()
+	} else {
+		for t, th := range m.Threads {
+			errs[t] = runThread(t, th)
+		}
+	}
 	for t, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("core: thread %d: %w", t+1, err)

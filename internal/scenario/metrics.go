@@ -1,0 +1,276 @@
+package scenario
+
+import (
+	"encoding/json"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/folding"
+	"repro/internal/memhier"
+	"repro/internal/objects"
+	"repro/internal/pebs"
+)
+
+// Metrics is the canonical, fully-deterministic result of one scenario run:
+// everything the pipeline measures — per-thread PMU ground truth, cache
+// hierarchy statistics, PEBS sampling activity, the folded analysis with its
+// detected phases and bandwidths, and the data-object accounting —
+// flattened into fixed-order structs so the JSON serialization is stable
+// byte for byte. The golden regression files under testdata/golden pin one
+// Metrics per scenario; the fast and reference simulation paths must both
+// reproduce it exactly.
+type Metrics struct {
+	Scenario  string `json:"scenario"`
+	Workload  string `json:"workload"`
+	Hierarchy string `json:"hierarchy"`
+	Threads   int    `json:"threads"`
+	Iters     int    `json:"iters"`
+
+	// CG is present for HPCG scenarios only.
+	CG *CGMetrics `json:"cg,omitempty"`
+
+	PerThread []ThreadMetrics `json:"per_thread"`
+	// SharedL3 aggregates the machine-wide shared LLC counters
+	// (multi-thread scenarios only; single-thread runs report the LLC as
+	// the last private level).
+	SharedL3 *LevelMetrics   `json:"shared_l3,omitempty"`
+	Objects  []ObjectMetrics `json:"objects"`
+}
+
+// CGMetrics records the solver outcome of an HPCG scenario.
+type CGMetrics struct {
+	Iterations    int       `json:"iterations"`
+	Residuals     []float64 `json:"residuals"`
+	FinalError    float64   `json:"final_error"`
+	FinalResidual float64   `json:"final_residual"`
+}
+
+// ThreadMetrics is one simulated hardware thread's view of the run.
+type ThreadMetrics struct {
+	Thread int `json:"thread"`
+
+	// PMU ground-truth event totals.
+	Instructions uint64 `json:"instructions"`
+	Cycles       uint64 `json:"cycles"`
+	Branches     uint64 `json:"branches"`
+	Loads        uint64 `json:"loads"`
+	Stores       uint64 `json:"stores"`
+	L1DMisses    uint64 `json:"l1d_misses"`
+	L2Misses     uint64 `json:"l2_misses"`
+	L3Misses     uint64 `json:"l3_misses"`
+
+	// Cache hierarchy, one entry per level as seen by this thread; the
+	// last entry of a Machine thread attributes its share of the shared
+	// L3. DRAMFills counts accesses that fell through every level.
+	Levels    []LevelMetrics `json:"levels"`
+	DRAMFills uint64         `json:"dram_fills"`
+
+	// PEBS engine activity.
+	SamplesEligible  uint64 `json:"samples_eligible"`
+	SamplesFired     uint64 `json:"samples_fired"`
+	SamplesBelowThr  uint64 `json:"samples_below_threshold"`
+	SamplesRecorded  uint64 `json:"samples_recorded"`
+	SampleDrains     uint64 `json:"sample_drains"`
+	TraceRecordCount int    `json:"trace_records"`
+
+	// Folding of the workload region.
+	InstancesUsed  int     `json:"instances_used"`
+	InstancesTotal int     `json:"instances_total"`
+	MeanDurationNs float64 `json:"mean_duration_ns"`
+	MeanIPC        float64 `json:"mean_ipc"`
+	FoldedSamples  int     `json:"folded_samples"`
+	FoldedLoads    int     `json:"folded_loads"`
+	FoldedStores   int     `json:"folded_stores"`
+
+	Phases []PhaseMetrics `json:"phases"`
+}
+
+// LevelMetrics is one cache level's counters.
+type LevelMetrics struct {
+	Name         string  `json:"name"`
+	Accesses     uint64  `json:"accesses"`
+	Hits         uint64  `json:"hits"`
+	Misses       uint64  `json:"misses"`
+	MissRatio    float64 `json:"miss_ratio"`
+	Writebacks   uint64  `json:"writebacks"`
+	Prefetches   uint64  `json:"prefetches"`
+	PrefetchHits uint64  `json:"prefetch_hits"`
+}
+
+// PhaseMetrics is one detected phase of the folded region.
+type PhaseMetrics struct {
+	Name  string `json:"name"`
+	Label string `json:"label,omitempty"` // paper letter (HPCG scenarios)
+
+	Lo         float64 `json:"lo"`
+	Hi         float64 `json:"hi"`
+	Direction  string  `json:"direction"`
+	DurationNs float64 `json:"duration_ns"`
+	Loads      int     `json:"loads"`
+	Stores     int     `json:"stores"`
+	MIPSMean   float64 `json:"mips_mean"`
+	// BandwidthMBps is the paper's traversal-bandwidth approximation.
+	BandwidthMBps float64 `json:"bandwidth_mbps"`
+
+	L1DMissPerInstr float64 `json:"l1d_miss_per_instr"`
+	L2MissPerInstr  float64 `json:"l2_miss_per_instr"`
+	L3MissPerInstr  float64 `json:"l3_miss_per_instr"`
+}
+
+// ObjectMetrics is one data object's reference accounting.
+type ObjectMetrics struct {
+	Name        string  `json:"name"`
+	Kind        string  `json:"kind"`
+	Bytes       uint64  `json:"bytes"`
+	Members     uint64  `json:"members"`
+	Refs        uint64  `json:"refs"`
+	Loads       uint64  `json:"loads"`
+	Stores      uint64  `json:"stores"`
+	MeanLatency float64 `json:"mean_latency"`
+	SrcL1       uint64  `json:"src_l1"`
+	SrcL2       uint64  `json:"src_l2"`
+	SrcL3       uint64  `json:"src_l3"`
+	SrcDRAM     uint64  `json:"src_dram"`
+}
+
+// JSON returns the canonical serialization: two-space indented, fixed field
+// order, trailing newline. Two runs of the same scenario must produce
+// byte-identical output.
+func (m *Metrics) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// threadMetrics assembles one thread's metrics from its simulation stack
+// and folded analysis. levelNames carries the configured cache level names
+// (the hierarchy reports stats by index only).
+func threadMetrics(thread int, c *cpu.Core, hier *memhier.Hierarchy,
+	eng pebs.Stats, nRecords int, folded *folding.Folded, levelNames []string) ThreadMetrics {
+	pmu := c.PMU().TrueSnapshot()
+	tm := ThreadMetrics{
+		Thread:       thread,
+		Instructions: pmu[cpu.CtrInstructions],
+		Cycles:       pmu[cpu.CtrCycles],
+		Branches:     pmu[cpu.CtrBranches],
+		Loads:        pmu[cpu.CtrLoads],
+		Stores:       pmu[cpu.CtrStores],
+		L1DMisses:    pmu[cpu.CtrL1DMiss],
+		L2Misses:     pmu[cpu.CtrL2Miss],
+		L3Misses:     pmu[cpu.CtrL3Miss],
+
+		DRAMFills: hier.DRAMAccesses(),
+
+		SamplesEligible:  eng.Eligible,
+		SamplesFired:     eng.Fired,
+		SamplesBelowThr:  eng.BelowThreshold,
+		SamplesRecorded:  eng.Recorded,
+		SampleDrains:     eng.Drains,
+		TraceRecordCount: nRecords,
+	}
+	for i := 0; i < hier.Levels(); i++ {
+		st := hier.LevelStats(i)
+		name := ""
+		if i < len(levelNames) {
+			name = levelNames[i]
+		}
+		tm.Levels = append(tm.Levels, levelMetrics(name, st))
+	}
+	if folded != nil {
+		tm.InstancesUsed = folded.InstancesUsed
+		tm.InstancesTotal = folded.InstancesTotal
+		tm.MeanDurationNs = folded.MeanDurationNs
+		tm.MeanIPC = folded.MeanIPC()
+		tm.FoldedSamples = len(folded.Mem)
+		for _, mp := range folded.Mem {
+			if mp.Store {
+				tm.FoldedStores++
+			} else {
+				tm.FoldedLoads++
+			}
+		}
+		for _, p := range folded.Phases {
+			tm.Phases = append(tm.Phases, phaseMetrics(p, ""))
+		}
+	}
+	return tm
+}
+
+func levelMetrics(name string, st memhier.LevelStats) LevelMetrics {
+	return LevelMetrics{
+		Name:         name,
+		Accesses:     st.Accesses,
+		Hits:         st.Hits,
+		Misses:       st.Misses,
+		MissRatio:    st.MissRatio(),
+		Writebacks:   st.Writebacks,
+		Prefetches:   st.Prefetches,
+		PrefetchHits: st.PrefHits,
+	}
+}
+
+func phaseMetrics(p folding.Phase, label string) PhaseMetrics {
+	return PhaseMetrics{
+		Name:            p.Name,
+		Label:           label,
+		Lo:              p.Lo,
+		Hi:              p.Hi,
+		Direction:       p.Direction.String(),
+		DurationNs:      p.DurationNs,
+		Loads:           p.Loads,
+		Stores:          p.Stores,
+		MIPSMean:        p.MIPSMean,
+		BandwidthMBps:   p.SpanBandwidth / 1e6,
+		L1DMissPerInstr: p.PerInstr[cpu.CtrL1DMiss],
+		L2MissPerInstr:  p.PerInstr[cpu.CtrL2Miss],
+		L3MissPerInstr:  p.PerInstr[cpu.CtrL3Miss],
+	}
+}
+
+func objectMetrics(objs []*objects.Object) []ObjectMetrics {
+	out := make([]ObjectMetrics, 0, len(objs))
+	for _, o := range objs {
+		out = append(out, ObjectMetrics{
+			Name:        o.Name,
+			Kind:        o.Kind.String(),
+			Bytes:       o.Bytes,
+			Members:     o.Members,
+			Refs:        o.Refs,
+			Loads:       o.Loads,
+			Stores:      o.Stores,
+			MeanLatency: o.MeanLatency(),
+			SrcL1:       o.Sources[memhier.SrcL1],
+			SrcL2:       o.Sources[memhier.SrcL2],
+			SrcL3:       o.Sources[memhier.SrcL3],
+			SrcDRAM:     o.Sources[memhier.SrcDRAM],
+		})
+	}
+	return out
+}
+
+// sessionMetrics collects the single-thread (Session) view.
+func sessionMetrics(s *core.Session, folded *folding.Folded, levelNames []string) ThreadMetrics {
+	return threadMetrics(1, s.Core, s.Hier, s.Mon.Engine().Stats(), len(s.Mon.Records()), folded, levelNames)
+}
+
+// machineMetrics collects per-thread metrics plus the shared-L3 aggregate.
+func machineMetrics(m *core.Machine, foldedOf func(thread int) *folding.Folded, levelNames []string) ([]ThreadMetrics, *LevelMetrics) {
+	var out []ThreadMetrics
+	for i, th := range m.Threads {
+		out = append(out, threadMetrics(i+1, th.Core, th.Hier, th.Mon.Engine().Stats(),
+			len(th.Mon.Records()), foldedOf(i+1), levelNames))
+	}
+	llc := levelMetrics(m.L3.Config().Name+" (shared)", m.L3.Stats())
+	return out, &llc
+}
+
+// paperPhaseMetrics converts labeled HPCG phases.
+func paperPhaseMetrics(paper []core.PaperPhase) []PhaseMetrics {
+	out := make([]PhaseMetrics, 0, len(paper))
+	for _, pp := range paper {
+		out = append(out, phaseMetrics(pp.Phase, pp.Label))
+	}
+	return out
+}

@@ -1,0 +1,259 @@
+// Package scenario is the deterministic scenario matrix of the repository:
+// a registry of named, fully-reproducible runs — workload × cache hierarchy
+// × thread count × sampling configuration — each producing a canonical
+// Metrics struct with a stable JSON serialization. The golden files under
+// testdata/golden pin every scenario's metrics; the regression tests replay
+// each scenario on both the fast and the reference simulation paths and
+// require byte-identical output, turning every combination into a diffable
+// reproduction artifact in the spirit of the paper's Figure 1 tables.
+//
+// Determinism is by construction: sampling randomization is seeded, the
+// simulated clocks are integer cycle counters, and multi-thread scenarios
+// run under core.RunWorkloadSequential's fixed schedule (thread t completes
+// before thread t+1 starts), which fixes the shared-L3 fill order that a
+// goroutine schedule would leave to the Go runtime. cmd/simrun is the CLI
+// front end; hpcgrepro remains the concurrent-schedule reproduction tool.
+package scenario
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/folding"
+	"repro/internal/hpcg"
+	"repro/internal/memhier"
+	"repro/internal/pebs"
+	"repro/internal/workloads"
+)
+
+// Scenario is one registered, deterministic experiment configuration.
+type Scenario struct {
+	// Name is the registry key (unique).
+	Name string
+	// Description is the one-line -list summary.
+	Description string
+	// Hierarchy names the cache configuration (see HierarchyNames).
+	Hierarchy string
+	// Threads is the simulated hardware thread count (>= 1).
+	Threads int
+	// Iters is the instrumented iteration count (workload scenarios).
+	Iters int
+	// Period is the PEBS sampling period.
+	Period uint64
+	// MuxQuantumNs enables load/store multiplexing (0: sample both always).
+	MuxQuantumNs uint64
+	// Randomize perturbs sampling gaps (deterministically, from Seed).
+	Randomize bool
+	// Seed drives the randomized gaps.
+	Seed int64
+	// LatencyThreshold drops load samples below the threshold.
+	LatencyThreshold uint64
+	// Workload builds the kernel; nil for HPCG scenarios.
+	Workload func() workloads.PartitionedWorkload
+	// HPCG, when non-nil, makes this an HPCG reproduction scenario.
+	HPCG *hpcg.Params
+}
+
+// Options adjusts a scenario run without changing its identity.
+type Options struct {
+	// Reference selects the per-operation reference simulation path. The
+	// metrics must be identical to the fast path's — the golden tests pin
+	// both.
+	Reference bool
+	// Threads overrides the scenario's thread count when > 0.
+	Threads int
+}
+
+// HierarchyNames lists the named cache configurations of the matrix.
+func HierarchyNames() []string { return []string{"haswell", "small", "noprefetch"} }
+
+// HierarchyConfig resolves a named cache configuration.
+func HierarchyConfig(name string) (memhier.Config, error) {
+	switch name {
+	case "", "haswell":
+		return memhier.DefaultConfig(), nil
+	case "small":
+		// A deliberately undersized hierarchy: working sets that fit the
+		// Haswell caches spill here, exercising miss and writeback paths.
+		return memhier.Config{
+			Levels: []memhier.LevelConfig{
+				{Name: "L1D", Size: 8 << 10, LineSize: 64, Assoc: 4, HitLatency: 4},
+				{Name: "L2", Size: 32 << 10, LineSize: 64, Assoc: 8, HitLatency: 12},
+				{Name: "L3", Size: 128 << 10, LineSize: 64, Assoc: 8, HitLatency: 36},
+			},
+			DRAMLatency:      230,
+			NextLinePrefetch: true,
+		}, nil
+	case "noprefetch":
+		cfg := memhier.DefaultConfig()
+		cfg.NextLinePrefetch = false
+		return cfg, nil
+	}
+	return memhier.Config{}, fmt.Errorf("scenario: unknown hierarchy %q (have %v)", name, HierarchyNames())
+}
+
+// Config assembles the core configuration for a run of the scenario.
+func (sc Scenario) Config(reference bool) (core.Config, error) {
+	cache, err := HierarchyConfig(sc.Hierarchy)
+	if err != nil {
+		return core.Config{}, err
+	}
+	cfg := core.DefaultConfig()
+	cfg.Cache = cache
+	cfg.Reference = reference
+	cfg.Monitor.PEBS.Period = sc.Period
+	if cfg.Monitor.PEBS.Period == 0 {
+		cfg.Monitor.PEBS.Period = 200
+	}
+	cfg.Monitor.PEBS.Events = pebs.SampleLoads | pebs.SampleStores
+	cfg.Monitor.PEBS.Randomize = sc.Randomize
+	cfg.Monitor.PEBS.Seed = sc.Seed
+	cfg.Monitor.PEBS.LatencyThreshold = sc.LatencyThreshold
+	cfg.Monitor.MuxQuantumNs = sc.MuxQuantumNs
+	return cfg, nil
+}
+
+// registry holds the scenarios in registration order; names is the
+// uniqueness index.
+var (
+	registry []Scenario
+	names    = map[string]int{}
+)
+
+// Register adds a scenario to the registry.
+func Register(sc Scenario) error {
+	if sc.Name == "" {
+		return fmt.Errorf("scenario: empty name")
+	}
+	if _, dup := names[sc.Name]; dup {
+		return fmt.Errorf("scenario: duplicate name %q", sc.Name)
+	}
+	if (sc.Workload == nil) == (sc.HPCG == nil) {
+		return fmt.Errorf("scenario %q: exactly one of Workload and HPCG must be set", sc.Name)
+	}
+	if sc.Threads < 1 {
+		return fmt.Errorf("scenario %q: Threads must be >= 1", sc.Name)
+	}
+	if sc.HPCG != nil && sc.Threads != 1 {
+		// Run would reject this on every invocation; fail at registration
+		// like the other invariants.
+		return fmt.Errorf("scenario %q: HPCG scenarios are single-thread (no deterministic parallel schedule)", sc.Name)
+	}
+	if _, err := HierarchyConfig(sc.Hierarchy); err != nil {
+		return err
+	}
+	names[sc.Name] = len(registry)
+	registry = append(registry, sc)
+	return nil
+}
+
+// mustRegister is Register for the built-in table.
+func mustRegister(sc Scenario) {
+	if err := Register(sc); err != nil {
+		panic(err)
+	}
+}
+
+// All returns the registered scenarios sorted by name.
+func All() []Scenario {
+	out := append([]Scenario(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Get looks a scenario up by name.
+func Get(name string) (Scenario, bool) {
+	i, ok := names[name]
+	if !ok {
+		return Scenario{}, false
+	}
+	return registry[i], true
+}
+
+// Run executes the scenario deterministically and collects its canonical
+// metrics. Single-thread scenarios run through a Session (the canonical
+// pipeline); multi-thread scenarios run the same partitioned workload on a
+// Machine under the sequential schedule, so repeated runs — and the fast
+// vs. reference paths — are byte-identical.
+func Run(sc Scenario, opts Options) (*Metrics, error) {
+	threads := sc.Threads
+	if opts.Threads > 0 {
+		threads = opts.Threads
+	}
+	cfg, err := sc.Config(opts.Reference)
+	if err != nil {
+		return nil, err
+	}
+	levelNames := make([]string, len(cfg.Cache.Levels))
+	for i, lv := range cfg.Cache.Levels {
+		levelNames[i] = lv.Name
+	}
+	hierarchy := sc.Hierarchy
+	if hierarchy == "" {
+		hierarchy = "haswell"
+	}
+
+	if sc.HPCG != nil {
+		if threads != 1 {
+			return nil, fmt.Errorf("scenario %q: HPCG golden scenarios are single-thread (the barrier-coupled parallel solve has no deterministic schedule); use hpcgrepro -threads for the concurrent run", sc.Name)
+		}
+		run, err := core.RunHPCG(cfg, *sc.HPCG)
+		if err != nil {
+			return nil, err
+		}
+		m := &Metrics{
+			Scenario:  sc.Name,
+			Workload:  "hpcg",
+			Hierarchy: hierarchy,
+			Threads:   1,
+			Iters:     sc.HPCG.MaxIters,
+			CG: &CGMetrics{
+				Iterations:    run.CG.Iterations,
+				Residuals:     run.CG.Residuals,
+				FinalError:    run.CG.FinalError,
+				FinalResidual: run.CG.Residuals[len(run.CG.Residuals)-1],
+			},
+			Objects: objectMetrics(run.Session.Mon.Registry().Objects()),
+		}
+		tm := sessionMetrics(run.Session, run.Folded, levelNames)
+		tm.Phases = paperPhaseMetrics(run.Paper)
+		m.PerThread = []ThreadMetrics{tm}
+		return m, nil
+	}
+
+	w := sc.Workload()
+	m := &Metrics{
+		Scenario:  sc.Name,
+		Workload:  w.Name(),
+		Hierarchy: hierarchy,
+		Threads:   threads,
+		Iters:     sc.Iters,
+	}
+	if threads == 1 {
+		res, err := core.RunWorkload(cfg, w, sc.Iters)
+		if err != nil {
+			return nil, err
+		}
+		m.PerThread = []ThreadMetrics{sessionMetrics(res.Session, res.Folded, levelNames)}
+		m.Objects = objectMetrics(res.Session.Mon.Registry().Objects())
+		return m, nil
+	}
+	res, err := core.RunWorkloadSequential(cfg, w, sc.Iters, threads)
+	if err != nil {
+		return nil, err
+	}
+	folded := func(thread int) *folding.Folded { return res.Threads[thread-1].Folded }
+	m.PerThread, m.SharedL3 = machineMetrics(res.Machine, folded, levelNames)
+	m.Objects = objectMetrics(res.Machine.Primary().Mon.Registry().Objects())
+	return m, nil
+}
+
+// RunByName resolves and runs a registered scenario.
+func RunByName(name string, opts Options) (*Metrics, error) {
+	sc, ok := Get(name)
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown scenario %q (run -list for the registry)", name)
+	}
+	return Run(sc, opts)
+}

@@ -104,7 +104,17 @@ func ReadBinary(r io.Reader) (nTasks, nThreads int, durationNs uint64, records [
 	}
 	nTasks, nThreads, durationNs = int(hdr[0]), int(hdr[1]), hdr[2]
 	count := hdr[3]
-	records = make([]Record, 0, count)
+	// Preallocation is an optimization, never a promise to the header: a
+	// corrupt (or hostile) stream can claim 2^60 records in a few bytes,
+	// and allocating that up front would abort the process before the
+	// decode loop ever hits the honest truncation error. Cap the hint and
+	// let append grow the slice if the records really are there.
+	const maxPrealloc = 1 << 16
+	prealloc := count
+	if prealloc > maxPrealloc {
+		prealloc = maxPrealloc
+	}
+	records = make([]Record, 0, prealloc)
 	var now uint64
 	for i := uint64(0); i < count; i++ {
 		delta, err := binary.ReadUvarint(br)
@@ -124,8 +134,12 @@ func ReadBinary(r io.Reader) (nTasks, nThreads int, durationNs uint64, records [
 		if err != nil {
 			return 0, 0, 0, nil, err
 		}
+		pairCap := nPairs
+		if pairCap > 64 {
+			pairCap = 64 // same cap-the-hint rule as the record count
+		}
 		rec := Record{TimeNs: now, Task: int(task), Thread: int(thread),
-			Pairs: make([]TypeValue, 0, nPairs)}
+			Pairs: make([]TypeValue, 0, pairCap)}
 		for j := uint64(0); j < nPairs; j++ {
 			typ, err := binary.ReadUvarint(br)
 			if err != nil {

@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzSeedRecords builds a representative trace for the fuzz corpus: two
+// threads, region boundaries, a full PEBS sample record with counters, an
+// allocation record and zero-length-pair records.
+func fuzzSeedRecords() []Record {
+	return []Record{
+		{TimeNs: 0, Task: 1, Thread: 1, Pairs: []TypeValue{{Type: TypeRegion, Value: 3}}},
+		{TimeNs: 10, Task: 1, Thread: 2, Pairs: []TypeValue{{Type: TypeRegion, Value: 3}}},
+		{TimeNs: 25, Task: 1, Thread: 1, Pairs: []TypeValue{
+			{Type: TypeSampleAddr, Value: 0x2adf00001000},
+			{Type: TypeSampleLatency, Value: 230},
+			{Type: TypeSampleSource, Value: 3},
+			{Type: TypeSampleStore, Value: 1},
+			{Type: TypeSampleIP, Value: 0x400123},
+			{Type: TypeSampleStack, Value: 7},
+			{Type: TypeSampleSize, Value: 8},
+			{Type: TypeCounterBase, Value: 1234},
+			{Type: TypeCounterBase + 1, Value: 99999},
+		}},
+		{TimeNs: 25, Task: 1, Thread: 2, Pairs: []TypeValue{
+			{Type: TypeAllocAddr, Value: 0x2adf00002000},
+			{Type: TypeAllocSize, Value: 4096},
+			{Type: TypeAllocStack, Value: 2},
+		}},
+		{TimeNs: 31, Task: 1, Thread: 1, Pairs: nil},
+		{TimeNs: 40, Task: 1, Thread: 1, Pairs: []TypeValue{{Type: TypeRegion, Value: 0}}},
+		{TimeNs: 41, Task: 1, Thread: 2, Pairs: []TypeValue{{Type: TypeRegion, Value: 0}}},
+	}
+}
+
+func encodeSeed(t interface{ Fatal(...any) }, nTasks, nThreads int, dur uint64, recs []Record) []byte {
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, nTasks, nThreads, dur, recs); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzDecodeBinary fuzzes the binary trace decoder: whatever the input,
+// ReadBinary must return an error or a decodable trace — never panic or
+// OOM on a hostile header — and any trace it accepts must re-encode
+// stably: encode(decode(x)) is a fixed point of decode∘encode.
+func FuzzDecodeBinary(f *testing.F) {
+	recs := fuzzSeedRecords()
+	f.Add(encodeSeed(f, 1, 2, 41, recs))
+	f.Add(encodeSeed(f, 1, 1, 0, nil))
+	f.Add(encodeSeed(f, 4, 8, 1<<40, recs[2:3]))
+	// Truncations and corruptions of a valid stream.
+	valid := encodeSeed(f, 1, 2, 41, recs)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:5])
+	f.Add([]byte("BSCT"))
+	f.Add([]byte("not a trace"))
+	corrupt := append([]byte(nil), valid...)
+	corrupt[6] = 0xff // inflate a header varint
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		nTasks, nThreads, dur, decoded, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input: fine, as long as we got here alive
+		}
+		// Accepted input: the decoded records must be in time order (the
+		// deltas are unsigned, so this is structural) and re-encodable.
+		var enc1 bytes.Buffer
+		if err := WriteBinary(&enc1, nTasks, nThreads, dur, decoded); err != nil {
+			t.Fatalf("re-encoding accepted trace: %v", err)
+		}
+		nT2, nTh2, dur2, decoded2, err := ReadBinary(bytes.NewReader(enc1.Bytes()))
+		if err != nil {
+			t.Fatalf("decoding own encoding: %v", err)
+		}
+		if nT2 != nTasks || nTh2 != nThreads || dur2 != dur || len(decoded2) != len(decoded) {
+			t.Fatalf("header drifted: (%d,%d,%d,%d) -> (%d,%d,%d,%d)",
+				nTasks, nThreads, dur, len(decoded), nT2, nTh2, dur2, len(decoded2))
+		}
+		var enc2 bytes.Buffer
+		if err := WriteBinary(&enc2, nT2, nTh2, dur2, decoded2); err != nil {
+			t.Fatalf("second re-encode: %v", err)
+		}
+		if !bytes.Equal(enc1.Bytes(), enc2.Bytes()) {
+			t.Fatalf("encode(decode(x)) is not stable: %d vs %d bytes", enc1.Len(), enc2.Len())
+		}
+	})
+}
+
+// TestReadBinaryHostileHeader pins the preallocation cap directly: a tiny
+// stream whose header claims 2^60 records must fail with a truncation
+// error, not abort on allocation.
+func TestReadBinaryHostileHeader(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, 1, 1, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	// Header layout: "BSCT" version nTasks nThreads duration count — for
+	// this empty trace each field is a single-byte varint, so count is the
+	// last byte. Replace it with a varint claiming 2^60 records.
+	b = b[:len(b)-1]
+	huge := []byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x10} // 1<<60
+	b = append(b, huge...)
+	if _, _, _, _, err := ReadBinary(bytes.NewReader(b)); err == nil {
+		t.Fatal("hostile record count accepted")
+	}
+	// Same for the per-record pair count.
+	var buf2 bytes.Buffer
+	if err := WriteBinary(&buf2, 1, 1, 0, []Record{{TimeNs: 1, Task: 1, Thread: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	b2 := buf2.Bytes()
+	b2 = b2[:len(b2)-1] // nPairs byte of the single record
+	b2 = append(b2, huge...)
+	if _, _, _, _, err := ReadBinary(bytes.NewReader(b2)); err == nil {
+		t.Fatal("hostile pair count accepted")
+	}
+}

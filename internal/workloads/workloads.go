@@ -167,7 +167,8 @@ func (s *Stream) Value(i int) float64 { return s.a[i] }
 type RandomAccess struct {
 	// N is the table length in 8-byte words.
 	N int
-	// UpdatesPerIter is the number of updates per instrumented iteration.
+	// UpdatesPerIter is the number of updates per instrumented iteration
+	// over the full table; partitions scale it by their block share.
 	UpdatesPerIter int
 	// Seed drives the index sequence.
 	Seed int64
@@ -177,7 +178,6 @@ type RandomAccess struct {
 	tableAddr uint64
 	ipLoad    uint64
 	ipStore   uint64
-	rng       *rand.Rand
 }
 
 // NewRandomAccess returns a GUPS kernel over an n-word table.
@@ -218,17 +218,29 @@ func (r *RandomAccess) Setup(ctx *Ctx) error {
 		return err
 	}
 	r.table = make([]uint64, r.N)
-	r.rng = rand.New(rand.NewSource(r.Seed))
 	return nil
 }
 
 // Run implements Workload.
 func (r *RandomAccess) Run(ctx *Ctx, iters int) error {
+	return r.RunPartition(ctx, iters, 0, r.N)
+}
+
+// Elements implements PartitionedWorkload.
+func (r *RandomAccess) Elements() int { return r.N }
+
+// RunPartition implements PartitionedWorkload: random updates confined to
+// table indices [lo, hi), with the per-iteration update count scaled by the
+// block share. Each partition derives its own index stream from Seed+lo, so
+// concurrent blocks write disjoint table slices without sharing an RNG.
+func (r *RandomAccess) RunPartition(ctx *Ctx, iters int, lo, hi int) error {
 	core := ctx.Core
+	rng := rand.New(rand.NewSource(r.Seed + int64(lo)))
+	updates := r.UpdatesPerIter * (hi - lo) / r.N
 	for it := 0; it < iters; it++ {
 		ctx.Mon.EnterRegion(r.region)
-		for u := 0; u < r.UpdatesPerIter; u++ {
-			i := r.rng.Intn(r.N)
+		for u := 0; u < updates; u++ {
+			i := lo + rng.Intn(hi-lo)
 			addr := r.tableAddr + uint64(i)*8
 			core.Load(r.ipLoad, addr, 8)
 			r.table[i] ^= uint64(i)*2654435761 + 1
@@ -304,11 +316,22 @@ func (p *PointerChase) Setup(ctx *Ctx) error {
 
 // Run implements Workload.
 func (p *PointerChase) Run(ctx *Ctx, iters int) error {
+	return p.RunPartition(ctx, iters, 0, p.N)
+}
+
+// Elements implements PartitionedWorkload.
+func (p *PointerChase) Elements() int { return p.N }
+
+// RunPartition implements PartitionedWorkload: chase hi-lo steps along the
+// global cycle starting at node lo. The next-pointer array is read-only, so
+// partitions walking overlapping stretches of the cycle stay race-free;
+// each block still issues one dependent load per step.
+func (p *PointerChase) RunPartition(ctx *Ctx, iters int, lo, hi int) error {
 	core := ctx.Core
 	for it := 0; it < iters; it++ {
 		ctx.Mon.EnterRegion(p.region)
-		node := int32(0)
-		for step := 0; step < p.N; step++ {
+		node := int32(lo)
+		for step := lo; step < hi; step++ {
 			core.Load(p.ipLoad, p.baseAddr+uint64(node)*8, 8)
 			node = p.next[node]
 		}
@@ -384,11 +407,22 @@ func (m *MatMul) Setup(ctx *Ctx) error {
 
 // Run implements Workload.
 func (m *MatMul) Run(ctx *Ctx, iters int) error {
+	return m.RunPartition(ctx, iters, 0, m.N)
+}
+
+// Elements implements PartitionedWorkload: the partitionable unit is a row
+// of C.
+func (m *MatMul) Elements() int { return m.N }
+
+// RunPartition implements PartitionedWorkload: compute rows [lo, hi) of C.
+// A and B are read-only and the C rows are disjoint per block, so the
+// OpenMP-style i-loop partitioning is race-free.
+func (m *MatMul) RunPartition(ctx *Ctx, iters int, lo, hi int) error {
 	core := ctx.Core
 	n := m.N
 	for it := 0; it < iters; it++ {
 		ctx.Mon.EnterRegion(m.region)
-		for i := 0; i < n; i++ {
+		for i := lo; i < hi; i++ {
 			for j := 0; j < n; j++ {
 				var sum float64
 				for k := 0; k < n; k++ {

@@ -197,3 +197,119 @@ func TestWorkloadsAreDistinctRegions(t *testing.T) {
 		t.Error("workloads share a region id")
 	}
 }
+
+func TestSpMVMath(t *testing.T) {
+	ctx := newCtx(t)
+	s := NewSpMV(8, 8, 8)
+	if s.Name() != "spmv_csr" {
+		t.Errorf("name = %q", s.Name())
+	}
+	if err := s.Setup(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	// x ≡ 1: each row sums to 6 minus the number of present neighbours —
+	// 0 for interior rows, positive on the boundary.
+	interior := (1*8+1)*8 + 1 // (1,1,1)
+	if s.Value(interior) != 0 {
+		t.Errorf("interior row = %g, want 0", s.Value(interior))
+	}
+	if s.Value(0) != 3 { // corner has 3 neighbours
+		t.Errorf("corner row = %g, want 3", s.Value(0))
+	}
+	for i := 0; i < s.Rows(); i++ {
+		if s.Value(i) != s.Expected(i) {
+			t.Fatalf("y[%d] = %g, want %g", i, s.Value(i), s.Expected(i))
+		}
+	}
+}
+
+func TestSpMVValidation(t *testing.T) {
+	ctx := newCtx(t)
+	if err := NewSpMV(0, 8, 8).Setup(ctx); err == nil {
+		t.Error("zero grid dim accepted")
+	}
+}
+
+// TestPartitionsCoverElements pins the partition contract for every
+// workload at the workload level: running the partitions of a 3-way split
+// one after another covers the full element range. For the deterministic
+// sweeps (triad, SpMV, matmul) the outputs equal their closed forms; for
+// random access the per-block update counts land (each block scales
+// UpdatesPerIter by its share, so the 3-way total may round a few updates
+// below one full Run's); for pointer chase the step counts sum to one full
+// cycle. (Exact Run == RunPartition(0, N) equality through the whole stack
+// is pinned by core's TestPartitionSingleThreadIdenticalToSession.)
+func TestPartitionsCoverElements(t *testing.T) {
+	run3 := func(t *testing.T, w PartitionedWorkload) *Ctx {
+		t.Helper()
+		ctx := newCtx(t)
+		if err := w.Setup(ctx); err != nil {
+			t.Fatal(err)
+		}
+		n := w.Elements()
+		for p := 0; p < 3; p++ {
+			lo, hi := p*n/3, (p+1)*n/3
+			if err := w.RunPartition(ctx, 1, lo, hi); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return ctx
+	}
+	t.Run("stream", func(t *testing.T) {
+		s := NewStream(1 << 10)
+		run3(t, s)
+		for i := 0; i < s.N; i++ {
+			if s.Value(i) != s.Expected(i) {
+				t.Fatalf("a[%d] = %g, want %g", i, s.Value(i), s.Expected(i))
+			}
+		}
+	})
+	t.Run("spmv", func(t *testing.T) {
+		s := NewSpMV(6, 6, 6)
+		run3(t, s)
+		for i := 0; i < s.Rows(); i++ {
+			if s.Value(i) != s.Expected(i) {
+				t.Fatalf("y[%d] = %g, want %g", i, s.Value(i), s.Expected(i))
+			}
+		}
+	})
+	t.Run("matmul", func(t *testing.T) {
+		m := NewMatMul(9)
+		run3(t, m)
+		for i := 0; i < 9; i++ {
+			for j := 0; j < 9; j++ {
+				if m.Value(i, j) != 18 {
+					t.Fatalf("C[%d][%d] = %g, want 18", i, j, m.Value(i, j))
+				}
+			}
+		}
+	})
+	t.Run("random_access", func(t *testing.T) {
+		r := NewRandomAccess(1<<10, 300, 3)
+		ctx := run3(t, r)
+		// Each block performs UpdatesPerIter*(hi-lo)/N updates, one load
+		// and one store each.
+		var want uint64
+		for p := 0; p < 3; p++ {
+			lo, hi := p*r.N/3, (p+1)*r.N/3
+			want += uint64(r.UpdatesPerIter * (hi - lo) / r.N)
+		}
+		if got := ctx.Core.PMU().True(cpu.CtrLoads); got != want {
+			t.Errorf("loads = %d, want %d", got, want)
+		}
+		if got := ctx.Core.PMU().True(cpu.CtrStores); got != want {
+			t.Errorf("stores = %d, want %d", got, want)
+		}
+	})
+	t.Run("pointer_chase", func(t *testing.T) {
+		p := NewPointerChase(1<<10, 3)
+		ctx := run3(t, p)
+		// The three arcs take hi-lo steps each: one full cycle of loads.
+		if got := ctx.Core.PMU().True(cpu.CtrLoads); got != uint64(p.N) {
+			t.Errorf("loads = %d, want %d", got, p.N)
+		}
+	})
+}
