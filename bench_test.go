@@ -439,21 +439,59 @@ func BenchmarkAblationGroupThreshold(b *testing.B) {
 
 // --- Substrate microbenchmarks ---
 
-// BenchmarkMemhierAccess measures the cache-simulator hot path.
+// BenchmarkMemhierAccess measures the cache-simulator hot path: the
+// historical random-address case plus streaming cases at three working-set
+// residencies, each issued per-op (one Access per element) and through the
+// line-run batch API (one AccessRun per 8-element line chunk, the issue
+// granularity of the instrumented kernels). ns/op is per simulated element
+// access in every case, so perop vs run at the same residency is the
+// line-run batching speedup.
 func BenchmarkMemhierAccess(b *testing.B) {
-	h, err := memhier.New(memhier.DefaultConfig())
-	if err != nil {
-		b.Fatal(err)
-	}
-	rng := rand.New(rand.NewSource(1))
-	addrs := make([]uint64, 4096)
-	for i := range addrs {
-		addrs[i] = uint64(rng.Intn(1 << 24))
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		h.Access(addrs[i%len(addrs)], 8, i%4 == 0)
+	b.Run("random", func(b *testing.B) {
+		h, err := memhier.New(memhier.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(1))
+		addrs := make([]uint64, 4096)
+		for i := range addrs {
+			addrs[i] = uint64(rng.Intn(1 << 24))
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.Access(addrs[i%len(addrs)], 8, i%4 == 0)
+		}
+	})
+	// Element sweeps over a 16 KiB (L1-resident), 256 KiB (L2-resident)
+	// and 8 MiB (DRAM-bound) working set.
+	for _, ws := range []struct {
+		name  string
+		words int
+	}{{"L1", 1 << 11}, {"L2", 1 << 15}, {"DRAM", 1 << 20}} {
+		b.Run("stream-perop-"+ws.name, func(b *testing.B) {
+			h, err := memhier.New(memhier.DefaultConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h.Access(uint64(i%ws.words)*8, 8, false)
+			}
+		})
+		b.Run("stream-run-"+ws.name, func(b *testing.B) {
+			h, err := memhier.New(memhier.DefaultConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			var rr memhier.RunResult
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i += 8 {
+				h.AccessRun(uint64(i%ws.words)*8, 8, 8, false, &rr)
+			}
+		})
 	}
 }
 
@@ -523,6 +561,7 @@ func BenchmarkFoldingFold(b *testing.B) {
 		}
 		instances[k] = in
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := folding.Fold(instances, folding.DefaultConfig()); err != nil {

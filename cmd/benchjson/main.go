@@ -1,0 +1,140 @@
+// Command benchjson converts `go test -bench` text output on stdin into a
+// stable JSON benchmark report on stdout. The CI bench job pipes the tier-1
+// benchmarks through it to produce the BENCH_<pr>.json artifacts that track
+// the repository's performance trajectory (ns/op, allocs, and the custom
+// reproduction metrics the figure benches report).
+//
+// Usage:
+//
+//	go test -run NONE -bench . -benchmem . | benchjson -out BENCH_4.json
+//	go test -bench BenchmarkCoreLoadStream . | benchjson
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line, normalized.
+type Result struct {
+	// Name is the benchmark name with any -GOMAXPROCS suffix stripped.
+	Name string `json:"name"`
+	// Iterations is the measured iteration count.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the headline latency metric.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp / AllocsPerOp are present with -benchmem.
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// MBPerSec is present when the benchmark calls SetBytes.
+	MBPerSec *float64 `json:"mb_per_sec,omitempty"`
+	// Metrics holds the custom ReportMetric values keyed by unit
+	// (e.g. "phases", "paper-letters", "a1-MB/s").
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	// Context lines: goos/goarch/pkg/cpu from the bench header.
+	Context map[string]string `json:"context,omitempty"`
+	Results []Result          `json:"results"`
+}
+
+func main() {
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	rep := Report{Context: map[string]string{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"), strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "pkg:"), strings.HasPrefix(line, "cpu:"):
+			k, v, _ := strings.Cut(line, ":")
+			rep.Context[k] = strings.TrimSpace(v)
+		case strings.HasPrefix(line, "Benchmark"):
+			if r, ok := parseBench(line); ok {
+				rep.Results = append(rep.Results, r)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	sort.SliceStable(rep.Results, func(i, j int) bool { return rep.Results[i].Name < rep.Results[j].Name })
+
+	b, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	b = append(b, '\n')
+	if *out == "" {
+		os.Stdout.Write(b)
+		return
+	}
+	if err := os.WriteFile(*out, b, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+// parseBench parses one result line:
+//
+//	BenchmarkFoo-8  123456  12.3 ns/op  4 B/op  1 allocs/op  7.0 phases
+func parseBench(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Result{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		// Strip the -GOMAXPROCS suffix (digits only) so series compare
+		// across machines.
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: name, Iterations: iters}
+	// The remainder alternates value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = val
+		case "B/op":
+			v := val
+			r.BytesPerOp = &v
+		case "allocs/op":
+			v := val
+			r.AllocsPerOp = &v
+		case "MB/s":
+			v := val
+			r.MBPerSec = &v
+		default:
+			if r.Metrics == nil {
+				r.Metrics = map[string]float64{}
+			}
+			r.Metrics[unit] = val
+		}
+	}
+	return r, true
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -16,27 +16,35 @@ import (
 	"repro/internal/core"
 	"repro/internal/hpcg"
 	"repro/internal/pebs"
+	"repro/internal/profiling"
 	"repro/internal/report"
 )
 
 func main() {
 	var (
-		nx       = flag.Int("nx", 32, "local box dimension (nx=ny=nz; paper used 104)")
-		levels   = flag.Int("mg-levels", 4, "multigrid levels")
-		iters    = flag.Int("iters", 8, "CG iterations to fold over")
-		threads  = flag.Int("threads", 1, "simulated hardware threads (OpenMP-style row partitioning, shared L3, one trace stream and folded analysis per thread)")
-		period   = flag.Uint64("period", 1000, "PEBS sampling period (memory ops per sample)")
-		muxNs    = flag.Uint64("mux-ns", 1_000_000, "load/store multiplexing quantum in ns (0 = sample both always)")
-		outDir   = flag.String("out", "", "directory for CSV series and trace files (optional)")
-		noGroups = flag.Bool("no-grouping", false, "disable allocation grouping (reproduces the paper's failed preliminary analysis)")
-		paper    = flag.Bool("paper", false, "paper-scale mode: 104^3 box, 4 MG levels (overrides -nx and -mg-levels; long run)")
-		refPath  = flag.Bool("reference", false, "use the per-op reference simulation path instead of the fast path (validation/debug)")
+		nx         = flag.Int("nx", 32, "local box dimension (nx=ny=nz; paper used 104)")
+		levels     = flag.Int("mg-levels", 4, "multigrid levels")
+		iters      = flag.Int("iters", 8, "CG iterations to fold over")
+		threads    = flag.Int("threads", 1, "simulated hardware threads (OpenMP-style row partitioning, shared L3, one trace stream and folded analysis per thread)")
+		period     = flag.Uint64("period", 1000, "PEBS sampling period (memory ops per sample)")
+		muxNs      = flag.Uint64("mux-ns", 1_000_000, "load/store multiplexing quantum in ns (0 = sample both always)")
+		outDir     = flag.String("out", "", "directory for CSV series and trace files (optional)")
+		noGroups   = flag.Bool("no-grouping", false, "disable allocation grouping (reproduces the paper's failed preliminary analysis)")
+		paper      = flag.Bool("paper", false, "paper-scale mode: 104^3 box, 4 MG levels (overrides -nx and -mg-levels; long run)")
+		refPath    = flag.Bool("reference", false, "use the per-op reference simulation path instead of the fast path (validation/debug)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (perf work: profile real scenario runs, not just microbenchmarks)")
+		memProfile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
 	flag.Parse()
 	if *paper {
 		*nx = 104
 		*levels = 4
 	}
+	stopProfiles, err := profiling.Start("hpcgrepro", *cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProfiles()
 
 	cfg := core.DefaultConfig()
 	cfg.Reference = *refPath

@@ -24,20 +24,28 @@ import (
 	"path/filepath"
 	"runtime"
 
+	"repro/internal/profiling"
 	"repro/internal/scenario"
 )
 
 func main() {
 	var (
-		list      = flag.Bool("list", false, "list the registered scenarios and exit")
-		run       = flag.String("run", "", "scenario to run (a registered name, or 'all')")
-		threads   = flag.Int("threads", 0, "override the scenario's thread count (0 = scenario default)")
-		reference = flag.Bool("reference", false, "use the per-op reference simulation path (must produce identical metrics)")
-		jsonOut   = flag.Bool("json", false, "print the full canonical Metrics JSON instead of the summary line")
-		update    = flag.Bool("update-golden", false, "rewrite the golden metrics files for every scenario")
-		golden    = flag.String("golden", filepath.Join("internal", "scenario", "testdata", "golden"), "golden directory used by -update-golden")
+		list       = flag.Bool("list", false, "list the registered scenarios and exit")
+		run        = flag.String("run", "", "scenario to run (a registered name, or 'all')")
+		threads    = flag.Int("threads", 0, "override the scenario's thread count (0 = scenario default)")
+		reference  = flag.Bool("reference", false, "use the per-op reference simulation path (must produce identical metrics)")
+		jsonOut    = flag.Bool("json", false, "print the full canonical Metrics JSON instead of the summary line")
+		update     = flag.Bool("update-golden", false, "rewrite the golden metrics files for every scenario")
+		golden     = flag.String("golden", filepath.Join("internal", "scenario", "testdata", "golden"), "golden directory used by -update-golden")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (perf work: profile real scenario runs, not just microbenchmarks)")
+		memProfile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
 	flag.Parse()
+	stopProfiles, err := profiling.Start("simrun", *cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProfiles()
 
 	switch {
 	case *list:

@@ -9,7 +9,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"repro/internal/cpu"
 	"repro/internal/extrae"
@@ -141,14 +141,24 @@ func (s *Session) FuncOf(ip uint64) string {
 // region/snapshot records, so sample records can carry earlier timestamps
 // than records already logged — and both folding.Extract and the PRV
 // writer require a chronological stream. Same-time records keep their
-// logged order.
+// logged order. The sorted copy is memoized and its backing buffer reused
+// when the log has grown, so steady-state re-folding does not reallocate;
+// a snapshot returned before the log grew is invalidated by the next call.
 func (s *Session) sortedRecords() []trace.Record {
 	log := s.Mon.Records()
 	if s.sortedLog != nil && s.sortedLen == len(log) {
 		return s.sortedLog
 	}
-	recs := append([]trace.Record(nil), log...)
-	sort.SliceStable(recs, func(i, j int) bool { return recs[i].TimeNs < recs[j].TimeNs })
+	recs := append(s.sortedLog[:0], log...)
+	slices.SortStableFunc(recs, func(a, b trace.Record) int {
+		switch {
+		case a.TimeNs < b.TimeNs:
+			return -1
+		case a.TimeNs > b.TimeNs:
+			return 1
+		}
+		return 0
+	})
 	s.sortedLog, s.sortedLen = recs, len(log)
 	return recs
 }

@@ -144,9 +144,15 @@ type Core struct {
 	// memCyc and memCycDep are the per-data-source stall cycles charged to
 	// an independent (overlapped) and a dependency-chained access,
 	// precomputed from the hierarchy latencies and MemOverlap so the per-op
-	// path performs no floating-point work.
+	// path performs no floating-point work. maxCyc/maxCycDep are the
+	// per-table maxima — the worst case is NOT always DRAM: overlap scales
+	// every source but L1 down, so at high MemOverlap the unoverlapped L1
+	// cost can exceed the overlapped DRAM cost. The batch splitter's
+	// hook-cycle bound relies on these being true per-op maxima.
 	memCyc    [memhier.NumSources]uint64
 	memCycDep [memhier.NumSources]uint64
+	maxCyc    uint64
+	maxCycDep uint64
 }
 
 // New creates a core bound to a memory hierarchy.
@@ -188,6 +194,10 @@ func New(cfg Config, hier *memhier.Hierarchy) (*Core, error) {
 			ov = 1
 		}
 		c.memCyc[s] = ov
+	}
+	for s := range c.memCyc {
+		c.maxCyc = max(c.maxCyc, c.memCyc[s])
+		c.maxCycDep = max(c.maxCycDep, c.memCycDep[s])
 	}
 	return c, nil
 }
@@ -369,13 +379,54 @@ func (c *Core) Store(ip, addr uint64, size int) memhier.AccessResult {
 	return c.memAccess(ip, addr, size, true, false)
 }
 
+// LineRun describes one batch of memory instructions at a single IP
+// sweeping base, base+stride, ..., base+(count-1)*stride — the issue
+// granularity of the streaming kernels (the STREAM triad arrays, SpMV
+// value/column rows, the dense vector updates). Workloads emit LineRun
+// batches; the core resolves each distinct cache line once through the
+// hierarchy's run-probe API and charges the remaining same-line accesses
+// in bulk, splitting a run wherever a sample gate or monitoring quantum
+// must observe an operation precisely.
+type LineRun struct {
+	// IP is the instruction pointer shared by every access of the run.
+	IP uint64
+	// Base is the first accessed address.
+	Base uint64
+	// Stride is the address increment between accesses, in bytes.
+	Stride int
+	// Size is the access width in bytes.
+	Size int
+	// Count is the number of accesses.
+	Count int
+	// Store selects store semantics (write-back, write-allocate).
+	Store bool
+	// Dep marks a dependency-chained run: every access stalls for its full
+	// latency (LoadDep semantics).
+	Dep bool
+}
+
+// IssueRun retires one line run. It is semantically identical to Count
+// individual Load/LoadDep/Store calls — same counters, cache state, stall
+// cycles and samples.
+func (c *Core) IssueRun(r LineRun) {
+	c.stream(r.IP, r.Base, r.Stride, r.Size, r.Count, r.Store, r.Dep)
+}
+
+// IssueRuns retires a batch of line runs in order. Workloads use it to
+// hand a whole inner-loop body (e.g. the triad's two load sweeps and one
+// store sweep over a line) to the simulator in one call.
+func (c *Core) IssueRuns(runs []LineRun) {
+	for _, r := range runs {
+		c.IssueRun(r)
+	}
+}
+
 // LoadStream retires n loads at ip sweeping addresses base, base+stride,
 // ..., base+(n-1)*stride. It is semantically identical to n Load calls —
-// same counters, cache state, stall cycles and samples — but only re-probes
-// the hierarchy on cache-line crossings: the first access of each line
-// segment runs the full path and the remaining same-line touches are
-// charged in bulk, splitting only where a sample gate or quantum hook must
-// fire mid-segment.
+// same counters, cache state, stall cycles and samples — but resolves each
+// distinct cache line only once: the whole run is handed to the
+// hierarchy's batched run-probe, splitting only where a sample gate or
+// quantum hook must fire mid-run.
 func (c *Core) LoadStream(ip, base uint64, stride, size, n int) {
 	c.stream(ip, base, stride, size, n, false, false)
 }
@@ -391,12 +442,20 @@ func (c *Core) StoreStream(ip, base uint64, stride, size, n int) {
 	c.stream(ip, base, stride, size, n, true, false)
 }
 
+// stream is the line-run issue layer. The batched path bounds, up front,
+// how many operations can retire without a monitoring event, issues that
+// many through one memhier.AccessRun call (one line-resolving probe per
+// distinct line, bulk L1 charges for the rest), and accounts the whole
+// batch with a single fused PMU delta and a single clock advance. Any
+// operation that may fire a sample gate or cross the hook cycle takes the
+// precise per-op path, so sampling decisions, PEBS gap draws and monitor
+// hooks happen on exactly the operations per-op issue would pick.
 func (c *Core) stream(ip, base uint64, stride, size, n int, store, dependent bool) {
 	if n <= 0 {
 		return
 	}
-	// The bulk path requires: batched issue enabled, no per-op observer, a
-	// PMU whose bulk accounting is exact, and a forward stride (the
+	// The batched path requires: batched issue enabled, no per-op observer,
+	// a PMU whose bulk accounting is exact, and a forward stride (the
 	// kernels' element sweeps are all ascending).
 	if c.cfg.PerOpStreams || c.memHook != nil || !c.pmu.bulkOK() || stride <= 0 {
 		addr := base
@@ -406,107 +465,61 @@ func (c *Core) stream(ip, base uint64, stride, size, n int, store, dependent boo
 		}
 		return
 	}
-	lineSize := uint64(c.hier.LineSize())
-	addr := base
-	i := 0
-	for i < n {
-		// Probe the first access of the line segment through the full path.
-		res := c.memAccess(ip, addr, size, store, dependent)
-		i++
-		addr += uint64(stride)
-		if i >= n || uint64(stride) >= lineSize {
-			continue
-		}
-		// Count how many subsequent accesses stay on the same line.
-		lineEnd := res.LineAddr + lineSize
-		if addr >= lineEnd {
-			continue
-		}
-		k := int((lineEnd - addr + uint64(stride) - 1) / uint64(stride))
-		if k > n-i {
-			k = n - i
-		}
-		k = c.bulkL1(ip, addr, res.LineAddr, stride, size, k, store, dependent)
-		i += k
-		addr += uint64(k) * uint64(stride)
+	cycTab := &c.memCyc
+	maxCyc := c.maxCyc
+	if dependent {
+		cycTab = &c.memCycDep
+		maxCyc = c.maxCycDep
 	}
-}
-
-// bulkL1 charges up to k same-line accesses (which are L1 MRU hits: the
-// caller just touched the line) in bulk, issuing any access on which a
-// sample gate or the hook cycle would fire through the full per-op path so
-// monitoring observes exactly what per-op issue would. It returns the
-// number of accesses actually retired (always k unless the hierarchy
-// refuses the bulk hit, which the per-op fallback in stream handles by
-// construction of the return value).
-func (c *Core) bulkL1(ip, addr, lineAddr uint64, stride, size, k int, store, dependent bool) int {
-	cyc := c.memCyc[memhier.SrcL1]
-	done := 0
-	for done < k {
-		rem := uint64(k - done)
-		// Ops until a gate would fire on this class (gate hits zero on the
-		// j-th op from now).
-		j := rem + 1
+	addr := base
+	rem := uint64(n)
+	for rem > 0 {
+		// Batch size: every op before the next class-gate firing (the op on
+		// which the countdown reaches zero must take the per-op path) ...
+		k := rem
 		gate := c.loadGate
 		if store {
 			gate = c.storeGate
 		}
-		if gate <= rem {
-			j = gate
+		if g := gate - 1; g < k {
+			// gate == 0 wraps to 2^64-1 and imposes no bound, exactly like
+			// the per-op path where decrementing a zero gate never fires.
+			k = g
 		}
-		// Ops until the hook cycle passes: each op costs cyc cycles.
-		if c.hookCycle != ^uint64(0) && c.cycles < c.hookCycle {
-			need := c.hookCycle - c.cycles
-			jb := (need + cyc - 1) / cyc
-			if jb < j {
-				j = jb
+		// ... and every op that cannot reach the hook cycle even at
+		// worst-case cost. The bound re-tightens each iteration as the
+		// clock advances, converging on per-op issue at the boundary.
+		if c.hookCycle != ^uint64(0) {
+			if c.cycles >= c.hookCycle {
+				k = 0
+			} else if safe := (c.hookCycle - c.cycles - 1) / maxCyc; safe < k {
+				k = safe
 			}
-		} else if c.cycles >= c.hookCycle {
-			j = 1
 		}
-		if j > rem {
-			// No monitoring event inside the remaining ops: pure bulk.
-			b := rem
-			if !c.hier.BulkL1Hits(lineAddr, b, store) {
-				break
-			}
-			c.pmu.countMemBulk(store, b, b*cyc)
-			c.cycles += b * cyc
-			if store {
-				c.storeGate -= b
-			} else {
-				c.loadGate -= b
-			}
-			done += int(b)
+		if k == 0 {
+			// The next op may fire a gate or cross the hook cycle: precise
+			// per-op path (the monitor hook re-arms the gates inside it).
+			c.memAccess(ip, addr, size, store, dependent)
+			addr += uint64(stride)
+			rem--
 			continue
 		}
-		// Bulk-advance the silent ops before the firing one.
-		if j > 1 {
-			b := j - 1
-			if !c.hier.BulkL1Hits(lineAddr, b, store) {
-				break
-			}
-			c.pmu.countMemBulk(store, b, b*cyc)
-			c.cycles += b * cyc
-			if store {
-				c.storeGate -= b
-			} else {
-				c.loadGate -= b
-			}
-			done += int(b)
+		var rr memhier.RunResult
+		c.hier.AccessRun(addr, uint64(stride), k, store, &rr)
+		cyc := rr.Bulk * cycTab[memhier.SrcL1]
+		for s, lines := range rr.Lines {
+			cyc += lines * cycTab[s]
 		}
-		// The firing op goes through the full path (hook and re-arm).
-		c.memAccess(ip, addr+uint64(done)*uint64(stride), size, store, dependent)
-		done++
-	}
-	if done < k {
-		// The hierarchy lost the MRU line (cannot happen on this call
-		// pattern, but stay correct): finish per-op.
-		for ; done < k; done++ {
-			c.memAccess(ip, addr+uint64(done)*uint64(stride), size, store, dependent)
+		c.pmu.countMemRun(store, k, &rr, cyc)
+		c.cycles += cyc
+		if store {
+			c.storeGate -= k
+		} else {
+			c.loadGate -= k
 		}
+		addr += k * uint64(stride)
+		rem -= k
 	}
-	return k
 }
 
 // Stall advances the clock by the given cycles without retiring

@@ -1,0 +1,256 @@
+package cpu
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/memhier"
+)
+
+// These tests pin the line-run issue layer's monitoring split: batched
+// issue must fire the gated hook on exactly the operations per-op issue
+// picks — same op, same cycle, same re-armed countdowns — across
+// randomized strides, run lengths and gate phases, including countdowns
+// and quantum boundaries landing exactly on a run's first, interior or
+// last operation.
+
+// runScript replays a seeded sequence of line runs against a fresh core.
+// The gated hook records every firing and re-arms the gates from its own
+// seeded stream, so the scripted gate phases advance identically on both
+// issue paths exactly when the firing sequences match — which is the
+// property under test.
+func runScript(t *testing.T, perOp bool, runs []LineRun, initLoad, initStore, quantum uint64, seed int64) ([]MemOp, *Core) {
+	t.Helper()
+	hier, err := memhier.New(memhier.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.PerOpStreams = perOp
+	c, err := New(cfg, hier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var fired []MemOp
+	c.SetGatedMemHook(func(op MemOp) {
+		fired = append(fired, op)
+		hc := ^uint64(0)
+		if quantum > 0 {
+			hc = op.Cycle + quantum
+		}
+		c.SetSampleGate(1+uint64(rng.Intn(40)), 1+uint64(rng.Intn(40)), hc)
+	})
+	hc := ^uint64(0)
+	if quantum > 0 {
+		hc = quantum
+	}
+	c.SetSampleGate(initLoad, initStore, hc)
+	for _, r := range runs {
+		c.IssueRun(r)
+	}
+	return fired, c
+}
+
+func assertCoresIdentical(t *testing.T, fast, ref *Core) {
+	t.Helper()
+	if f, r := fast.Cycles(), ref.Cycles(); f != r {
+		t.Errorf("cycles: batched %d, per-op %d", f, r)
+	}
+	if f, r := fast.PMU().TrueSnapshot(), ref.PMU().TrueSnapshot(); f != r {
+		t.Errorf("PMU totals: batched %v, per-op %v", f, r)
+	}
+	fl, fs, fh := fast.SampleGates()
+	rl, rs, rh := ref.SampleGates()
+	if fl != rl || fs != rs || fh != rh {
+		t.Errorf("gates: batched (%d,%d,%d), per-op (%d,%d,%d)", fl, fs, fh, rl, rs, rh)
+	}
+	for i := 0; i < fast.Hierarchy().Levels(); i++ {
+		if f, r := fast.Hierarchy().LevelStats(i), ref.Hierarchy().LevelStats(i); f != r {
+			t.Errorf("level %d stats: batched %+v, per-op %+v", i, f, r)
+		}
+	}
+	if f, r := fast.Hierarchy().DRAMAccesses(), ref.Hierarchy().DRAMAccesses(); f != r {
+		t.Errorf("DRAM: batched %d, per-op %d", f, r)
+	}
+}
+
+// randomRuns builds a seeded mix of load/store/dependent runs with strides
+// from sub-element to multi-line.
+func randomRuns(rng *rand.Rand, n int) []LineRun {
+	strides := []int{1, 3, 4, 8, 12, 16, 56, 64, 72, 128}
+	runs := make([]LineRun, n)
+	for i := range runs {
+		runs[i] = LineRun{
+			IP:     0x400000 + uint64(rng.Intn(8))*16,
+			Base:   uint64(rng.Intn(1 << 22)),
+			Stride: strides[rng.Intn(len(strides))],
+			Size:   8,
+			Count:  1 + rng.Intn(50),
+			Store:  rng.Intn(3) == 0,
+			Dep:    rng.Intn(4) == 0,
+		}
+	}
+	return runs
+}
+
+func TestLineRunSplitPropertyRandomGates(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		runs := randomRuns(rng, 60)
+		initL := 1 + uint64(rng.Intn(30))
+		initS := 1 + uint64(rng.Intn(30))
+		quantum := uint64(0)
+		if seed%2 == 0 {
+			// Half the seeds also exercise the hook-cycle (mux quantum)
+			// boundary, with quanta small enough to land inside runs.
+			quantum = 50 + uint64(rng.Intn(2000))
+		}
+		fastFired, fastCore := runScript(t, false, runs, initL, initS, quantum, seed*977)
+		refFired, refCore := runScript(t, true, runs, initL, initS, quantum, seed*977)
+		if !reflect.DeepEqual(fastFired, refFired) {
+			t.Fatalf("seed %d: fired ops diverge: batched %d ops, per-op %d ops\nbatched: %+v\nper-op:  %+v",
+				seed, len(fastFired), len(refFired), trunc(fastFired), trunc(refFired))
+		}
+		assertCoresIdentical(t, fastCore, refCore)
+		if t.Failed() {
+			t.Fatalf("seed %d diverged", seed)
+		}
+	}
+}
+
+func trunc(ops []MemOp) []MemOp {
+	if len(ops) > 6 {
+		return ops[:6]
+	}
+	return ops
+}
+
+// TestLineRunSplitExactBoundaries crafts gates that fire exactly on a
+// run's line-crossing, first and last operations, and a hook cycle equal
+// to the precise retirement cycle of a mid-run op — the boundary cases the
+// batched splitter must not bulk past.
+func TestLineRunSplitExactBoundaries(t *testing.T) {
+	runs := []LineRun{
+		{IP: 0x400000, Base: 0x10004, Stride: 4, Size: 4, Count: 37},            // misaligned head, crosses lines
+		{IP: 0x400010, Base: 0x20000, Stride: 8, Size: 8, Count: 24},            // three exact lines
+		{IP: 0x400020, Base: 0x30000, Stride: 8, Size: 8, Count: 16, Dep: true}, // dependent
+		{IP: 0x400030, Base: 0x20000, Stride: 8, Size: 8, Count: 8, Store: true},
+	}
+	// Reference pass with a per-op observer to learn every op's cycle and
+	// line-crossing positions (the observer path issues per-op and ignores
+	// the gates, so it perturbs nothing).
+	hier, err := memhier.New(memhier.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(DefaultConfig(), hier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cycles []uint64
+	var crossings []int // op index of each line-resolving access
+	lastLine := ^uint64(0)
+	i := 0
+	c.SetMemHook(func(op MemOp) {
+		cycles = append(cycles, op.Cycle)
+		if line := op.Addr &^ 63; line != lastLine {
+			crossings = append(crossings, i)
+			lastLine = line
+		}
+		i++
+	})
+	for _, r := range runs {
+		c.IssueRun(r)
+	}
+	if len(crossings) < 4 {
+		t.Fatalf("script too small: %d crossings", len(crossings))
+	}
+
+	// Gate phases that land exactly on interesting ops: the first op, a
+	// line-crossing op, the op before and after a crossing, the last op.
+	targets := []uint64{
+		1,
+		uint64(crossings[2] + 1),
+		uint64(crossings[2]),
+		uint64(crossings[2] + 2),
+		uint64(len(cycles)),
+	}
+	for _, g := range targets {
+		fastFired, fastCore := runScript(t, false, runs, g, g, 0, 7)
+		refFired, refCore := runScript(t, true, runs, g, g, 0, 7)
+		if !reflect.DeepEqual(fastFired, refFired) {
+			t.Fatalf("gate=%d: fired ops diverge (batched %d, per-op %d)", g, len(fastFired), len(refFired))
+		}
+		assertCoresIdentical(t, fastCore, refCore)
+	}
+	// Hook cycles equal to exact retirement cycles around a crossing: the
+	// first op at or past the boundary must take the per-op path.
+	for _, idx := range []int{crossings[1], crossings[1] - 1, crossings[1] + 1, len(cycles) - 1} {
+		hc := cycles[idx]
+		fastFired, fastCore := runScriptWithHook(t, false, runs, hc)
+		refFired, refCore := runScriptWithHook(t, true, runs, hc)
+		if !reflect.DeepEqual(fastFired, refFired) {
+			t.Fatalf("hookCycle=%d: fired ops diverge (batched %d, per-op %d)", hc, len(fastFired), len(refFired))
+		}
+		assertCoresIdentical(t, fastCore, refCore)
+	}
+}
+
+// runScriptWithHook arms only the hook cycle (no countdown sampling); each
+// firing re-arms the hook one full-latency DRAM access later, so several
+// boundary ops are exercised per script.
+func runScriptWithHook(t *testing.T, perOp bool, runs []LineRun, hookCycle uint64) ([]MemOp, *Core) {
+	return runScriptWithHookOverlap(t, perOp, runs, hookCycle, DefaultConfig().MemOverlap)
+}
+
+func runScriptWithHookOverlap(t *testing.T, perOp bool, runs []LineRun, hookCycle uint64, overlap float64) ([]MemOp, *Core) {
+	t.Helper()
+	hier, err := memhier.New(memhier.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.PerOpStreams = perOp
+	cfg.MemOverlap = overlap
+	c, err := New(cfg, hier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fired []MemOp
+	c.SetGatedMemHook(func(op MemOp) {
+		fired = append(fired, op)
+		c.SetSampleGate(GateNever, GateNever, op.Cycle+230)
+	})
+	c.SetSampleGate(GateNever, GateNever, hookCycle)
+	for _, r := range runs {
+		c.IssueRun(r)
+	}
+	return fired, c
+}
+
+// TestLineRunHookBoundHighOverlap pins the splitter's worst-case per-op
+// cost: at high MemOverlap the overlapped DRAM stall drops below the
+// unoverlapped L1 hit cost, so bounding a batch by the DRAM cost would let
+// an L1-resident run bulk straight past the armed hook cycle and fire the
+// quantum hook on a later op than the per-op reference path (a real bug
+// this test caught: maxCyc must be the table maximum, not cycTab[DRAM]).
+func TestLineRunHookBoundHighOverlap(t *testing.T) {
+	runs := []LineRun{
+		{IP: 0x400000, Base: 0x1000, Stride: 8, Size: 8, Count: 64},
+		{IP: 0x400000, Base: 0x1000, Stride: 8, Size: 8, Count: 64}, // re-sweep: all L1 hits
+		{IP: 0x400000, Base: 0x1000, Stride: 8, Size: 8, Count: 64},
+	}
+	for _, hc := range []uint64{40, 100, 277, 500} {
+		for _, overlap := range []float64{0.9, 0.99} {
+			fastFired, fastCore := runScriptWithHookOverlap(t, false, runs, hc, overlap)
+			refFired, refCore := runScriptWithHookOverlap(t, true, runs, hc, overlap)
+			if !reflect.DeepEqual(fastFired, refFired) {
+				t.Fatalf("overlap=%v hookCycle=%d: fired ops diverge (batched %d, per-op %d)",
+					overlap, hc, len(fastFired), len(refFired))
+			}
+			assertCoresIdentical(t, fastCore, refCore)
+		}
+	}
+}

@@ -30,7 +30,7 @@ type PMU struct {
 	// While false (the default single-group setup), every programmed
 	// counter is always counting, so the per-op hot path can skip the
 	// visible/active bookkeeping entirely: Read returns raw, tick is a
-	// single addition, and countMem/countMemBulk touch only raw counters.
+	// single addition, and countMem/countMemRun touch only raw counters.
 	// Program folds the skipped bookkeeping forward before multiplexing
 	// starts, so a later mux phase observes the same state as if the slow
 	// path had run from the beginning.
@@ -176,11 +176,13 @@ func (p *PMU) countMem(store bool, src memhier.DataSource, cycles uint64) {
 	}
 }
 
-// countMemBulk records n identical L1-hit memory operations costing cycles
-// in total. Callers must check bulkOK first (no multiplexing has ever been
-// programmed); under multiplexing per-op attribution matters and the
-// caller must fall back to per-op issue.
-func (p *PMU) countMemBulk(store bool, n, cycles uint64) {
+// countMemRun records one batched line run: n same-class memory operations
+// of which rr.Lines were line-resolving probes (each carrying the miss
+// events its data source implies) and rr.Bulk were same-line L1 hits,
+// costing cycles in total. It bypasses the visible/active bookkeeping, so
+// it is only exact while no multiplexing has ever been programmed
+// (bulkOK); Core.stream degrades to per-op issue otherwise.
+func (p *PMU) countMemRun(store bool, n uint64, rr *memhier.RunResult, cycles uint64) {
 	p.raw[CtrInstructions] += n
 	p.raw[CtrCycles] += cycles
 	if store {
@@ -188,6 +190,12 @@ func (p *PMU) countMemBulk(store bool, n, cycles uint64) {
 	} else {
 		p.raw[CtrLoads] += n
 	}
+	l2 := rr.Lines[memhier.SrcL2]
+	l3 := rr.Lines[memhier.SrcL3]
+	dr := rr.Lines[memhier.SrcDRAM]
+	p.raw[CtrL1DMiss] += l2 + l3 + dr
+	p.raw[CtrL2Miss] += l3 + dr
+	p.raw[CtrL3Miss] += dr
 	p.total += cycles
 }
 

@@ -21,7 +21,7 @@ package folding
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/cpu"
 	"repro/internal/memhier"
@@ -336,10 +336,14 @@ func Fold(instances []Instance, cfg Config) (*Folded, error) {
 		f.MeanTotals[c] /= float64(len(kept))
 	}
 
-	// Fold the counters: gather (sigma, cumulative fraction) points.
+	// Fold the counters: gather (sigma, cumulative fraction) points. The
+	// gather buffers are shared across counters (each iteration truncates
+	// and refills them), cutting the per-Fold allocation count: the fitted
+	// curves copy what they need, nothing retains xs/ys.
 	sm := stats.Smoother{Kernel: cfg.Kernel, Bandwidth: cfg.Bandwidth, Lo: 0, Hi: 1}
+	var xs, ys []float64
 	for c := cpu.CounterID(0); c < cpu.NumCounters; c++ {
-		xs, ys := foldCounter(kept, c)
+		xs, ys = foldCounter(kept, c, xs[:0], ys[:0])
 		if len(xs) == 0 {
 			// The counter never increments (e.g. stores in a read-only
 			// region): flat zero curves keep all per-counter slices aligned
@@ -375,7 +379,14 @@ func Fold(instances []Instance, cfg Config) (*Folded, error) {
 		f.Rates[c] = rate
 	}
 
-	// Fold the memory and source-code samples.
+	// Fold the memory and source-code samples (pre-sized: every kept sample
+	// yields at most one point of each cloud).
+	var nSamples int
+	for i := range kept {
+		nSamples += len(kept[i].Samples)
+	}
+	f.Mem = make([]MemPoint, 0, nSamples)
+	f.Lines = make([]LinePoint, 0, nSamples)
 	for i := range kept {
 		in := &kept[i]
 		dur := float64(in.DurationNs())
@@ -398,8 +409,24 @@ func Fold(instances []Instance, cfg Config) (*Folded, error) {
 			f.Lines = append(f.Lines, LinePoint{Sigma: sigma, IP: pip})
 		}
 	}
-	sort.Slice(f.Mem, func(i, j int) bool { return f.Mem[i].Sigma < f.Mem[j].Sigma })
-	sort.Slice(f.Lines, func(i, j int) bool { return f.Lines[i].Sigma < f.Lines[j].Sigma })
+	slices.SortFunc(f.Mem, func(a, b MemPoint) int {
+		switch {
+		case a.Sigma < b.Sigma:
+			return -1
+		case a.Sigma > b.Sigma:
+			return 1
+		}
+		return 0
+	})
+	slices.SortFunc(f.Lines, func(a, b LinePoint) int {
+		switch {
+		case a.Sigma < b.Sigma:
+			return -1
+		case a.Sigma > b.Sigma:
+			return 1
+		}
+		return 0
+	})
 
 	f.Phases = detectPhases(f, cfg)
 	return f, nil
@@ -431,8 +458,8 @@ func filterOutliers(instances []Instance, factor float64) []Instance {
 
 // foldCounter produces the folded (sigma, cumulative fraction) cloud for
 // counter c across instances, including the (0,0) and (1,1) anchors of each
-// instance.
-func foldCounter(instances []Instance, c cpu.CounterID) (xs, ys []float64) {
+// instance, appending into the caller's reusable buffers.
+func foldCounter(instances []Instance, c cpu.CounterID, xs, ys []float64) ([]float64, []float64) {
 	for i := range instances {
 		in := &instances[i]
 		total := float64(in.C1[c] - in.C0[c])

@@ -31,7 +31,8 @@ func (p *Problem) SpMV(lv *Level, x, y *Vector) {
 	p.mon.ExitRegion(p.RegionSPMV)
 }
 
-// spmvRows applies the SpMV row loop over [lo, hi).
+// spmvRows applies the SpMV row loop over [lo, hi). Each row's coefficient
+// and column-index traffic is emitted as one two-run LineRun batch.
 func (p *Problem) spmvRows(core *cpu.Core, lv *Level, x, y *Vector, lo, hi int) {
 	ips := &p.ips
 	for i := lo; i < hi; i++ {
@@ -39,8 +40,11 @@ func (p *Problem) spmvRows(core *cpu.Core, lv *Level, x, y *Vector, lo, hi int) 
 		nnz := int(lv.NonzerosInRow[i])
 		vals := lv.Vals[i]
 		cols := lv.Cols[i]
-		core.LoadStream(ips.spmvVal, lv.ValsAddr[i], 8, 8, nnz)
-		core.LoadStream(ips.spmvCol, lv.ColsAddr[i], 4, 4, nnz)
+		runs := [2]cpu.LineRun{
+			{IP: ips.spmvVal, Base: lv.ValsAddr[i], Stride: 8, Size: 8, Count: nnz},
+			{IP: ips.spmvCol, Base: lv.ColsAddr[i], Stride: 4, Size: 4, Count: nnz},
+		}
+		core.IssueRuns(runs[:])
 		for j := 0; j < nnz; j++ {
 			col := int(cols[j])
 			core.Load(ips.spmvX, x.ElemAddr(col), 8)
@@ -100,10 +104,13 @@ func (p *Problem) symgsRow(core *cpu.Core, lv *Level, r, x *Vector, i, lo, hi in
 	// Gauss–Seidel rows are sequentially dependent (row i consumes the
 	// x values row i-1 just produced), so the out-of-order window cannot
 	// overlap value traffic across rows the way SpMV's independent rows
-	// allow: value loads stall for their full latency (LoadDepStream).
+	// allow: value loads stall for their full latency (Dep semantics).
 	// Index loads still run ahead (address generation only).
-	core.LoadDepStream(ipVal, lv.ValsAddr[i], 8, 8, nnz)
-	core.LoadStream(ipCol, lv.ColsAddr[i], 4, 4, nnz)
+	runs := [2]cpu.LineRun{
+		{IP: ipVal, Base: lv.ValsAddr[i], Stride: 8, Size: 8, Count: nnz, Dep: true},
+		{IP: ipCol, Base: lv.ColsAddr[i], Stride: 4, Size: 4, Count: nnz},
+	}
+	core.IssueRuns(runs[:])
 	for j := 0; j < nnz; j++ {
 		col := int(cols[j])
 		if col == i {
@@ -152,8 +159,11 @@ func (p *Problem) dotRange(core *cpu.Core, a, b *Vector, lo, hi int) float64 {
 	var sum float64
 	for i := lo; i < hi; i += vecChunk {
 		k := min(vecChunk, hi-i)
-		core.LoadStream(ips.dotA, a.ElemAddr(i), 8, 8, k)
-		core.LoadStream(ips.dotB, b.ElemAddr(i), 8, 8, k)
+		runs := [2]cpu.LineRun{
+			{IP: ips.dotA, Base: a.ElemAddr(i), Stride: 8, Size: 8, Count: k},
+			{IP: ips.dotB, Base: b.ElemAddr(i), Stride: 8, Size: 8, Count: k},
+		}
+		core.IssueRuns(runs[:])
 		for e := i; e < i+k; e++ {
 			sum += a.Data[e] * b.Data[e]
 		}
@@ -174,12 +184,15 @@ func (p *Problem) waxpbyRange(core *cpu.Core, alpha float64, x *Vector, beta flo
 	ips := &p.ips
 	for i := lo; i < hi; i += vecChunk {
 		k := min(vecChunk, hi-i)
-		core.LoadStream(ips.waxpbyX, x.ElemAddr(i), 8, 8, k)
-		core.LoadStream(ips.waxpbyY, y.ElemAddr(i), 8, 8, k)
 		for e := i; e < i+k; e++ {
 			w.Data[e] = alpha*x.Data[e] + beta*y.Data[e]
 		}
-		core.StoreStream(ips.waxpbyW, w.ElemAddr(i), 8, 8, k)
+		runs := [3]cpu.LineRun{
+			{IP: ips.waxpbyX, Base: x.ElemAddr(i), Stride: 8, Size: 8, Count: k},
+			{IP: ips.waxpbyY, Base: y.ElemAddr(i), Stride: 8, Size: 8, Count: k},
+			{IP: ips.waxpbyW, Base: w.ElemAddr(i), Stride: 8, Size: 8, Count: k, Store: true},
+		}
+		core.IssueRuns(runs[:])
 		core.Compute(uint64(3 * k))
 	}
 }
@@ -288,7 +301,10 @@ func (p *Problem) moveRange(core *cpu.Core, src, dst *Vector, lo, hi int) {
 	ips := &p.ips
 	for i := lo; i < hi; i += vecChunk {
 		k := min(vecChunk, hi-i)
-		core.LoadStream(ips.waxpbyX, src.ElemAddr(i), 8, 8, k)
-		core.StoreStream(ips.waxpbyW, dst.ElemAddr(i), 8, 8, k)
+		runs := [2]cpu.LineRun{
+			{IP: ips.waxpbyX, Base: src.ElemAddr(i), Stride: 8, Size: 8, Count: k},
+			{IP: ips.waxpbyW, Base: dst.ElemAddr(i), Stride: 8, Size: 8, Count: k, Store: true},
+		}
+		core.IssueRuns(runs[:])
 	}
 }

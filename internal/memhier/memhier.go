@@ -134,7 +134,7 @@ type AccessResult struct {
 // free-way discovery is the occupancy itself.
 //
 //	bits 0..2   flags (valid, dirty, prefetched)
-//	bits 3..22  LRU tick (20 bits; zero on matrix-LRU levels)
+//	bits 3..22  reserved (zero; the LRU state lives outside the slab)
 //	bits 23..63 set-relative tag (41 bits)
 //
 // LRU recency is tracked by one of two equivalent policies, chosen per
@@ -145,11 +145,17 @@ type AccessResult struct {
 //     clears column i (~4 ALU ops); the LRU victim is the unique all-zero
 //     row among the valid ways, found with a zero-byte scan — O(1), no
 //     second pass over the set.
-//   - assoc > 8: a 20-bit tick stored in each way's word, stamped on every
-//     touch; the victim is the branchless min of tick<<7|way over the set,
-//     computed in a second pass only when an eviction is actually needed.
-//     The tick wraps roughly every million touches; tickNext renormalizes
-//     all ticks to their per-set recency ranks before that happens.
+//   - assoc > 8: a 20-bit tick per way, stamped on every touch; the victim
+//     is the branchless min of tick<<7|way over the set, computed only
+//     when an eviction is actually needed. The ticks live in a dedicated
+//     packed side array (three 21-bit fields per word, one cache-line-ish
+//     56-byte strip per 20-way set) rather than in the slab words: the
+//     victim scan then reads ~1 host cache line instead of the set's
+//     160-byte slab strip, recency restamps on hits stop dirtying slab
+//     lines, and a miss probe (signature scan, then victim pick) touches
+//     no slab words at all. The tick wraps roughly every million touches;
+//     tickNext renormalizes all ticks to their per-set recency ranks
+//     before that happens.
 //
 // Both policies order ways by last touch, i.e. both are exact LRU; they
 // pick identical victims.
@@ -158,17 +164,21 @@ const (
 	entDirty = 1 << 1
 	entPref  = 1 << 2 // installed by prefetcher, not yet demand-hit
 
-	lruShift     = 3
-	lruBits      = 20
-	lruMax       = 1<<lruBits - 1
-	lruFieldMask = uint64(lruMax) << lruShift
+	lruShift = 3
+	lruBits  = 20
+	lruMax   = 1<<lruBits - 1
 
 	tagShift = lruShift + lruBits
 	tagBits  = 64 - tagShift
 
-	// matchMask strips the tick and the mutable flags, keeping tag|valid —
-	// the fields a resident line must match.
-	matchMask = ^uint64(lruFieldMask | entDirty | entPref)
+	// Packed tick layout: three 21-bit fields per uint64 of the ticks array.
+	tickFieldBits = 21
+	tickFieldMask = 1<<tickFieldBits - 1
+	ticksPerWord  = 3
+
+	// matchMask strips the reserved bits and the mutable flags, keeping
+	// tag|valid — the fields a resident line must match.
+	matchMask = ^uint64(uint64(lruMax)<<lruShift | entDirty | entPref)
 
 	// victimShift packs an LRU tick with a way index (assoc is validated to
 	// fit in 7 bits) so tick-policy victim selection is a branchless min.
@@ -198,7 +208,11 @@ type cache struct {
 	mats      []uint64 // per-set recency matrices (assoc <= 8); nil selects the tick policy
 	matRow    uint64   // low-assoc column bits a touch sets in its row
 	matPad    uint64   // bytes >= assoc forced non-zero in the victim search
-	setMask   uint64
+	// ticks holds the tick policy's packed per-way LRU stamps (three 21-bit
+	// fields per word, tickStride words per set); nil on matrix levels.
+	ticks      []uint64
+	tickStride int
+	setMask    uint64
 	lineShift uint
 	setBits   uint // log2(nsets), tag = line >> setBits
 	assoc     int
@@ -243,24 +257,38 @@ func (c *cache) tickNext() uint32 {
 	return c.tick
 }
 
+// tickOf reads way w's packed LRU tick.
+func (c *cache) tickOf(setIdx, w int) uint32 {
+	word := c.ticks[setIdx*c.tickStride+w/ticksPerWord]
+	return uint32(word>>(tickFieldBits*uint(w%ticksPerWord))) & tickFieldMask
+}
+
+// tickStamp writes way w's packed LRU tick (the tick policy's touch).
+func (c *cache) tickStamp(setIdx, w int, t uint32) {
+	idx := setIdx*c.tickStride + w/ticksPerWord
+	sh := tickFieldBits * uint(w%ticksPerWord)
+	c.ticks[idx] = c.ticks[idx]&^(uint64(tickFieldMask)<<sh) | uint64(t)<<sh
+}
+
 // renorm rank-compresses the LRU ticks of every set's valid ways. Ticks
 // are unique while live (every touch draws a fresh tick), so ranks are
 // unambiguous and victim selection is unchanged.
 func (c *cache) renorm() {
 	var lrus [128]uint32
-	for s, base := 0, 0; base < len(c.slab); s, base = s+1, base+c.assoc {
-		set := c.slab[base : base+int(c.occ[s])]
-		for i, e := range set {
-			lrus[i] = uint32(e>>lruShift) & lruMax
+	nsets := int(c.setMask) + 1
+	for s := 0; s < nsets; s++ {
+		occ := int(c.occ[s])
+		for i := 0; i < occ; i++ {
+			lrus[i] = c.tickOf(s, i)
 		}
-		for i, e := range set {
+		for i := 0; i < occ; i++ {
 			r := uint32(1)
-			for j := range set {
+			for j := 0; j < occ; j++ {
 				if lrus[j] < lrus[i] {
 					r++
 				}
 			}
-			set[i] = e&^lruFieldMask | uint64(r)<<lruShift
+			c.tickStamp(s, i, r)
 		}
 	}
 	c.tick = uint32(c.assoc) + 1
@@ -340,6 +368,10 @@ func newCache(lc LevelConfig) (*cache, error) {
 		if lc.Assoc < matMaxAssoc {
 			c.matPad = ^uint64(0) << (8 * uint(lc.Assoc))
 		}
+	} else {
+		c.tickStride = (lc.Assoc + ticksPerWord - 1) / ticksPerWord
+		c.ticks = make([]uint64, nsets*c.tickStride)
+		c.initTicks()
 	}
 	return c, nil
 }
@@ -535,18 +567,23 @@ type probeHint struct {
 func (c *cache) probe(lineAddr uint64, write bool, ph *probeHint) (hit, wasPref bool) {
 	if c.mruValid && c.mruLine == lineAddr {
 		// MRU lines are demand-touched, so no prefetch bookkeeping applies.
-		e := c.slab[c.mruIdx]
 		if c.mats != nil {
 			c.touch(c.mruSet, c.mruWay)
 		} else {
-			e = e&^lruFieldMask | uint64(c.tickNext())<<lruShift
+			c.tickStamp(c.mruSet, c.mruWay, c.tickNext())
 		}
 		if write {
-			e |= entDirty
+			c.slab[c.mruIdx] |= entDirty
 		}
-		c.slab[c.mruIdx] = e
 		return true, false
 	}
+	return c.probeScan(lineAddr, write, ph)
+}
+
+// probeScan is probe below the MRU shortcut: the set scan. The L1 call
+// sites that already failed the hierarchy-level MRU check enter here
+// directly instead of re-testing it.
+func (c *cache) probeScan(lineAddr uint64, write bool, ph *probeHint) (hit, wasPref bool) {
 	setIdx, base, want := c.setBase(lineAddr)
 	// Signature match: compare the wanted tag byte against the whole set's
 	// signature bytes with the zero-byte trick, then verify candidates in
@@ -567,17 +604,19 @@ func (c *cache) probe(lineAddr uint64, write bool, ph *probeHint) (hit, wasPref 
 				if c.mats != nil {
 					c.touch(setIdx, i)
 				} else {
-					e = e&^lruFieldMask | uint64(c.tickNext())<<lruShift
-				}
-				if write {
-					e |= entDirty
+					c.tickStamp(setIdx, i, c.tickNext())
 				}
 				wasPref = e&entPref != 0
-				if wasPref {
-					e &^= entPref
-					c.stats.PrefHits++
+				if write || wasPref {
+					if write {
+						e |= entDirty
+					}
+					if wasPref {
+						e &^= entPref
+						c.stats.PrefHits++
+					}
+					c.slab[base+i] = e
 				}
-				c.slab[base+i] = e
 				c.setMRU(setIdx, i, lineAddr)
 				return true, wasPref
 			}
@@ -591,26 +630,70 @@ func (c *cache) probe(lineAddr uint64, write bool, ph *probeHint) (hit, wasPref 
 	case c.mats != nil:
 		ph.hint = ^c.matVictim(setIdx)
 	default:
-		ph.hint = ^c.tickVictim(c.slab[base : base+c.assoc])
+		ph.hint = ^c.tickVictim(setIdx)
 	}
 	return false, false
 }
 
-// tickVictim scans a full set for the way with the oldest tick.
-// Victim tracking is branchless: tick<<victimShift|way packs recency and
-// the way index so a single min() both orders by last use and breaks ties
-// toward the lowest way. Ticks are unique while live, so this matches a
-// first-strictly-smaller linear scan. The compare compiles to a CMOV,
-// which matters because random LRU order makes a tracking branch
-// mispredict roughly log(assoc) times per scan.
-func (c *cache) tickVictim(set []uint64) int {
-	minVictim := ^uint64(0)
-	for i := range set {
-		if v := (set[i]&lruFieldMask)<<victimShift | uint64(i); v < minVictim {
-			minVictim = v
+// tickVictim scans a full set's packed ticks for the way with the oldest
+// stamp. Victim tracking is branchless: tick<<victimShift|way packs
+// recency and the way index so a single min() both orders by last use and
+// breaks ties toward the lowest way. Ticks are unique while live, so this
+// matches a first-strictly-smaller linear scan; the three fields of each
+// word feed three independent compare chains (CMOVs), so the serial
+// latency is one min per *word* of the side array — about one host cache
+// line of loads for the 20-way L3 set, where the old in-slab scan pulled
+// the set's whole 160-byte slab strip. Padding fields beyond assoc carry
+// the maximum stamp (see initTicks) and can never win.
+func (c *cache) tickVictim(setIdx int) int {
+	base := setIdx * c.tickStride
+	m0, m1, m2 := ^uint64(0), ^uint64(0), ^uint64(0)
+	w := uint64(0)
+	for _, word := range c.ticks[base : base+c.tickStride] {
+		v0 := (word&tickFieldMask)<<victimShift | w
+		v1 := (word>>tickFieldBits&tickFieldMask)<<victimShift | (w + 1)
+		v2 := (word>>(2*tickFieldBits)&tickFieldMask)<<victimShift | (w + 2)
+		if v0 < m0 {
+			m0 = v0
 		}
+		if v1 < m1 {
+			m1 = v1
+		}
+		if v2 < m2 {
+			m2 = v2
+		}
+		w += ticksPerWord
 	}
-	return int(minVictim & (1<<victimShift - 1))
+	// Ticks are unique within a set, so the global min is unique and the
+	// accumulator split cannot change which way wins.
+	if m1 < m0 {
+		m0 = m1
+	}
+	if m2 < m0 {
+		m0 = m2
+	}
+	return int(m0 & (1<<victimShift - 1))
+}
+
+// initTicks resets the packed tick array: real fields to zero, the padding
+// fields of the last word of each set to the maximum stamp so tickVictim
+// never picks a way beyond assoc.
+func (c *cache) initTicks() {
+	if c.ticks == nil {
+		return
+	}
+	clear(c.ticks)
+	first := c.assoc % ticksPerWord
+	if c.tickStride*ticksPerWord == c.assoc {
+		return // no padding fields
+	}
+	var pad uint64
+	for f := first; f < ticksPerWord; f++ {
+		pad |= uint64(tickFieldMask) << (tickFieldBits * uint(f))
+	}
+	for s := 0; s <= int(c.setMask); s++ {
+		c.ticks[s*c.tickStride+c.tickStride-1] |= pad
+	}
 }
 
 // fill completes a miss using the hint computed by probe: it places
@@ -631,7 +714,7 @@ func (c *cache) fill(lineAddr uint64, ph *probeHint, dirty bool) (evictedDirty b
 	if c.mats != nil {
 		c.touch(ph.setIdx, w)
 	} else {
-		fresh |= uint64(c.tickNext()) << lruShift
+		c.tickStamp(ph.setIdx, w, c.tickNext())
 	}
 	if dirty {
 		fresh |= entDirty
@@ -646,26 +729,45 @@ func (c *cache) fill(lineAddr uint64, ph *probeHint, dirty bool) (evictedDirty b
 	return false, 0
 }
 
+// findWay locates the resident way holding the line described by (setIdx,
+// base, want), or -1. It is the signature-filtered presence scan shared by
+// install and prefetchInstall: like probe's match loop it compares the
+// wanted tag byte against the whole set's signatures with the zero-byte
+// trick and verifies only candidate ways in the slab, so a miss usually
+// touches no slab words at all. No LRU or flag side effects.
+func (c *cache) findWay(setIdx, base int, want uint64) int {
+	bcast := (want >> tagShift & 0xFF) * oneBytes
+	sb := setIdx * c.sigStride
+	for k := 0; k < c.sigStride; k += 8 {
+		x := binary.LittleEndian.Uint64(c.sigs[sb+k:]) ^ bcast
+		for zeros := (x - oneBytes) & ^x & highBytes; zeros != 0; zeros &= zeros - 1 {
+			i := k + bits.TrailingZeros64(zeros)>>3
+			if i >= c.assoc {
+				break // padding bytes of the last word
+			}
+			if c.slab[base+i]&matchMask == want {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
 // install places a line into the level, evicting LRU if needed.
 // It returns whether a dirty line was evicted (writeback).
 func (c *cache) install(lineAddr uint64, dirty, pref bool) (evictedDirty bool, evictedAddr uint64) {
 	setIdx, base, want := c.setBase(lineAddr)
-	set := c.slab[base : base+c.assoc]
-	for i := range set {
-		e := set[i]
-		if e&matchMask == want {
-			// Already present (e.g. prefetch raced a demand fill): refresh.
-			if c.mats != nil {
-				c.touch(setIdx, i)
-			} else {
-				e = e&^lruFieldMask | uint64(c.tickNext())<<lruShift
-			}
-			if dirty {
-				e |= entDirty
-			}
-			set[i] = e
-			return false, 0
+	if i := c.findWay(setIdx, base, want); i >= 0 {
+		// Already present (e.g. prefetch raced a demand fill): refresh.
+		if c.mats != nil {
+			c.touch(setIdx, i)
+		} else {
+			c.tickStamp(setIdx, i, c.tickNext())
 		}
+		if dirty {
+			c.slab[base+i] |= entDirty
+		}
+		return false, 0
 	}
 	occ := int(c.occ[setIdx])
 	switch {
@@ -675,7 +777,7 @@ func (c *cache) install(lineAddr uint64, dirty, pref bool) (evictedDirty bool, e
 	case c.mats != nil:
 		return c.evict(setIdx, base, c.matVictim(setIdx), want, lineAddr, dirty, pref)
 	default:
-		return c.evict(setIdx, base, c.tickVictim(set), want, lineAddr, dirty, pref)
+		return c.evict(setIdx, base, c.tickVictim(setIdx), want, lineAddr, dirty, pref)
 	}
 }
 
@@ -685,7 +787,7 @@ func (c *cache) place(setIdx, base, i int, want, lineAddr uint64, dirty, pref bo
 	if c.mats != nil {
 		c.touch(setIdx, i)
 	} else {
-		fresh |= uint64(c.tickNext()) << lruShift
+		c.tickStamp(setIdx, i, c.tickNext())
 	}
 	if dirty {
 		fresh |= entDirty
@@ -712,7 +814,7 @@ func (c *cache) evict(setIdx, base, victim int, want, lineAddr uint64, dirty, pr
 	if c.mats != nil {
 		c.touch(setIdx, victim)
 	} else {
-		fresh |= uint64(c.tickNext()) << lruShift
+		c.tickStamp(setIdx, victim, c.tickNext())
 	}
 	if dirty {
 		fresh |= entDirty
@@ -740,11 +842,8 @@ func (c *cache) prefetchInstall(lineAddr uint64) (present, evictedDirty bool, ev
 		return true, false, 0
 	}
 	setIdx, base, want := c.setBase(lineAddr)
-	set := c.slab[base : base+c.assoc]
-	for i := range set {
-		if set[i]&matchMask == want {
-			return true, false, 0
-		}
+	if c.findWay(setIdx, base, want) >= 0 {
+		return true, false, 0
 	}
 	occ := int(c.occ[setIdx])
 	var victim int
@@ -756,7 +855,7 @@ func (c *cache) prefetchInstall(lineAddr uint64) (present, evictedDirty bool, ev
 	case c.mats != nil:
 		victim = c.matVictim(setIdx)
 	default:
-		victim = c.tickVictim(set)
+		victim = c.tickVictim(setIdx)
 	}
 	evictedDirty, evictedAddr = c.evict(setIdx, base, victim, want, lineAddr, false, true)
 	return false, evictedDirty, evictedAddr
@@ -793,18 +892,24 @@ func (h *Hierarchy) Access(addr uint64, size int, write bool) AccessResult {
 	// element-granular workloads (8 touches per 64-byte line).
 	if l1 := h.l1; l1.mruValid && l1.mruLine == lineAddr {
 		h.mruHits++
-		e := l1.slab[l1.mruIdx]
 		if l1.mats != nil {
 			l1.touch(l1.mruSet, l1.mruWay)
 		} else {
-			e = e&^lruFieldMask | uint64(l1.tickNext())<<lruShift
+			l1.tickStamp(l1.mruSet, l1.mruWay, l1.tickNext())
 		}
 		if write {
-			e |= entDirty
+			l1.slab[l1.mruIdx] |= entDirty
 		}
-		l1.slab[l1.mruIdx] = e
 		return AccessResult{Source: SrcL1, Latency: l1.cfg.HitLatency, LineAddr: lineAddr}
 	}
+	return h.accessLine(addr, lineAddr, write)
+}
+
+// accessLine is Access below the L1 MRU fast path: the full probe/fill walk
+// for one line-resolving access. It is shared by Access and AccessRun (the
+// line-run batch path), which both guarantee the L1 MRU shortcut does not
+// apply when it is called.
+func (h *Hierarchy) accessLine(addr, lineAddr uint64, write bool) AccessResult {
 	if lineAddr >= h.maxLine {
 		panic(fmt.Sprintf("memhier: address %#x beyond the %d-bit packed-tag range", addr, bits.Len64(h.maxLine-1)))
 	}
@@ -818,15 +923,28 @@ func (h *Hierarchy) Access(addr uint64, size int, write bool) AccessResult {
 		line := lineAddr >> h.l1.lineShift
 		warm := uint64(0)
 		for _, c := range h.levels[1:] {
-			warm ^= uint64(c.sigs[int(line&c.setMask)*c.sigStride])
+			setIdx := int(line & c.setMask)
+			warm ^= uint64(c.sigs[setIdx*c.sigStride])
+			if c.ticks != nil {
+				// The tick strip is what a miss of this set will scan for
+				// the LRU victim; pull its first host line now so the scan
+				// overlaps the faster levels' probes.
+				warm ^= c.ticks[setIdx*c.tickStride]
+			}
 		}
 		h.warmSink = warm
 	}
 	// Probe levels top-down; each miss leaves its fill hint in h.hints so
 	// the fills after a miss reuse the work of the miss scans instead of
-	// rescanning.
+	// rescanning. L1 enters below its MRU shortcut (both callers of
+	// accessLine already tested it).
 	for i, c := range h.levels {
-		hit, wasPref := c.probe(lineAddr, write && i == 0, &h.hints[i])
+		var hit, wasPref bool
+		if i == 0 {
+			hit, wasPref = c.probeScan(lineAddr, write, &h.hints[i])
+		} else {
+			hit, wasPref = c.probe(lineAddr, false, &h.hints[i])
+		}
 		if hit {
 			// Fill the line into all faster levels (inclusive fills).
 			h.fillAbove(i, lineAddr, write)
@@ -921,32 +1039,88 @@ func (h *Hierarchy) prefetch(lineAddr uint64) {
 	}
 }
 
-// BulkL1Hits applies n repeated L1 accesses to the line at lineAddr in one
-// step. The caller must have just accessed that line (it is the L1 MRU
-// line); the batched stream-issue path uses this to charge a whole run of
-// same-line element touches without re-probing. It reports false, with no
-// side effects, when lineAddr is not the L1 MRU line — the caller then
-// falls back to per-access issue.
-func (h *Hierarchy) BulkL1Hits(lineAddr uint64, n uint64, write bool) bool {
+// RunResult aggregates the outcome of one batched line run issued through
+// AccessRun. The counts are deltas (AccessRun adds into an existing value),
+// so a caller can accumulate several runs into one result.
+type RunResult struct {
+	// Lines counts the line-resolving probes by serving source: each
+	// distinct cache line of the run is resolved exactly once and lands in
+	// the bucket of the level that served it.
+	Lines [NumSources]uint64
+	// Bulk counts the remaining same-line accesses, charged as L1 MRU hits
+	// without re-probing.
+	Bulk uint64
+}
+
+// Ops returns the total operations the result accounts for.
+func (rr *RunResult) Ops() uint64 {
+	return rr.Lines[SrcL1] + rr.Lines[SrcL2] + rr.Lines[SrcL3] + rr.Lines[SrcDRAM] + rr.Bulk
+}
+
+// AccessRun simulates n accesses sweeping addr, addr+stride, ...,
+// addr+(n-1)*stride (stride > 0) in one call: the line-run batch path. It
+// is byte-identical in cache-state mutation and statistics to n Access
+// calls — each distinct line runs the full probe/fill walk once, and the
+// remaining same-line accesses are folded into a single bulk L1 MRU charge
+// (LRU victim selection consumes only the order of touches, so one recency
+// refresh stands in for a run of touches on one line). The caller is
+// responsible for splitting runs at monitoring boundaries: any access that
+// must be observed per-op (a sample-gate firing, a multiplexing quantum
+// boundary) has to be issued through Access instead.
+func (h *Hierarchy) AccessRun(addr, stride, n uint64, write bool, rr *RunResult) {
+	lineSize := uint64(h.cfg.Levels[0].LineSize)
 	l1 := h.l1
-	if !l1.mruValid || l1.mruLine != lineAddr {
-		return false
+	// The same-line count divides by the stride; the kernels' strides are
+	// the power-of-two element sizes (4, 8), where a shift replaces the
+	// ~25-cycle divide on the per-line path.
+	strideShift := -1
+	if stride&(stride-1) == 0 {
+		strideShift = bits.TrailingZeros64(stride)
 	}
-	h.mruHits += n
-	// LRU victim selection consumes only the order of touches, and all n
-	// touches land on the one MRU line, so a single recency refresh is
-	// equivalent to n per-op refreshes.
-	e := l1.slab[l1.mruIdx]
-	if l1.mats != nil {
-		l1.touch(l1.mruSet, l1.mruWay)
-	} else {
-		e = e&^lruFieldMask | uint64(l1.tickNext())<<lruShift
+	for i := uint64(0); i < n; {
+		lineAddr := addr &^ h.lineMask
+		if !(l1.mruValid && l1.mruLine == lineAddr) {
+			// Line crossing: the full probe/fill walk, once per line.
+			res := h.accessLine(addr, lineAddr, write)
+			rr.Lines[res.Source]++
+			i++
+			addr += stride
+			if i >= n || stride >= lineSize {
+				continue
+			}
+			// accessLine left the line as the L1 MRU, so the same-line tail
+			// falls through to the bulk charge below.
+			if addr&^h.lineMask != lineAddr {
+				continue
+			}
+		}
+		// Every remaining op on the MRU line is an L1 hit charged in bulk;
+		// a single recency refresh stands in for k touches of one line.
+		k := uint64(1)
+		if stride < lineSize {
+			span := lineAddr + lineSize - addr + stride - 1
+			if strideShift >= 0 {
+				k = span >> strideShift
+			} else {
+				k = span / stride
+			}
+			if rem := n - i; k > rem {
+				k = rem
+			}
+		}
+		h.mruHits += k
+		if l1.mats != nil {
+			l1.touch(l1.mruSet, l1.mruWay)
+		} else {
+			l1.tickStamp(l1.mruSet, l1.mruWay, l1.tickNext())
+		}
+		if write {
+			l1.slab[l1.mruIdx] |= entDirty
+		}
+		rr.Bulk += k
+		i += k
+		addr += k * stride
 	}
-	if write {
-		e |= entDirty
-	}
-	l1.slab[l1.mruIdx] = e
-	return true
 }
 
 // Contains reports whether the line holding addr is present at level i,
@@ -968,6 +1142,7 @@ func (h *Hierarchy) Reset() {
 		clear(c.occ)
 		clear(c.sigs)
 		clear(c.mats)
+		c.initTicks()
 		c.stats = LevelStats{}
 		c.tick = 0
 		c.mruValid = false

@@ -247,7 +247,7 @@ func TestPackedMatchesReferenceTinyEvictionHeavy(t *testing.T) {
 	})
 }
 
-func TestBulkL1HitsMatchesPerAccess(t *testing.T) {
+func TestAccessRunBulkMatchesReference(t *testing.T) {
 	cfg := DefaultConfig()
 	fast, err := New(cfg)
 	if err != nil {
@@ -255,6 +255,7 @@ func TestBulkL1HitsMatchesPerAccess(t *testing.T) {
 	}
 	ref := newRefHier(t, cfg)
 	rng := rand.New(rand.NewSource(3))
+	var rr RunResult
 	for i := 0; i < 5000; i++ {
 		addr := uint64(rng.Intn(1 << 20))
 		write := rng.Intn(4) == 0
@@ -263,15 +264,18 @@ func TestBulkL1HitsMatchesPerAccess(t *testing.T) {
 		if got != want {
 			t.Fatalf("probe access diverged: %+v vs %+v", got, want)
 		}
-		// A batch of repeat touches on the just-accessed line must equal the
-		// same touches issued individually against the reference.
-		n := rng.Intn(7) + 1
+		// A run of repeat touches of the just-accessed line goes through
+		// AccessRun's bulk L1 MRU charge and must equal the same touches
+		// issued individually against the reference implementation.
+		n := uint64(rng.Intn(7) + 1)
 		bw := rng.Intn(2) == 0
-		if !fast.BulkL1Hits(got.LineAddr, uint64(n), bw) {
-			t.Fatalf("BulkL1Hits refused the just-accessed line %#x", got.LineAddr)
+		before := rr.Bulk
+		fast.AccessRun(got.LineAddr, 8, n, bw, &rr)
+		if rr.Bulk != before+n {
+			t.Fatalf("same-line run not charged in bulk: %d of %d ops", rr.Bulk-before, n)
 		}
-		for j := 0; j < n; j++ {
-			r := ref.Access(addr, 8, bw)
+		for j := uint64(0); j < n; j++ {
+			r := ref.Access(got.LineAddr, 8, bw)
 			if r.Source != SrcL1 {
 				t.Fatalf("reference repeat touch left L1: %+v", r)
 			}
@@ -282,10 +286,4 @@ func TestBulkL1HitsMatchesPerAccess(t *testing.T) {
 			t.Errorf("level %d stats: packed %+v, reference %+v", i, got, want)
 		}
 	}
-	// BulkL1Hits must refuse a line that is not the MRU line.
-	if fast.BulkL1Hits(^uint64(0)&^h64LineMask(fast), 1, false) {
-		t.Error("BulkL1Hits accepted a non-MRU line")
-	}
 }
-
-func h64LineMask(h *Hierarchy) uint64 { return uint64(h.LineSize() - 1) }

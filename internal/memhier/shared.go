@@ -172,6 +172,7 @@ func (s *SharedCache) Reset() {
 		clear(c.occ)
 		clear(c.sigs)
 		clear(c.mats)
+		c.initTicks()
 		c.stats = LevelStats{}
 		c.tick = 0
 		c.mruValid = false

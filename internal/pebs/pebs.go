@@ -124,6 +124,7 @@ type Engine struct {
 	cfg   Config
 	drain func([]Sample)
 	rng   *rand.Rand
+	span  uint64 // precomputed randomization window (Period/2; 0 disables)
 
 	nextLoad  uint64 // ops remaining until next load sample
 	nextStore uint64
@@ -153,22 +154,22 @@ func New(cfg Config, drain func([]Sample)) (*Engine, error) {
 		rng:   rand.New(rand.NewSource(cfg.Seed)),
 		buf:   make([]Sample, 0, cfg.BufferSize),
 	}
+	if cfg.Randomize {
+		e.span = cfg.Period / 2
+	}
 	e.nextLoad = e.gap()
 	e.nextStore = e.gap()
 	return e, nil
 }
 
-// gap returns the next inter-sample distance.
+// gap returns the next inter-sample distance (Period ± 25% when
+// randomized; the window is precomputed at construction so the sampled-op
+// path draws straight from the generator).
 func (e *Engine) gap() uint64 {
-	if !e.cfg.Randomize {
+	if e.span == 0 {
 		return e.cfg.Period
 	}
-	// Period ± 25%.
-	span := e.cfg.Period / 2
-	if span == 0 {
-		return e.cfg.Period
-	}
-	return e.cfg.Period - span/2 + uint64(e.rng.Int63n(int64(span)+1))
+	return e.cfg.Period - e.span/2 + uint64(e.rng.Int63n(int64(e.span)+1))
 }
 
 // Events returns the currently sampled event classes.
@@ -240,7 +241,12 @@ func (e *Engine) Observe(op cpu.MemOp, timeNs uint64, stackID uint32) bool {
 
 // Countdowns returns the operations remaining until the next load and
 // store sample. The countdown-gated monitoring path exports these to the
-// core, which decrements them inline and calls back only when one fires.
+// core, which decrements them inline — in bulk for batched line runs,
+// whose splitter guarantees the op on which a countdown reaches zero is
+// issued through the precise per-op path — and calls back only when one
+// fires. Together with ObserveSampled's draw-order guarantee this is what
+// keeps randomized sampling bit-identical across the per-op and line-run
+// issue paths.
 func (e *Engine) Countdowns() (load, store uint64) { return e.nextLoad, e.nextStore }
 
 // AddEligible credits n mask-matching operations observed outside the

@@ -1,0 +1,52 @@
+// Package profiling is the cmd/ tools' shared pprof harness: one call
+// starts the optional CPU profile and arranges the optional allocation
+// profile, so perf PRs can profile real scenario runs instead of only
+// microbenchmarks.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start starts a CPU profile at cpuPath (when non-empty) and returns a
+// stop function that finishes it and, when memPath is non-empty, writes
+// the allocation profile there. tool prefixes error messages. Errors
+// writing the memprofile at exit are reported to stderr, not fatal — the
+// run's results already printed.
+func Start(tool, cpuPath, memPath string) (func(), error) {
+	stop := func() {}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		stop = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+	if memPath == "" {
+		return stop, nil
+	}
+	cpuStop := stop
+	return func() {
+		cpuStop()
+		f, err := os.Create(memPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: memprofile: %v\n", tool, err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // settle heap state so the profile reflects the run
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: memprofile: %v\n", tool, err)
+		}
+	}, nil
+}

@@ -3,6 +3,7 @@ package workloads
 import (
 	"fmt"
 
+	"repro/internal/cpu"
 	"repro/internal/extrae"
 )
 
@@ -147,8 +148,13 @@ func (s *SpMV) RunPartition(ctx *Ctx, iters int, lo, hi int) error {
 		for i := lo; i < hi; i++ {
 			b, e := s.rowPtr[i], s.rowPtr[i+1]
 			nnz := int(e - b)
-			core.LoadStream(s.ipVals, s.valsAddr+uint64(b)*8, 8, 8, nnz)
-			core.LoadStream(s.ipCols, s.colsAddr+uint64(b)*4, 4, 4, nnz)
+			// Stack-allocated batch: partitions run concurrently on a
+			// Machine, so the runs must not live on the shared struct.
+			runs := [2]cpu.LineRun{
+				{IP: s.ipVals, Base: s.valsAddr + uint64(b)*8, Stride: 8, Size: 8, Count: nnz},
+				{IP: s.ipCols, Base: s.colsAddr + uint64(b)*4, Stride: 4, Size: 4, Count: nnz},
+			}
+			core.IssueRuns(runs[:])
 			var sum float64
 			for k := b; k < e; k++ {
 				col := s.cols[k]

@@ -135,7 +135,11 @@ func (s *Stream) Elements() int { return s.N }
 
 // RunPartition implements PartitionedWorkload: the triad over elements
 // [lo, hi). Partitions touch disjoint slices of a, so a Machine's threads
-// run their blocks concurrently without synchronization.
+// run their blocks concurrently without synchronization. Each line chunk
+// is handed to the simulator as one three-run LineRun batch (loads of b
+// and c, store of a) — the real arithmetic does not touch the simulator,
+// so issuing the store run back-to-back with the loads preserves the
+// simulated access order of the per-call form exactly.
 func (s *Stream) RunPartition(ctx *Ctx, iters int, lo, hi int) error {
 	core := ctx.Core
 	const chunk = 8 // float64s per 64-byte line
@@ -143,12 +147,17 @@ func (s *Stream) RunPartition(ctx *Ctx, iters int, lo, hi int) error {
 		ctx.Mon.EnterRegion(s.region)
 		for i := lo; i < hi; i += chunk {
 			k := min(chunk, hi-i)
-			core.LoadStream(s.ipLoadB, s.bAddr+uint64(i)*8, 8, 8, k)
-			core.LoadStream(s.ipLoadC, s.cAddr+uint64(i)*8, 8, 8, k)
 			for e := i; e < i+k; e++ {
 				s.a[e] = s.b[e] + s.Scale*s.c[e]
 			}
-			core.StoreStream(s.ipStoreA, s.aAddr+uint64(i)*8, 8, 8, k)
+			// Stack-allocated batch: partitions run concurrently on a
+			// Machine, so the runs must not live on the shared struct.
+			runs := [3]cpu.LineRun{
+				{IP: s.ipLoadB, Base: s.bAddr + uint64(i)*8, Stride: 8, Size: 8, Count: k},
+				{IP: s.ipLoadC, Base: s.cAddr + uint64(i)*8, Stride: 8, Size: 8, Count: k},
+				{IP: s.ipStoreA, Base: s.aAddr + uint64(i)*8, Stride: 8, Size: 8, Count: k, Store: true},
+			}
+			core.IssueRuns(runs[:])
 			core.Compute(uint64(2 * k))
 		}
 		ctx.Mon.ExitRegion(s.region)
