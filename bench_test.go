@@ -30,6 +30,7 @@ import (
 	"repro/internal/folding"
 	"repro/internal/hpcg"
 	"repro/internal/memhier"
+	"repro/internal/numa"
 	"repro/internal/pebs"
 	"repro/internal/reuse"
 	"repro/internal/trace"
@@ -275,6 +276,46 @@ func BenchmarkMachineHPCG(b *testing.B) {
 			b.ReportMetric(float64(minPhases), "min-phases-per-thread")
 			b.ReportMetric(float64(letters), "paper-letters")
 			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+		})
+	}
+}
+
+// BenchmarkNUMAStreamPlacement measures the placement-policy axis on a
+// DRAM-bound STREAM triad over a 2-socket machine (4 threads, sequential
+// schedule for determinism): the working set (3 × 4 MiB) exceeds both
+// sockets' L3s, so every iteration streams from DRAM, and the effective
+// triad bandwidth is gated by the remote-fill fraction the policy
+// produces. first-touch keeps each thread's block on its own node (~0%
+// remote); interleave stripes pages across both nodes (~50% remote). The
+// reported triad-MB/s uses the slowest thread's simulated clock — the
+// wall time of the parallel section — and feeds the EXPERIMENTS.md
+// local-vs-remote bandwidth table.
+func BenchmarkNUMAStreamPlacement(b *testing.B) {
+	const n, iters = 1 << 19, 4
+	for _, policy := range []numa.Policy{numa.FirstTouch, numa.Interleave} {
+		b.Run(policy.String(), func(b *testing.B) {
+			var mbps, remotePct float64
+			for i := 0; i < b.N; i++ {
+				cfg := benchConfig()
+				cfg.NUMA = numa.Config{Sockets: 2, Policy: policy}
+				res, err := core.RunWorkloadSequential(cfg, workloads.NewStream(n), iters, 4)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var maxCycles, fills, remote uint64
+				for _, th := range res.Machine.Threads {
+					if c := th.Core.Cycles(); c > maxCycles {
+						maxCycles = c
+					}
+					fills += th.Hier.DRAMAccesses()
+					remote += th.Hier.RemoteDRAMAccesses()
+				}
+				secs := float64(maxCycles) / res.Machine.Threads[0].Core.FreqHz()
+				mbps = float64(iters) * 24 * n / secs / 1e6
+				remotePct = 100 * float64(remote) / float64(fills)
+			}
+			b.ReportMetric(mbps, "triad-MB/s")
+			b.ReportMetric(remotePct, "remote-fill-pct")
 		})
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
@@ -50,8 +51,28 @@ func main() {
 	out := flag.String("out", "", "output file (default stdout)")
 	flag.Parse()
 
-	rep := Report{Context: map[string]string{}}
-	sc := bufio.NewScanner(os.Stdin)
+	rep, err := parse(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	b, err := render(rep)
+	if err != nil {
+		fatal(err)
+	}
+	if *out == "" {
+		os.Stdout.Write(b)
+		return
+	}
+	if err := os.WriteFile(*out, b, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+// parse reads `go test -bench` text output into a normalized report:
+// context header lines plus one Result per benchmark line, sorted by name.
+func parse(r io.Reader) (*Report, error) {
+	rep := &Report{Context: map[string]string{}}
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
@@ -61,28 +82,25 @@ func main() {
 			k, v, _ := strings.Cut(line, ":")
 			rep.Context[k] = strings.TrimSpace(v)
 		case strings.HasPrefix(line, "Benchmark"):
-			if r, ok := parseBench(line); ok {
-				rep.Results = append(rep.Results, r)
+			if res, ok := parseBench(line); ok {
+				rep.Results = append(rep.Results, res)
 			}
 		}
 	}
 	if err := sc.Err(); err != nil {
-		fatal(err)
+		return nil, err
 	}
 	sort.SliceStable(rep.Results, func(i, j int) bool { return rep.Results[i].Name < rep.Results[j].Name })
+	return rep, nil
+}
 
-	b, err := json.MarshalIndent(&rep, "", "  ")
+// render serializes the report (two-space indent, trailing newline).
+func render(rep *Report) ([]byte, error) {
+	b, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
-		fatal(err)
+		return nil, err
 	}
-	b = append(b, '\n')
-	if *out == "" {
-		os.Stdout.Write(b)
-		return
-	}
-	if err := os.WriteFile(*out, b, 0o644); err != nil {
-		fatal(err)
-	}
+	return append(b, '\n'), nil
 }
 
 // parseBench parses one result line:

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestParseBench is the table-driven single-line suite over real
+// `go test -bench` output shapes.
+func TestParseBench(t *testing.T) {
+	f64 := func(v float64) *float64 { return &v }
+	cases := []struct {
+		name string
+		line string
+		ok   bool
+		want Result
+	}{
+		{
+			name: "plain ns/op only",
+			line: "BenchmarkCoreLoad-8   	52693522	        21.38 ns/op",
+			ok:   true,
+			want: Result{Name: "BenchmarkCoreLoad", Iterations: 52693522, NsPerOp: 21.38},
+		},
+		{
+			name: "sub-benchmark with slashes and key=value segments",
+			line: "BenchmarkMemhierAccess/stream-run/L2/stride=8-4  	 5000000	       64.90 ns/op",
+			ok:   true,
+			// The trailing -4 is the GOMAXPROCS suffix and strips off.
+			want: Result{Name: "BenchmarkMemhierAccess/stream-run/L2/stride=8", Iterations: 5000000, NsPerOp: 64.9},
+		},
+		{
+			name: "benchmem columns",
+			line: "BenchmarkFoldingFold-2  	     100	  11860305 ns/op	 1803659 B/op	     341 allocs/op",
+			ok:   true,
+			want: Result{Name: "BenchmarkFoldingFold", Iterations: 100, NsPerOp: 11860305,
+				BytesPerOp: f64(1803659), AllocsPerOp: f64(341)},
+		},
+		{
+			name: "SetBytes MB/s plus custom metrics",
+			line: "BenchmarkFig1Reproduction-8  1  271000000 ns/op  123.45 MB/s  7.000 phases  5.000 paper-letters",
+			ok:   true,
+			want: Result{Name: "BenchmarkFig1Reproduction", Iterations: 1, NsPerOp: 271000000,
+				MBPerSec: f64(123.45), Metrics: map[string]float64{"phases": 7, "paper-letters": 5}},
+		},
+		{
+			name: "no GOMAXPROCS suffix",
+			line: "BenchmarkTraceEncode  	 1000000	      1042 ns/op",
+			ok:   true,
+			want: Result{Name: "BenchmarkTraceEncode", Iterations: 1000000, NsPerOp: 1042},
+		},
+		{
+			name: "sub-benchmark whose leaf ends in -digits keeps only the GOMAXPROCS strip",
+			line: "BenchmarkMachineHPCG/threads=4-16  	       2	 500000000 ns/op",
+			ok:   true,
+			want: Result{Name: "BenchmarkMachineHPCG/threads=4", Iterations: 2, NsPerOp: 500000000},
+		},
+		{name: "too few fields", line: "BenchmarkBroken-8  123", ok: false},
+		{name: "non-numeric iterations", line: "BenchmarkBroken-8  abc  12 ns/op", ok: false},
+		{name: "non-numeric value", line: "BenchmarkBroken-8  10  twelve ns/op", ok: false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, ok := parseBench(tc.line)
+			if ok != tc.ok {
+				t.Fatalf("ok = %v, want %v", ok, tc.ok)
+			}
+			if !ok {
+				return
+			}
+			a, _ := json.Marshal(got)
+			b, _ := json.Marshal(tc.want)
+			if string(a) != string(b) {
+				t.Errorf("parsed\n%s\nwant\n%s", a, b)
+			}
+		})
+	}
+}
+
+// TestParseStream pins the whole-stream behaviour: context header capture,
+// non-benchmark noise skipped, results sorted by name, stable JSON.
+func TestParseStream(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) CPU E5-2680 v3 @ 2.50GHz
+BenchmarkZebra-8  	10	 100 ns/op
+--- some test chatter
+ok  	repro	1.234s
+BenchmarkAlpha/sub/case-8  	20	 50 ns/op	 3.000 widgets
+PASS
+`
+	rep, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Context["goos"] != "linux" || rep.Context["goarch"] != "amd64" ||
+		rep.Context["pkg"] != "repro" || !strings.Contains(rep.Context["cpu"], "E5-2680") {
+		t.Errorf("context: %+v", rep.Context)
+	}
+	if len(rep.Results) != 2 {
+		t.Fatalf("results: %d", len(rep.Results))
+	}
+	if rep.Results[0].Name != "BenchmarkAlpha/sub/case" || rep.Results[1].Name != "BenchmarkZebra" {
+		t.Errorf("not sorted by name: %q, %q", rep.Results[0].Name, rep.Results[1].Name)
+	}
+	if rep.Results[0].Metrics["widgets"] != 3 {
+		t.Errorf("custom metric lost: %+v", rep.Results[0].Metrics)
+	}
+	b, err := render(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[len(b)-1] != '\n' {
+		t.Error("render missing trailing newline")
+	}
+	var back Report
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("rendered JSON does not round-trip: %v", err)
+	}
+	// Rendering twice is byte-identical (the CI artifact must be stable).
+	b2, _ := render(rep)
+	if string(b) != string(b2) {
+		t.Error("render not deterministic")
+	}
+}
+
+// TestParseEmpty covers the no-input edge: an empty report still renders
+// valid JSON with no results.
+func TestParseEmpty(t *testing.T) {
+	rep, err := parse(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 0 {
+		t.Fatalf("results from empty input: %d", len(rep.Results))
+	}
+	if _, err := render(rep); err != nil {
+		t.Fatal(err)
+	}
+}

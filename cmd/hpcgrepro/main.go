@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/hpcg"
+	"repro/internal/numa"
 	"repro/internal/pebs"
 	"repro/internal/profiling"
 	"repro/internal/report"
@@ -26,6 +27,9 @@ func main() {
 		levels     = flag.Int("mg-levels", 4, "multigrid levels")
 		iters      = flag.Int("iters", 8, "CG iterations to fold over")
 		threads    = flag.Int("threads", 1, "simulated hardware threads (OpenMP-style row partitioning, shared L3, one trace stream and folded analysis per thread)")
+		sockets    = flag.Int("sockets", 0, "simulated sockets: >0 builds a NUMA machine (threads grouped into socket blocks, one shared L3 and memory node per socket, remote fills charged the interconnect penalty); 0 keeps the flat single-L3 machine")
+		placement  = flag.String("placement", "", "NUMA page placement policy: first-touch (default) or interleave (requires -sockets)")
+		remoteLat  = flag.Uint64("remote-latency", 0, "remote-socket DRAM fill latency in cycles (0 = default 370; requires -sockets >= 2)")
 		period     = flag.Uint64("period", 1000, "PEBS sampling period (memory ops per sample)")
 		muxNs      = flag.Uint64("mux-ns", 1_000_000, "load/store multiplexing quantum in ns (0 = sample both always)")
 		outDir     = flag.String("out", "", "directory for CSV series and trace files (optional)")
@@ -50,6 +54,30 @@ func main() {
 	cfg.Reference = *refPath
 	cfg.Monitor.PEBS.Period = *period
 	cfg.Monitor.MuxQuantumNs = *muxNs
+	var numaPolicy numa.Policy
+	if *sockets < 0 {
+		fatal(fmt.Errorf("-sockets must be >= 0"))
+	}
+	if *sockets > 0 {
+		var err error
+		if numaPolicy, err = numa.ParsePolicy(*placement); err != nil {
+			fatal(err)
+		}
+		if *remoteLat != 0 && *sockets < 2 {
+			// A 1-node machine has no remote fills to charge; silently
+			// ignoring the override would make the flag look inert.
+			fatal(fmt.Errorf("-remote-latency requires -sockets >= 2"))
+		}
+		cfg.NUMA = numa.Config{
+			Sockets:           *sockets,
+			Policy:            numaPolicy,
+			RemoteDRAMLatency: *remoteLat,
+		}
+	} else if *placement != "" || *remoteLat != 0 {
+		// Silently running the flat machine would make the flags look
+		// inert; demand the topology they parameterize.
+		fatal(fmt.Errorf("-placement/-remote-latency require -sockets"))
+	}
 	if *muxNs == 0 {
 		cfg.Monitor.PEBS.Events = pebs.SampleLoads | pebs.SampleStores
 	}
@@ -65,8 +93,14 @@ func main() {
 	}
 	fmt.Printf("HPCG %d^3, %d MG levels, %d iterations, %d threads, PEBS period %d, mux %d ns\n",
 		*nx, *levels, *iters, *threads, *period, *muxNs)
+	if *sockets > 0 {
+		fmt.Printf("NUMA: %d sockets, %s placement\n", *sockets, numaPolicy)
+	}
 
-	if *threads > 1 {
+	if *threads > 1 || *sockets > 0 {
+		// NUMA runs always go through the Machine (the Session has no
+		// placement layer); with one thread the parallel solve is the
+		// sequential solve on worker 0.
 		runParallel(cfg, params, *threads, *outDir)
 		return
 	}

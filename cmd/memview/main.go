@@ -11,6 +11,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/cpu"
 	"repro/internal/folding"
 	"repro/internal/memhier"
 	"repro/internal/paraver"
@@ -109,10 +110,32 @@ func main() {
 			lats = append(lats, float64(mp.Latency))
 		}
 	}
+	// Capability-keyed remote row: NUMA-routed stacks stamp the
+	// REMOTE_DRAM counter pair on their snapshot records (value 0
+	// included), so its presence — not remote sample occurrence — decides
+	// whether the RemoteDRAM row belongs in the table. A first-touch NUMA
+	// trace with zero remote samples still shows the row (that zero is
+	// the policy's headline result); flat traces never do.
+	numaTrace := false
+	for _, r := range records {
+		if _, ok := r.Get(trace.TypeCounterBase + uint32(cpu.CtrRemoteDRAM)); ok {
+			numaTrace = true
+			break
+		}
+	}
+	// Column width widens only when the 10-char RemoteDRAM row is shown,
+	// keeping flat traces' output byte-identical to the pre-NUMA format.
+	labelWidth := 5
+	if numaTrace {
+		labelWidth = 10
+	}
 	fmt.Printf("\nsamples: %d loads, %d stores\ndata sources:\n", loads, storesN)
 	for s := memhier.DataSource(0); s < memhier.NumSources; s++ {
+		if s == memhier.SrcDRAMRemote && !numaTrace {
+			continue
+		}
 		pct := 100 * float64(bySource[s]) / float64(len(folded.Mem))
-		fmt.Printf("  %-5s %7d (%5.1f%%)\n", s, bySource[s], pct)
+		fmt.Printf("  %-*s %7d (%5.1f%%)\n", labelWidth, s.String(), bySource[s], pct)
 	}
 	if len(lats) > 0 {
 		fmt.Printf("load latency cycles: p50 %.0f, p90 %.0f, p99 %.0f, mean %.1f\n",

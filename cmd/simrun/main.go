@@ -24,6 +24,7 @@ import (
 	"path/filepath"
 	"runtime"
 
+	"repro/internal/numa"
 	"repro/internal/profiling"
 	"repro/internal/scenario"
 )
@@ -33,6 +34,8 @@ func main() {
 		list       = flag.Bool("list", false, "list the registered scenarios and exit")
 		run        = flag.String("run", "", "scenario to run (a registered name, or 'all')")
 		threads    = flag.Int("threads", 0, "override the scenario's thread count (0 = scenario default)")
+		sockets    = flag.Int("sockets", 0, "override the scenario's socket count: route the run through a NUMA machine (0 = scenario default)")
+		placement  = flag.String("placement", "", "override the NUMA page placement policy (first-touch or interleave; the scenario or -sockets must provide a NUMA topology)")
 		reference  = flag.Bool("reference", false, "use the per-op reference simulation path (must produce identical metrics)")
 		jsonOut    = flag.Bool("json", false, "print the full canonical Metrics JSON instead of the summary line")
 		update     = flag.Bool("update-golden", false, "rewrite the golden metrics files for every scenario")
@@ -54,8 +57,8 @@ func main() {
 		// Goldens are canonical: always the fast path at the scenarios' own
 		// thread counts, and always amd64 (FMA fusion elsewhere perturbs the
 		// float64 reductions, and amd64 CI would reject the files).
-		if *reference || *threads != 0 {
-			fatal(fmt.Errorf("-update-golden ignores -reference/-threads; drop them (goldens pin the fast path at scenario thread counts)"))
+		if *reference || *threads != 0 || *sockets != 0 || *placement != "" {
+			fatal(fmt.Errorf("-update-golden ignores -reference/-threads/-sockets/-placement; drop them (goldens pin the fast path at scenario topology)"))
 		}
 		if runtime.GOARCH != "amd64" {
 			fatal(fmt.Errorf("refusing to regenerate goldens on %s: they must be amd64-generated", runtime.GOARCH))
@@ -64,7 +67,16 @@ func main() {
 			fatal(err)
 		}
 	case *run != "":
-		if err := runScenarios(*run, scenario.Options{Reference: *reference, Threads: *threads}, *jsonOut); err != nil {
+		if *threads < 0 || *sockets < 0 {
+			fatal(fmt.Errorf("-threads/-sockets must be >= 0"))
+		}
+		opts := scenario.Options{
+			Reference: *reference,
+			Threads:   *threads,
+			Sockets:   *sockets,
+			Placement: *placement,
+		}
+		if err := runScenarios(*run, opts, *jsonOut); err != nil {
 			fatal(err)
 		}
 	default:
@@ -81,8 +93,15 @@ func listScenarios() {
 		if sc.HPCG != nil {
 			kind = "hpcg"
 		}
-		fmt.Printf("  %-28s %-8s threads=%d hierarchy=%-10s %s\n",
-			sc.Name, kind, sc.Threads, sc.Hierarchy, sc.Description)
+		topo := fmt.Sprintf("threads=%d", sc.Threads)
+		if sc.Sockets > 0 {
+			// Render the effective policy (Register validated the string;
+			// the empty spelling defaults to first-touch).
+			policy, _ := numa.ParsePolicy(sc.Placement)
+			topo = fmt.Sprintf("threads=%d sockets=%d/%s", sc.Threads, sc.Sockets, policy)
+		}
+		fmt.Printf("  %-28s %-8s %-32s hierarchy=%-10s %s\n",
+			sc.Name, kind, topo, sc.Hierarchy, sc.Description)
 	}
 }
 
@@ -129,9 +148,19 @@ func printSummary(m *scenario.Metrics) {
 		t0.Instructions, t0.Cycles, t0.DRAMFills, t0.FoldedSamples, len(t0.Phases))
 	for _, tm := range m.PerThread {
 		llc := tm.Levels[len(tm.Levels)-1]
-		fmt.Printf("  t%-2d instances=%d/%d ipc=%.3f mips[0]=%.0f L1=%.3f LLC=%.3f dram=%d samples=%d\n",
+		numaCol := ""
+		if tm.RemoteDRAMFills != nil {
+			numaCol = fmt.Sprintf(" remote=%d", *tm.RemoteDRAMFills)
+		}
+		fmt.Printf("  t%-2d instances=%d/%d ipc=%.3f mips[0]=%.0f L1=%.3f LLC=%.3f dram=%d%s samples=%d\n",
 			tm.Thread, tm.InstancesUsed, tm.InstancesTotal, tm.MeanIPC,
-			firstMIPS(tm), tm.Levels[0].MissRatio, llc.MissRatio, tm.DRAMFills, tm.FoldedSamples)
+			firstMIPS(tm), tm.Levels[0].MissRatio, llc.MissRatio, tm.DRAMFills, numaCol, tm.FoldedSamples)
+	}
+	if m.NUMA != nil {
+		for _, n := range m.NUMA.Nodes {
+			fmt.Printf("  node%-2d fills local=%d remote=%d writebacks=%d pages=%d\n",
+				n.Node, n.FillsLocal, n.FillsRemote, n.Writebacks, n.Pages)
+		}
 	}
 	if m.CG != nil {
 		fmt.Printf("  cg iterations=%d final_residual=%.3e final_error=%.3e\n",

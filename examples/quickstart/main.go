@@ -52,6 +52,11 @@ func main() {
 	}
 	fmt.Printf("\n%d folded memory samples; data sources:\n", len(f.Mem))
 	for s := memhier.DataSource(0); s < memhier.NumSources; s++ {
+		if s == memhier.SrcDRAMRemote && srcCount[s] == 0 {
+			// Remote DRAM only exists on NUMA-routed machines; the flat
+			// quickstart session can never produce it.
+			continue
+		}
 		fmt.Printf("  %-5s %6.1f%%\n", s, 100*float64(srcCount[s])/float64(len(f.Mem)))
 	}
 

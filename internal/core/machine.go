@@ -9,6 +9,7 @@ import (
 	"repro/internal/folding"
 	"repro/internal/hpcg"
 	"repro/internal/memhier"
+	"repro/internal/numa"
 	"repro/internal/prog"
 	"repro/internal/report"
 	"repro/internal/trace"
@@ -27,16 +28,30 @@ type MachineThread struct {
 
 // Machine is an N-core simulated shared-memory node: N MachineThreads
 // running concurrently (one goroutine each during parallel sections),
-// sharing one thread-safe L3, one address space, one synthetic binary and
-// one data-object registry. A 1-thread Machine is observationally
-// identical to a Session — the fastpath equivalence suite pins this.
+// sharing one address space, one synthetic binary and one data-object
+// registry. Cores are grouped into S sockets (S = 1 unless Config.NUMA
+// asks for more), each socket with its own thread-safe shared L3; on a
+// NUMA machine every DRAM fill additionally resolves through the page
+// placement to its home memory node. A 1-thread Machine is
+// observationally identical to a Session, and a 1-socket NUMA-routed
+// Machine to the flat Machine — the fastpath and partition equivalence
+// suites pin both.
 type Machine struct {
 	Cfg     Config
 	Threads []*MachineThread
-	// L3 is the shared last-level cache all threads' hierarchies drain to.
-	L3  *memhier.SharedCache
-	Bin *prog.Binary
-	AS  *prog.AddressSpace
+	// L3 is socket 0's shared last-level cache (the only one on a
+	// single-socket machine).
+	L3 *memhier.SharedCache
+	// L3s holds every socket's shared L3, indexed by socket.
+	L3s []*memhier.SharedCache
+	// Sockets is the socket count (1 for the flat machine).
+	Sockets int
+	// SocketOf maps 0-based thread index to socket index.
+	SocketOf []int
+	// Placement is the NUMA page placement (nil on the flat machine).
+	Placement *numa.Placement
+	Bin       *prog.Binary
+	AS        *prog.AddressSpace
 
 	// sortedLog memoizes MergedRecords and threadLogs the per-thread
 	// sorted streams (the per-monitor logs are append-only, so an
@@ -52,8 +67,12 @@ type threadLog struct {
 }
 
 // NewMachine builds an n-thread machine from the session configuration:
-// the last configured cache level becomes the shared L3, the remaining
-// levels are replicated privately per thread.
+// the last configured cache level becomes the per-socket shared L3, the
+// remaining levels are replicated privately per thread. With
+// cfg.NUMA.Sockets >= 1 the machine is NUMA-routed: threads are grouped
+// into contiguous socket blocks (thread t on socket t*S/n; sockets beyond
+// the thread count hold memory only), and every socket's caches route
+// DRAM traffic through one shared page placement.
 func NewMachine(cfg Config, n int) (*Machine, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("core: machine needs at least one thread, got %d", n)
@@ -63,25 +82,72 @@ func NewMachine(cfg Config, n int) (*Machine, error) {
 	if len(levels) < 2 {
 		return nil, fmt.Errorf("core: machine needs >= 2 cache levels (private + shared LLC), got %d", len(levels))
 	}
-	llc, err := memhier.NewSharedCache(levels[len(levels)-1], 0)
-	if err != nil {
-		return nil, err
-	}
 	privCfg := memhier.Config{
 		Levels:           levels[:len(levels)-1],
 		DRAMLatency:      cfg.Cache.DRAMLatency,
 		NextLinePrefetch: cfg.Cache.NextLinePrefetch,
 	}
+	sockets := 1
+	var placement *numa.Placement
+	if cfg.NUMA.Sockets > 0 {
+		var err error
+		placement, err = numa.New(cfg.NUMA)
+		if err != nil {
+			return nil, err
+		}
+		sockets = placement.Nodes()
+		if sockets == 1 && cfg.NUMA.RemoteDRAMLatency != 0 {
+			// A 1-node machine has no remote fills to charge; silently
+			// ignoring the override would make the config look inert
+			// (the CLI layer rejects the same combination).
+			return nil, fmt.Errorf("core: NUMA.RemoteDRAMLatency set on a single-socket machine (no remote node to charge)")
+		}
+		if sockets > 1 {
+			// The remote fill cost only exists when a remote node does.
+			// The default is clamped to the configured local latency: a
+			// slow-DRAM hierarchy must not fail validation (remote >=
+			// local) on a value this code chose itself.
+			privCfg.RemoteDRAMLatency = cfg.NUMA.RemoteDRAMLatency
+			if privCfg.RemoteDRAMLatency == 0 {
+				privCfg.RemoteDRAMLatency = max(numa.DefaultRemoteDRAMLatency, privCfg.DRAMLatency)
+			}
+		}
+	}
 	m := &Machine{
-		Cfg: cfg, L3: llc,
+		Cfg:        cfg,
+		Sockets:    sockets,
+		Placement:  placement,
 		Bin:        prog.NewBinary(),
 		AS:         prog.NewAddressSpace(heapBase(cfg)),
 		threadLogs: make([]threadLog, n),
 	}
-	for t := 0; t < n; t++ {
-		hier, err := memhier.NewWithSharedLLC(privCfg, llc)
+	for s := 0; s < sockets; s++ {
+		llc, err := memhier.NewSharedCache(levels[len(levels)-1], 0)
 		if err != nil {
 			return nil, err
+		}
+		if placement != nil {
+			router, err := placement.Router(s)
+			if err != nil {
+				return nil, err
+			}
+			llc.SetDRAMRouter(router)
+		}
+		m.L3s = append(m.L3s, llc)
+	}
+	m.L3 = m.L3s[0]
+	for t := 0; t < n; t++ {
+		socket := t * sockets / n
+		hier, err := memhier.NewWithSharedLLC(privCfg, m.L3s[socket])
+		if err != nil {
+			return nil, err
+		}
+		if placement != nil {
+			router, err := placement.Router(socket)
+			if err != nil {
+				return nil, err
+			}
+			hier.SetDRAMRouter(router)
 		}
 		c, err := cpu.New(cfg.CPU, hier)
 		if err != nil {
@@ -100,6 +166,7 @@ func NewMachine(cfg Config, n int) (*Machine, error) {
 		if err != nil {
 			return nil, err
 		}
+		m.SocketOf = append(m.SocketOf, socket)
 		m.Threads = append(m.Threads, &MachineThread{Hier: hier, Core: c, Mon: mon})
 	}
 	return m, nil
@@ -376,8 +443,44 @@ func RunHPCGParallel(cfg Config, params hpcg.Params, threads int) (*MachineHPCGR
 	return run, nil
 }
 
+// NUMAReport assembles the per-socket traffic section of a NUMA-routed
+// machine (nil on the flat machine).
+func (m *Machine) NUMAReport() *report.NUMASection {
+	if m.Placement == nil {
+		return nil
+	}
+	sec := &report.NUMASection{
+		Policy:   m.Placement.Policy().String(),
+		PageSize: m.Placement.PageSize(),
+	}
+	for s := 0; s < m.Sockets; s++ {
+		row := report.NUMASocketRow{Socket: s}
+		for t, th := range m.Threads {
+			if m.SocketOf[t] != s {
+				continue
+			}
+			row.Threads = append(row.Threads, th.Mon.Thread())
+			row.L3Misses += th.Hier.DRAMAccesses()
+			row.RemoteFills += th.Hier.RemoteDRAMAccesses()
+		}
+		row.L3Writebacks = m.L3s[s].Stats().Writebacks
+		sec.Sockets = append(sec.Sockets, row)
+	}
+	for n, st := range m.Placement.Stats() {
+		sec.Nodes = append(sec.Nodes, report.NUMANodeRow{
+			Node:        n,
+			FillsLocal:  st.FillsLocal,
+			FillsRemote: st.FillsRemote,
+			Writebacks:  st.Writebacks,
+			Pages:       st.Pages,
+		})
+	}
+	return sec
+}
+
 // Figure assembles the cross-thread report: per-thread folded curves and
-// phase tables plus the shared-L3 miss attribution.
+// phase tables plus the shared-L3 miss attribution (and, when NUMA-routed,
+// the per-socket traffic section).
 func (r *MachineHPCGRun) Figure() *report.MachineFigure {
 	fig := &report.MachineFigure{}
 	for _, tr := range r.Threads {
@@ -400,10 +503,15 @@ func (r *MachineHPCGRun) Figure() *report.MachineFigure {
 			Misses:   st.Misses,
 		})
 	}
-	llc := r.Machine.L3.Stats()
-	fig.L3.Writebacks = llc.Writebacks
-	fig.L3.Prefetches = llc.Prefetches
-	fig.L3.PrefHits = llc.PrefHits
+	// Cache-wide counters sum over every socket's L3 (one L3 on the flat
+	// machine, so the historical single-socket numbers are unchanged).
+	for _, l3 := range r.Machine.L3s {
+		llc := l3.Stats()
+		fig.L3.Writebacks += llc.Writebacks
+		fig.L3.Prefetches += llc.Prefetches
+		fig.L3.PrefHits += llc.PrefHits
+	}
+	fig.NUMA = r.Machine.NUMAReport()
 	return fig
 }
 

@@ -15,6 +15,7 @@ import (
 	"repro/internal/extrae"
 	"repro/internal/folding"
 	"repro/internal/memhier"
+	"repro/internal/numa"
 	"repro/internal/prog"
 	"repro/internal/trace"
 	"repro/internal/workloads"
@@ -35,6 +36,17 @@ type Config struct {
 	Monitor extrae.Config
 	// Folding configures the analysis.
 	Folding folding.Config
+	// NUMA configures the multi-socket topology of a Machine. Sockets == 0
+	// (the default) builds the flat single-L3 machine with no placement
+	// layer — the historical configuration, byte-identical to every
+	// pre-NUMA run. Sockets >= 1 routes all DRAM fills through a
+	// page-granular placement: cores are grouped into contiguous socket
+	// blocks, each socket gets its own shared L3 and memory node, and
+	// fills whose home node is another socket are charged the remote
+	// latency and labelled SrcDRAMRemote. A 1-socket routed Machine is
+	// byte-identical to the flat Machine (pinned by the partition suite).
+	// Sessions ignore this field: NUMA runs go through a Machine.
+	NUMA numa.Config
 	// HeapBase is the simulated heap base address.
 	HeapBase uint64
 	// ASLRSeed, when nonzero, randomizes the heap base per session —

@@ -31,6 +31,13 @@ const (
 	CtrL1DMiss
 	CtrL2Miss
 	CtrL3Miss
+	// CtrRemoteDRAM counts loads and stores whose line fill was served by a
+	// remote socket's memory node (the OFFCORE_RESPONSE remote-DRAM events
+	// of the modelled Haswell parts). It is programmed only on cores whose
+	// hierarchy is routed through a multi-node NUMA placement, so non-NUMA
+	// stacks keep their historical counter set — and their exact trace
+	// bytes.
+	CtrRemoteDRAM
 	NumCounters
 )
 
@@ -53,6 +60,8 @@ func (c CounterID) String() string {
 		return "PAPI_L2_DCM"
 	case CtrL3Miss:
 		return "PAPI_L3_TCM"
+	case CtrRemoteDRAM:
+		return "REMOTE_DRAM"
 	}
 	return fmt.Sprintf("CounterID(%d)", int(c))
 }
@@ -176,6 +185,14 @@ func New(cfg Config, hier *memhier.Hierarchy) (*Core, error) {
 		loadGate:  GateNever,
 		storeGate: GateNever,
 		hookCycle: ^uint64(0),
+	}
+	if hier.RemoteDRAMPossible() {
+		// The hierarchy can serve remote-socket fills: program the
+		// remote-DRAM event so the local/remote split reaches the PMU,
+		// the trace and the folded counters.
+		if err := c.pmu.EnableRemoteDRAM(); err != nil {
+			return nil, err
+		}
 	}
 	for s := memhier.DataSource(0); s < memhier.NumSources; s++ {
 		lat := hier.SourceLatency(s)

@@ -38,20 +38,48 @@ type PMU struct {
 }
 
 // NewPMU creates a PMU with all programmable events in one always-on group
-// (no multiplexing) — the configuration used when hardware has enough slots.
+// (no multiplexing) — the configuration used when hardware has enough
+// slots. CtrRemoteDRAM is left unprogrammed: it only exists on NUMA-routed
+// cores, which enable it via EnableRemoteDRAM, and the monitoring layer
+// emits only programmed counters, so the historical counter set (and trace
+// byte stream) is preserved everywhere else.
 func NewPMU() *PMU {
 	p := &PMU{}
-	all := make([]CounterID, 0, NumCounters)
-	for c := CounterID(0); c < NumCounters; c++ {
-		if !c.fixed() {
-			all = append(all, c)
-		}
-	}
 	// Ignore the error: the default single-group config is always valid.
-	if err := p.Program([][]CounterID{all}, 0); err != nil {
+	if err := p.Program([][]CounterID{defaultGroup(false)}, 0); err != nil {
 		panic(err)
 	}
 	return p
+}
+
+// defaultGroup returns the always-on programmable counter set, with or
+// without the NUMA remote-DRAM event.
+func defaultGroup(remote bool) []CounterID {
+	all := make([]CounterID, 0, NumCounters)
+	for c := CounterID(0); c < NumCounters; c++ {
+		if c.fixed() || (c == CtrRemoteDRAM && !remote) {
+			continue
+		}
+		all = append(all, c)
+	}
+	return all
+}
+
+// EnableRemoteDRAM reprograms the default single always-on group with
+// CtrRemoteDRAM included. Cores attached to a NUMA-routed hierarchy call
+// it at construction, before any multiplexed programming.
+func (p *PMU) EnableRemoteDRAM() error {
+	return p.Program([][]CounterID{defaultGroup(true)}, 0)
+}
+
+// Programmed reports whether counter c is currently programmed (fixed
+// counters always are). The monitoring layer emits trace pairs and labels
+// only for programmed counters.
+func (p *PMU) Programmed(c CounterID) bool {
+	if c < 0 || c >= NumCounters {
+		return false
+	}
+	return c.fixed() || p.inGroup[c] != -1
 }
 
 // Program installs multiplexing groups. quantum is the number of cycles each
@@ -153,6 +181,11 @@ func (p *PMU) countMem(store bool, src memhier.DataSource, cycles uint64) {
 			p.raw[CtrL1DMiss]++
 			p.raw[CtrL2Miss]++
 			p.raw[CtrL3Miss]++
+		case memhier.SrcDRAMRemote:
+			p.raw[CtrL1DMiss]++
+			p.raw[CtrL2Miss]++
+			p.raw[CtrL3Miss]++
+			p.raw[CtrRemoteDRAM]++
 		}
 		return
 	}
@@ -173,6 +206,11 @@ func (p *PMU) countMem(store bool, src memhier.DataSource, cycles uint64) {
 		p.count(CtrL1DMiss, 1)
 		p.count(CtrL2Miss, 1)
 		p.count(CtrL3Miss, 1)
+	case memhier.SrcDRAMRemote:
+		p.count(CtrL1DMiss, 1)
+		p.count(CtrL2Miss, 1)
+		p.count(CtrL3Miss, 1)
+		p.count(CtrRemoteDRAM, 1)
 	}
 }
 
@@ -193,9 +231,11 @@ func (p *PMU) countMemRun(store bool, n uint64, rr *memhier.RunResult, cycles ui
 	l2 := rr.Lines[memhier.SrcL2]
 	l3 := rr.Lines[memhier.SrcL3]
 	dr := rr.Lines[memhier.SrcDRAM]
-	p.raw[CtrL1DMiss] += l2 + l3 + dr
-	p.raw[CtrL2Miss] += l3 + dr
-	p.raw[CtrL3Miss] += dr
+	rem := rr.Lines[memhier.SrcDRAMRemote]
+	p.raw[CtrL1DMiss] += l2 + l3 + dr + rem
+	p.raw[CtrL2Miss] += l3 + dr + rem
+	p.raw[CtrL3Miss] += dr + rem
+	p.raw[CtrRemoteDRAM] += rem
 	p.total += cycles
 }
 

@@ -191,6 +191,11 @@ func (m *Monitor) initLabels() {
 	m.labels.SetType(trace.TypeSampleLatency, "Sample latency (cycles)")
 	m.labels.SetType(trace.TypeSampleSource, "Sample data source")
 	for s := memhier.DataSource(0); s < memhier.NumSources; s++ {
+		if s == memhier.SrcDRAMRemote && !m.core.Hierarchy().RemoteDRAMPossible() {
+			// Single-node stacks can never emit the remote source; keep
+			// their PCF value table byte-identical to the pre-NUMA format.
+			continue
+		}
 		m.labels.SetValue(trace.TypeSampleSource, int64(s), s.String())
 	}
 	m.labels.SetType(trace.TypeSampleStore, "Sample is store")
@@ -204,6 +209,11 @@ func (m *Monitor) initLabels() {
 	m.labels.SetType(trace.TypeAllocStack, "Allocation callstack id")
 	m.labels.SetType(trace.TypeFreeAddr, "Free address")
 	for c := cpu.CounterID(0); c < cpu.NumCounters; c++ {
+		// Only programmed counters are emitted (and hence labelled): the
+		// remote-DRAM event exists only on NUMA-routed cores.
+		if !m.core.PMU().Programmed(c) {
+			continue
+		}
 		m.labels.SetType(trace.TypeCounterBase+uint32(c), c.String())
 	}
 }
@@ -328,10 +338,17 @@ func (m *Monitor) RegionName(r Region) string {
 	return m.regionNames[r-1]
 }
 
-// counterPairs renders the current PMU estimates as trace pairs.
-func counterPairs(snap [cpu.NumCounters]uint64) []trace.TypeValue {
+// counterPairs renders a PMU snapshot as trace pairs. Only programmed
+// counters are emitted: the records of a non-NUMA core carry exactly the
+// historical pair set, and a NUMA-routed core appends the remote-DRAM
+// event.
+func (m *Monitor) counterPairs(snap [cpu.NumCounters]uint64) []trace.TypeValue {
+	pmu := m.core.PMU()
 	pairs := make([]trace.TypeValue, 0, cpu.NumCounters)
 	for c := cpu.CounterID(0); c < cpu.NumCounters; c++ {
+		if !pmu.Programmed(c) {
+			continue
+		}
 		pairs = append(pairs, trace.TypeValue{
 			Type:  trace.TypeCounterBase + uint32(c),
 			Value: int64(snap[c]),
@@ -364,7 +381,7 @@ func (m *Monitor) EnterRegion(r Region) {
 		return
 	}
 	pairs := append([]trace.TypeValue{{Type: trace.TypeRegion, Value: int64(r)}},
-		counterPairs(m.core.PMU().Snapshot())...)
+		m.counterPairs(m.core.PMU().Snapshot())...)
 	m.emit(pairs)
 }
 
@@ -382,7 +399,7 @@ func (m *Monitor) ExitRegion(r Region) {
 	// PEBS interrupt would.
 	m.engine.Flush()
 	pairs := append([]trace.TypeValue{{Type: trace.TypeRegion, Value: 0}},
-		counterPairs(m.core.PMU().Snapshot())...)
+		m.counterPairs(m.core.PMU().Snapshot())...)
 	m.emit(pairs)
 }
 
@@ -595,7 +612,7 @@ func (m *Monitor) onDrain(samples []pebs.Sample) {
 			{Type: trace.TypeSampleStack, Value: int64(s.StackID)},
 			{Type: trace.TypeSampleSize, Value: int64(s.Size)},
 		}
-		pairs = append(pairs, counterPairs(m.pendingSnaps[i])...)
+		pairs = append(pairs, m.counterPairs(m.pendingSnaps[i])...)
 		m.records = append(m.records, trace.Record{
 			TimeNs: s.TimeNs, Task: m.task, Thread: m.thread, Pairs: pairs,
 		})

@@ -289,7 +289,9 @@ func (f *Folded) finishPhase(p *Phase) {
 	if cnt > 0 {
 		p.MIPSMean = sum / float64(cnt)
 	}
-	for _, c := range []cpu.CounterID{cpu.CtrBranches, cpu.CtrL1DMiss, cpu.CtrL2Miss, cpu.CtrL3Miss} {
+	// CtrRemoteDRAM folds to all-zero on non-NUMA stacks (their records
+	// never carry the counter); consumers key its presence on capability.
+	for _, c := range []cpu.CounterID{cpu.CtrBranches, cpu.CtrL1DMiss, cpu.CtrL2Miss, cpu.CtrL3Miss, cpu.CtrRemoteDRAM} {
 		ratio := f.PerInstruction(c)
 		var s float64
 		var n int

@@ -20,7 +20,7 @@ import (
 
 // DataSource identifies the memory-hierarchy level that served an access.
 // It mirrors the PEBS "data source" encoding at the granularity the paper
-// uses (L1, L2, L3, local DRAM).
+// uses (L1, L2, L3, local DRAM, remote-socket DRAM).
 type DataSource int
 
 const (
@@ -30,8 +30,14 @@ const (
 	SrcL2
 	// SrcL3 means the line was served by the last-level cache.
 	SrcL3
-	// SrcDRAM means the line came from main memory.
+	// SrcDRAM means the line came from the socket's own (local) memory
+	// controller — or from the flat DRAM of a non-NUMA hierarchy.
 	SrcDRAM
+	// SrcDRAMRemote means the line crossed the socket interconnect: its
+	// home memory node belongs to another socket. Only hierarchies routed
+	// through a multi-node DRAMRouter produce it; everywhere else the
+	// encoding is exactly the historical 4-value one.
+	SrcDRAMRemote
 )
 
 // String returns the conventional level name.
@@ -45,12 +51,19 @@ func (s DataSource) String() string {
 		return "L3"
 	case SrcDRAM:
 		return "DRAM"
+	case SrcDRAMRemote:
+		return "RemoteDRAM"
 	}
 	return fmt.Sprintf("DataSource(%d)", int(s))
 }
 
 // NumSources is the number of distinct DataSource values.
-const NumSources = 4
+const NumSources = 5
+
+// MaxCacheLevels is the deepest supported hierarchy: DataSource (and the
+// PMU's per-source miss counters) encode exactly L1..L3 plus the two DRAM
+// classes; a deeper hierarchy would have no meaningful source labels.
+const MaxCacheLevels = 3
 
 // LevelConfig describes one cache level.
 type LevelConfig struct {
@@ -71,8 +84,14 @@ type LevelConfig struct {
 type Config struct {
 	// Levels lists the cache levels from closest (L1) to farthest (LLC).
 	Levels []LevelConfig
-	// DRAMLatency is the access cost in cycles when no level holds the line.
+	// DRAMLatency is the access cost in cycles when no level holds the line
+	// (the local-socket fill cost under NUMA routing).
 	DRAMLatency uint64
+	// RemoteDRAMLatency is the fill cost when a multi-node DRAMRouter
+	// resolves the line to another socket's memory node. 0 falls back to
+	// DRAMLatency (no interconnect penalty); nonzero values must not be
+	// below DRAMLatency.
+	RemoteDRAMLatency uint64
 	// NextLinePrefetch enables a simple next-line prefetcher: on an L1 miss
 	// the successor line is installed into L2 (and below), modelling the
 	// hardware streamer that makes linear sweeps cheap.
@@ -310,6 +329,23 @@ func (c *cache) dropMRUAt(idx int) {
 	}
 }
 
+// DRAMRouter attributes DRAM traffic to memory nodes: the NUMA layer's
+// port into the hierarchy. Each socket's caches hold their own router (a
+// socket-specific view of one shared page placement); implementations must
+// be safe for concurrent use by all hierarchies of a Machine.
+type DRAMRouter interface {
+	// RouteFill resolves a demand line fill's home memory node, records
+	// the fill at that node's controller, and reports whether the fill is
+	// remote to the router's socket.
+	RouteFill(lineAddr uint64) (remote bool)
+	// RouteWriteback attributes a dirty last-level-cache eviction absorbed
+	// by DRAM to the evicted line's home controller.
+	RouteWriteback(lineAddr uint64)
+	// RemotePossible reports whether RouteFill can ever return true
+	// (false for a single-node topology).
+	RemotePossible() bool
+}
+
 // Hierarchy is one core's view of the memory system: private cache levels
 // plus, optionally, a shared last-level cache. The private state is not
 // safe for concurrent use — each simulated core owns its own Hierarchy —
@@ -322,7 +358,13 @@ type Hierarchy struct {
 	l1       *cache       // levels[0], kept flat for the Access fast path
 	lineMask uint64       // LineSize-1
 	maxLine  uint64       // first line address the packed tags cannot represent
-	dram     uint64       // DRAM access count
+	dram     uint64       // DRAM access count (local + remote fills)
+	// router, when set, resolves every DRAM fill to a home memory node;
+	// fills remote to the owning socket are charged remoteLat and labelled
+	// SrcDRAMRemote. dramRemote counts them.
+	router     DRAMRouter
+	remoteLat  uint64
+	dramRemote uint64
 	// mruHits counts L1 accesses served by the MRU fast path and probeOps
 	// those that took the probe loop; LevelStats folds them lazily.
 	mruHits  uint64
@@ -411,14 +453,21 @@ func newHierarchy(cfg Config, llc *SharedCache) (*Hierarchy, error) {
 	if llc != nil {
 		nCaches++
 	}
-	if nCaches >= NumSources {
+	if nCaches > MaxCacheLevels {
 		// DataSource (and the PMU's per-source miss counters) encode
 		// exactly L1..L3 plus DRAM; a deeper hierarchy has no meaningful
 		// source labels, so reject it instead of mislabelling levels.
 		return nil, fmt.Errorf("memhier: %d cache levels exceed the modelled %d (L1..L3 + DRAM)",
-			nCaches, NumSources-1)
+			nCaches, MaxCacheLevels)
 	}
-	h := &Hierarchy{cfg: cfg, shared: llc, maxLine: ^uint64(0)}
+	if cfg.RemoteDRAMLatency != 0 && cfg.RemoteDRAMLatency < cfg.DRAMLatency {
+		return nil, fmt.Errorf("memhier: remote DRAM latency %d below local %d",
+			cfg.RemoteDRAMLatency, cfg.DRAMLatency)
+	}
+	h := &Hierarchy{cfg: cfg, shared: llc, maxLine: ^uint64(0), remoteLat: cfg.RemoteDRAMLatency}
+	if h.remoteLat == 0 {
+		h.remoteLat = cfg.DRAMLatency
+	}
 	lineSize := cfg.Levels[0].LineSize
 	for i, lc := range cfg.Levels {
 		if lc.LineSize != lineSize {
@@ -477,6 +526,24 @@ func (h *Hierarchy) Levels() int {
 // level is private).
 func (h *Hierarchy) SharedLLC() *SharedCache { return h.shared }
 
+// SetDRAMRouter attaches the NUMA layer's per-socket router. It must be
+// called before any access (the attached core precomputes per-source stall
+// tables at construction, and switching routing mid-run would mislabel
+// history).
+func (h *Hierarchy) SetDRAMRouter(r DRAMRouter) { h.router = r }
+
+// DRAMRouter returns the attached router (nil for flat DRAM).
+func (h *Hierarchy) DRAMRouter() DRAMRouter { return h.router }
+
+// RemoteDRAMPossible reports whether this hierarchy can ever serve a fill
+// from a remote memory node — true only when a multi-node router is
+// attached. The monitoring layer keys its trace-format extensions
+// (RemoteDRAM source label, REMOTE_DRAM counter) off this, so single-node
+// stacks keep emitting the exact pre-NUMA byte stream.
+func (h *Hierarchy) RemoteDRAMPossible() bool {
+	return h.router != nil && h.router.RemotePossible()
+}
+
 // LevelStats returns a copy of the counters for level i (0 = L1). The hot
 // path only counts misses; accesses and hits are derived here — every
 // demand access probes L1 (fast-path hits are in mruHits, slow probes in
@@ -509,6 +576,9 @@ func (h *Hierarchy) LevelStats(i int) LevelStats {
 // SourceLatency returns the access cost charged when the given level serves
 // the data (the core uses it to precompute per-source stall tables).
 func (h *Hierarchy) SourceLatency(s DataSource) uint64 {
+	if s == SrcDRAMRemote {
+		return h.remoteLat
+	}
 	if int(s) < len(h.levels) {
 		return h.levels[s].cfg.HitLatency
 	}
@@ -518,8 +588,13 @@ func (h *Hierarchy) SourceLatency(s DataSource) uint64 {
 	return h.cfg.DRAMLatency
 }
 
-// DRAMAccesses returns the number of line fills served by DRAM.
+// DRAMAccesses returns the number of line fills served by DRAM, local and
+// remote together.
 func (h *Hierarchy) DRAMAccesses() uint64 { return h.dram }
+
+// RemoteDRAMAccesses returns the number of line fills served by a remote
+// socket's memory node (0 without a multi-node router).
+func (h *Hierarchy) RemoteDRAMAccesses() uint64 { return h.dramRemote }
 
 // setBase returns the set index and slab base index of lineAddr's set plus
 // the packed tag|valid word (tick field zero) a resident line would carry.
@@ -972,15 +1047,15 @@ func (h *Hierarchy) accessLine(addr, lineAddr uint64, write bool) AccessResult {
 				Prefetched: wasPref,
 			}
 		}
-		h.dram++
+		src, lat := h.dramFill(lineAddr)
 		h.fillAbove(len(h.levels), lineAddr, write)
 		if next := lineAddr + uint64(h.LineSize()); h.cfg.NextLinePrefetch && next < h.maxLine {
 			h.prefetch(next)
 		}
-		return AccessResult{Source: SrcDRAM, Latency: h.cfg.DRAMLatency, LineAddr: lineAddr}
+		return AccessResult{Source: src, Latency: lat, LineAddr: lineAddr}
 	}
 	// Miss everywhere: DRAM services the line.
-	h.dram++
+	src, lat := h.dramFill(lineAddr)
 	h.fillAbove(len(h.levels), lineAddr, write)
 	// The next-line target can sit one line past the packed-tag range when
 	// the demand access was the last representable line; the prefetcher
@@ -988,7 +1063,19 @@ func (h *Hierarchy) accessLine(addr, lineAddr uint64, write bool) AccessResult {
 	if next := lineAddr + uint64(h.LineSize()); h.cfg.NextLinePrefetch && next < h.maxLine {
 		h.prefetch(next)
 	}
-	return AccessResult{Source: SrcDRAM, Latency: h.cfg.DRAMLatency, LineAddr: lineAddr}
+	return AccessResult{Source: src, Latency: lat, LineAddr: lineAddr}
+}
+
+// dramFill accounts a line fill that fell through every cache level: flat
+// DRAM without a router, or the line's home node — charged the local or
+// the remote (interconnect-crossing) cost — with one.
+func (h *Hierarchy) dramFill(lineAddr uint64) (DataSource, uint64) {
+	h.dram++
+	if h.router != nil && h.router.RouteFill(lineAddr) {
+		h.dramRemote++
+		return SrcDRAMRemote, h.remoteLat
+	}
+	return SrcDRAM, h.cfg.DRAMLatency
 }
 
 // fillAbove installs lineAddr into every level faster than hitLevel, using
@@ -1054,7 +1141,11 @@ type RunResult struct {
 
 // Ops returns the total operations the result accounts for.
 func (rr *RunResult) Ops() uint64 {
-	return rr.Lines[SrcL1] + rr.Lines[SrcL2] + rr.Lines[SrcL3] + rr.Lines[SrcDRAM] + rr.Bulk
+	var n uint64
+	for _, lines := range rr.Lines {
+		n += lines
+	}
+	return n + rr.Bulk
 }
 
 // AccessRun simulates n accesses sweeping addr, addr+stride, ...,
@@ -1148,6 +1239,7 @@ func (h *Hierarchy) Reset() {
 		c.mruValid = false
 	}
 	h.dram = 0
+	h.dramRemote = 0
 	h.mruHits = 0
 	h.probeOps = 0
 }
@@ -1160,7 +1252,9 @@ func MissLatencyName(s DataSource) string {
 		return "L1D_MISS"
 	case SrcL3:
 		return "L2_MISS"
-	case SrcDRAM:
+	case SrcDRAM, SrcDRAMRemote:
+		// A remote fill is still an L3 miss; the local/remote split has its
+		// own dedicated counter on the NUMA-routed stacks.
 		return "L3_MISS"
 	}
 	return ""

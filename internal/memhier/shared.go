@@ -27,6 +27,10 @@ type SharedCache struct {
 	shardMask uint64
 	lineShift uint
 	maxLine   uint64 // first line address the packed tags cannot represent
+	// router, when set, receives every dirty eviction out of the cache
+	// (DRAM absorbs last-level writebacks; the NUMA layer attributes them
+	// to the evicted line's home memory node).
+	router DRAMRouter
 }
 
 // l3shard is one independently locked slice of the shared cache: a full
@@ -89,13 +93,34 @@ func NewSharedCache(lc LevelConfig, shardCount int) (*SharedCache, error) {
 // Config returns the cache geometry.
 func (s *SharedCache) Config() LevelConfig { return s.cfg }
 
-// locate maps a line address to its shard and the shard-local line address:
-// the shard selector bits are dropped from the line number, which is a
-// bijection within the shard, so the shard's ordinary set/tag split applies.
-func (s *SharedCache) locate(lineAddr uint64) (*l3shard, uint64) {
+// SetDRAMRouter attaches the NUMA layer's router for writeback
+// attribution. This is the socket's router — a per-socket SharedCache is
+// the L3 of exactly one socket.
+func (s *SharedCache) SetDRAMRouter(r DRAMRouter) { s.router = r }
+
+// locate maps a line address to its shard, the shard index and the
+// shard-local line address: the shard selector bits are dropped from the
+// line number, which is a bijection within the shard, so the shard's
+// ordinary set/tag split applies.
+func (s *SharedCache) locate(lineAddr uint64) (*l3shard, uint64, uint64) {
 	line := lineAddr >> s.lineShift
-	sh := &s.shards[line&s.shardMask]
-	return sh, (line >> s.shardBits) << s.lineShift
+	idx := line & s.shardMask
+	return &s.shards[idx], idx, (line >> s.shardBits) << s.lineShift
+}
+
+// globalAddr inverts locate for an evicted shard-local line address: the
+// shard selector bits slot back under the shard-local line number.
+func (s *SharedCache) globalAddr(localAddr, shardIdx uint64) uint64 {
+	return ((localAddr>>s.lineShift)<<s.shardBits | shardIdx) << s.lineShift
+}
+
+// routeWriteback hands a dirty eviction to the router (outside the shard
+// lock; the router has its own synchronization and the evicted address is
+// a value, so no shard state is touched).
+func (s *SharedCache) routeWriteback(localAddr, shardIdx uint64) {
+	if s.router != nil {
+		s.router.RouteWriteback(s.globalAddr(localAddr, shardIdx))
+	}
 }
 
 // access is the demand path: probe, and on a miss immediately fill the
@@ -103,40 +128,52 @@ func (s *SharedCache) locate(lineAddr uint64) (*l3shard, uint64) {
 // shard lock so the fill hint cannot go stale. Dirty victims are counted
 // as writebacks and dropped, as for any last level (DRAM absorbs them).
 func (s *SharedCache) access(lineAddr uint64) (hit, wasPref bool) {
-	sh, local := s.locate(lineAddr)
+	sh, idx, local := s.locate(lineAddr)
 	sh.mu.Lock()
 	var ph probeHint
 	hit, wasPref = sh.c.probe(local, false, &ph)
+	var evDirty bool
+	var evAddr uint64
 	if !hit {
-		sh.c.fill(local, &ph, false)
+		evDirty, evAddr = sh.c.fill(local, &ph, false)
 	}
 	sh.mu.Unlock()
+	if evDirty {
+		s.routeWriteback(evAddr, idx)
+	}
 	return hit, wasPref
 }
 
 // installDirty merges a dirty line evicted from a faster private level
 // (write-back traffic), refreshing it if present.
 func (s *SharedCache) installDirty(lineAddr uint64) {
-	sh, local := s.locate(lineAddr)
+	sh, idx, local := s.locate(lineAddr)
 	sh.mu.Lock()
-	sh.c.install(local, true, false)
+	evDirty, evAddr := sh.c.install(local, true, false)
 	sh.mu.Unlock()
+	if evDirty {
+		s.routeWriteback(evAddr, idx)
+	}
 }
 
 // prefetchInstall installs the line with the prefetch flag unless present.
 func (s *SharedCache) prefetchInstall(lineAddr uint64) {
-	sh, local := s.locate(lineAddr)
+	sh, idx, local := s.locate(lineAddr)
 	sh.mu.Lock()
-	if present, _, _ := sh.c.prefetchInstall(local); !present {
+	present, evDirty, evAddr := sh.c.prefetchInstall(local)
+	if !present {
 		sh.c.stats.Prefetches++
 	}
 	sh.mu.Unlock()
+	if evDirty {
+		s.routeWriteback(evAddr, idx)
+	}
 }
 
 // contains reports (without replacement side effects) whether the line is
 // cached.
 func (s *SharedCache) contains(lineAddr uint64) bool {
-	sh, local := s.locate(lineAddr)
+	sh, _, local := s.locate(lineAddr)
 	sh.mu.Lock()
 	ok := sh.c.contains(local)
 	sh.mu.Unlock()

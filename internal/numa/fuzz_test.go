@@ -1,0 +1,107 @@
+package numa
+
+import (
+	"testing"
+)
+
+// FuzzPageTranslate drives the VA→node translation and the policy state
+// machine with an arbitrary operation tape: interleaved first-touch fills
+// from varying sockets, explicit binds and writebacks. The properties
+// fuzzed for, beyond "no panics":
+//
+//   - translation is total (every address yields a node in range),
+//   - placement is stable (re-translating an address never moves it, no
+//     matter which socket asks), and
+//   - the per-node page counts always sum to the number of placed pages.
+func FuzzPageTranslate(f *testing.F) {
+	f.Add(uint8(2), uint8(12), uint8(0), []byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11})
+	f.Add(uint8(4), uint8(6), uint8(1), []byte{0xff, 0x00, 0x80, 0x41, 0x41})
+	f.Add(uint8(1), uint8(20), uint8(1), []byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, sockets, pageLog, policy uint8, tape []byte) {
+		cfg := Config{
+			Sockets:  int(sockets%8) + 1,
+			PageSize: 1 << (6 + pageLog%15), // 64 B .. 1 MiB
+			Policy:   Policy(policy % 2),
+		}
+		p, err := New(cfg)
+		if err != nil {
+			t.Fatalf("validated config rejected: %v", err)
+		}
+		routers := make([]*Router, p.Nodes())
+		for s := range routers {
+			r, err := p.Router(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			routers[s] = r
+		}
+		seen := map[uint64]int{} // page number → node pinned at first placement
+		// Decode the tape as a stream of 8-byte-ish operations; short tails
+		// just terminate. Byte 0 selects the op and the acting socket, the
+		// rest builds an address.
+		for i := 0; i+5 <= len(tape); i += 5 {
+			op := tape[i]
+			socket := int(op>>2) % p.Nodes()
+			addr := uint64(tape[i+1]) | uint64(tape[i+2])<<8 |
+				uint64(tape[i+3])<<17 | uint64(tape[i+4])<<29
+			pn := addr >> uint(6+pageLog%15)
+			switch op % 4 {
+			case 0:
+				remote := routers[socket].RouteFill(addr)
+				node, ok := p.Lookup(addr)
+				if !ok {
+					t.Fatalf("filled address %#x not assigned", addr)
+				}
+				if remote != (node != socket) {
+					t.Fatalf("fill remote=%v but home %d vs socket %d", remote, node, socket)
+				}
+			case 1:
+				routers[socket].RouteWriteback(addr)
+			case 2:
+				end := addr + 1 + uint64(op)*64
+				if err := p.Bind(addr, end, socket); err != nil {
+					t.Fatalf("in-range bind rejected: %v", err)
+				}
+				// A bind legitimately moves every covered page.
+				for q := pn; q <= (end-1)>>uint(6+pageLog%15); q++ {
+					seen[q] = socket
+				}
+			case 3:
+				node := p.HomeNode(addr, socket)
+				if node < 0 || node >= p.Nodes() {
+					t.Fatalf("HomeNode(%#x) = %d out of range", addr, node)
+				}
+			}
+			// Stability: once placed (and absent a later bind), the page
+			// never moves, regardless of the asking socket.
+			if node, ok := p.Lookup(addr); ok {
+				if pinned, dup := seen[pn]; dup {
+					if node != pinned {
+						t.Fatalf("page %d moved from %d to %d", pn, pinned, node)
+					}
+				} else {
+					seen[pn] = node
+				}
+				// Re-translation from every socket agrees.
+				for s := 0; s < p.Nodes(); s++ {
+					if again := p.HomeNode(addr, s); again != node {
+						t.Fatalf("HomeNode(%#x) from socket %d = %d, placed %d", addr, s, again, node)
+					}
+				}
+			}
+		}
+		// Conservation: per-node page counts sum to the policy-placed
+		// pages plus the pages covered by (non-overlapping) bind ranges.
+		var total, placed uint64
+		for _, st := range p.Stats() {
+			total += st.Pages
+		}
+		placed = uint64(len(p.pages))
+		for _, b := range p.binds {
+			placed += b.hi - b.lo
+		}
+		if total != placed {
+			t.Fatalf("page counts sum to %d, table accounts for %d", total, placed)
+		}
+	})
+}

@@ -1,0 +1,208 @@
+package numa
+
+import (
+	"testing"
+)
+
+func mustNew(t *testing.T, cfg Config) *Placement {
+	t.Helper()
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []Config{
+		{Sockets: -1},
+		{Sockets: 256},
+		{Sockets: 2, PageSize: 48},
+		{Sockets: 2, PageSize: 4096 + 4096/2},
+		{Sockets: 2, PageSize: 32},
+		{Sockets: 2, Policy: Policy(2)},
+		{Sockets: 2, Policy: Policy(-1)},
+	}
+	for _, cfg := range cases {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("New(%+v) accepted", cfg)
+		}
+	}
+	p := mustNew(t, Config{})
+	if p.Nodes() != 1 || p.PageSize() != DefaultPageSize {
+		t.Errorf("defaults: nodes=%d pagesize=%d", p.Nodes(), p.PageSize())
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for _, name := range PolicyNames() {
+		pol, err := ParsePolicy(name)
+		if err != nil {
+			t.Fatalf("ParsePolicy(%q): %v", name, err)
+		}
+		if pol.String() != name {
+			t.Errorf("round trip: %q -> %v", name, pol)
+		}
+	}
+	if pol, err := ParsePolicy(""); err != nil || pol != FirstTouch {
+		t.Errorf("empty spelling: %v, %v", pol, err)
+	}
+	if _, err := ParsePolicy("striped"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+// TestFirstTouch pins the defining property: the first toucher owns the
+// page, and later touches from other sockets do not move it.
+func TestFirstTouch(t *testing.T) {
+	p := mustNew(t, Config{Sockets: 2, Policy: FirstTouch})
+	const page = uint64(4096)
+	if n := p.HomeNode(3*page+100, 1); n != 1 {
+		t.Fatalf("first touch by socket 1 placed on %d", n)
+	}
+	if n := p.HomeNode(3*page+4000, 0); n != 1 {
+		t.Fatalf("second touch moved the page to %d", n)
+	}
+	// A different page first-touched by socket 0 lands on 0.
+	if n := p.HomeNode(9*page, 0); n != 0 {
+		t.Fatalf("socket 0 first touch placed on %d", n)
+	}
+	if n, ok := p.Lookup(3 * page); !ok || n != 1 {
+		t.Errorf("Lookup(placed page) = %d, %v", n, ok)
+	}
+	if _, ok := p.Lookup(99 * page); ok {
+		t.Error("Lookup of untouched page reported assigned")
+	}
+}
+
+// TestInterleave pins round-robin page striping independent of the toucher.
+func TestInterleave(t *testing.T) {
+	p := mustNew(t, Config{Sockets: 4, Policy: Interleave})
+	ps := p.PageSize()
+	for pn := uint64(0); pn < 16; pn++ {
+		want := int(pn % 4)
+		if n := p.HomeNode(pn*ps+7, 3); n != want {
+			t.Fatalf("page %d placed on %d, want %d", pn, n, want)
+		}
+	}
+	// Lookup of an untouched interleaved page still resolves the node.
+	if n, ok := p.Lookup(101 * ps); ok || n != int(101%4) {
+		t.Errorf("interleave Lookup = %d, assigned=%v", n, ok)
+	}
+}
+
+func TestBind(t *testing.T) {
+	p := mustNew(t, Config{Sockets: 2, Policy: Interleave})
+	ps := p.PageSize()
+	// Bind three pages (a partial first and last page) to node 1.
+	if err := p.Bind(10*ps+8, 12*ps+16, 1); err != nil {
+		t.Fatal(err)
+	}
+	for pn := uint64(10); pn <= 12; pn++ {
+		if n := p.HomeNode(pn*ps, 0); n != 1 {
+			t.Fatalf("bound page %d resolved to %d", pn, n)
+		}
+	}
+	// Binding overrides an earlier placement and moves the page count.
+	if err := p.Bind(10*ps, 11*ps, 0); err != nil {
+		t.Fatal(err)
+	}
+	if n := p.HomeNode(10*ps, 1); n != 0 {
+		t.Fatalf("re-bound page resolved to %d", n)
+	}
+	st := p.Stats()
+	if st[0].Pages != 1 || st[1].Pages != 2 {
+		t.Errorf("page counts after rebind: %+v", st)
+	}
+	if err := p.Bind(0, 0, 0); err == nil {
+		t.Error("empty bind accepted")
+	}
+	if err := p.Bind(0, ps, 5); err == nil {
+		t.Error("bind to nonexistent node accepted")
+	}
+}
+
+func TestRouterFillAndWriteback(t *testing.T) {
+	p := mustNew(t, Config{Sockets: 2, Policy: FirstTouch})
+	r0, err := p.Router(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := p.Router(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Router(2); err == nil {
+		t.Error("router for nonexistent socket accepted")
+	}
+	if !r0.RemotePossible() || !r1.RemotePossible() {
+		t.Error("2-node placement must report remote possible")
+	}
+	ps := p.PageSize()
+	// Socket 0 first-touches page 0: local fill.
+	if remote := r0.RouteFill(0); remote {
+		t.Error("first touch by owner reported remote")
+	}
+	// Socket 1 fills from the same page: remote.
+	if remote := r1.RouteFill(64); !remote {
+		t.Error("cross-socket fill reported local")
+	}
+	// Socket 1 first-touches page 1, then socket 0 writes it back.
+	if remote := r1.RouteFill(ps); remote {
+		t.Error("socket 1 first touch reported remote")
+	}
+	r0.RouteWriteback(ps + 128)
+	st := p.Stats()
+	if st[0].FillsLocal != 1 || st[0].FillsRemote != 1 {
+		t.Errorf("node 0 fills: %+v", st[0])
+	}
+	if st[1].FillsLocal != 1 || st[1].Writebacks != 1 {
+		t.Errorf("node 1 stats: %+v", st[1])
+	}
+	if st[0].Pages != 1 || st[1].Pages != 1 {
+		t.Errorf("page counts: %+v", st)
+	}
+}
+
+func TestSingleNodeNeverRemote(t *testing.T) {
+	p := mustNew(t, Config{Sockets: 1, Policy: Interleave})
+	r, err := p.Router(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RemotePossible() {
+		t.Error("1-node placement reports remote possible")
+	}
+	for addr := uint64(0); addr < 1<<20; addr += 4096 {
+		if r.RouteFill(addr) {
+			t.Fatalf("1-node fill of %#x reported remote", addr)
+		}
+	}
+}
+
+func TestPagesIn(t *testing.T) {
+	p := mustNew(t, Config{Sockets: 2, Policy: Interleave})
+	ps := p.PageSize()
+	r0, _ := p.Router(0)
+	// Touch pages 0..5 through fills.
+	for pn := uint64(0); pn < 6; pn++ {
+		r0.RouteFill(pn * ps)
+	}
+	got := p.PagesIn(0, 6*ps)
+	if got[0] != 3 || got[1] != 3 {
+		t.Errorf("PagesIn over 6 interleaved pages: %v", got)
+	}
+	// Half-open range [ps, 2*ps) covers exactly page 1.
+	got = p.PagesIn(ps, 2*ps)
+	if got[0] != 0 || got[1] != 1 {
+		t.Errorf("PagesIn over one page: %v", got)
+	}
+	// Untouched pages beyond the fills are not counted.
+	got = p.PagesIn(100*ps, 104*ps)
+	if got[0] != 0 || got[1] != 0 {
+		t.Errorf("PagesIn over untouched pages: %v", got)
+	}
+	if got := p.PagesIn(8, 8); got[0] != 0 || got[1] != 0 {
+		t.Errorf("empty range: %v", got)
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/memhier"
+	"repro/internal/numa"
 	"repro/internal/pebs"
 	"repro/internal/trace"
 	"repro/internal/workloads"
@@ -157,4 +159,53 @@ func TestMachineTraceGolden(t *testing.T) {
 	}
 	checkGolden(t, "machine_stream_2t.prv.golden", prv.Bytes())
 	checkGolden(t, "machine_stream_2t.pcf.golden", pcf.Bytes())
+}
+
+// TestNUMATraceGolden pins the NUMA trace-format extension end to end: a
+// deterministic 2-socket, 2-thread (one core per socket) interleaved
+// STREAM run. The PRV must carry RemoteDRAM samples (source value 4) and
+// the REMOTE_DRAM counter pair on every record, and the PCF must label
+// both — the extension surface that single-socket traces (pinned above,
+// byte-identical to the pre-NUMA format) never emit.
+func TestNUMATraceGolden(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.Monitor.MuxQuantumNs = 0
+	cfg.Monitor.PEBS.Events = pebs.SampleLoads | pebs.SampleStores
+	cfg.Monitor.PEBS.Period = 600
+	// Randomized (seeded, deterministic) gaps: a fixed period divisible by
+	// the 8-element line run would alias in lockstep with the sweep and
+	// never sample the line-resolving first op of a line — the exact
+	// aliasing pathology the randomization models.
+	cfg.Monitor.PEBS.Randomize = true
+	cfg.Monitor.PEBS.Seed = 3
+	cfg.Monitor.PEBS.LatencyThreshold = 0
+	// The undersized hierarchy keeps the sweep DRAM-bound, so sampled ops
+	// land on remote line fills often enough for source-4 records to
+	// appear in a short trace.
+	cfg.Cache.Levels = []memhier.LevelConfig{
+		{Name: "L1D", Size: 8 << 10, LineSize: 64, Assoc: 4, HitLatency: 4},
+		{Name: "L2", Size: 32 << 10, LineSize: 64, Assoc: 8, HitLatency: 12},
+		{Name: "L3", Size: 128 << 10, LineSize: 64, Assoc: 8, HitLatency: 36},
+	}
+	cfg.NUMA = numa.Config{Sockets: 2, Policy: numa.Interleave}
+	res, err := core.RunWorkloadSequential(cfg, workloads.NewStream(1<<13), 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var remote uint64
+	for _, th := range res.Machine.Threads {
+		remote += th.Hier.RemoteDRAMAccesses()
+	}
+	if remote == 0 {
+		t.Fatal("interleaved 2-socket run produced no remote fills")
+	}
+	var prv, pcf bytes.Buffer
+	if err := res.Machine.WriteTrace(&prv, &pcf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(prv.Bytes(), []byte(":32000003:4:")) {
+		t.Error("PRV carries no RemoteDRAM-sourced sample (source value 4)")
+	}
+	checkGolden(t, "machine_stream_numa_2s2t.prv.golden", prv.Bytes())
+	checkGolden(t, "machine_stream_numa_2s2t.pcf.golden", pcf.Bytes())
 }

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/cpu"
 	"repro/internal/folding"
+	"repro/internal/memhier"
 	"repro/internal/objects"
 	"repro/internal/prog"
 )
@@ -225,15 +226,18 @@ func (f *Figure1) RenderPhaseTable(w io.Writer) error {
 	return nil
 }
 
-// RenderObjectTable writes the referenced-object accounting.
+// RenderObjectTable writes the referenced-object accounting. Figure1 is
+// only assembled from flat Session runs (NUMA machines render
+// MachineFigure instead), so the mix keeps the historical 4-source
+// encoding — the remote bucket is structurally zero here.
 func (f *Figure1) RenderObjectTable(w io.Writer) error {
 	fmt.Fprintf(w, "\n== Data objects by sampled references ==\n")
 	fmt.Fprintf(w, "%-42s %-8s %10s %10s %10s %9s  %s\n",
 		"object", "kind", "refs", "loads", "stores", "avg lat", "source mix (L1/L2/L3/DRAM)")
 	for _, o := range topObjects(f.Objects, 12) {
-		mix := make([]string, len(o.Sources))
-		for i, s := range o.Sources {
-			mix[i] = fmt.Sprintf("%d", s)
+		mix := make([]string, memhier.SrcDRAMRemote)
+		for i := range mix {
+			mix[i] = fmt.Sprintf("%d", o.Sources[i])
 		}
 		fmt.Fprintf(w, "%-42s %-8s %10d %10d %10d %9.1f  %s\n",
 			o.Label(), o.Kind, o.Refs, o.Loads, o.Stores, o.MeanLatency(),

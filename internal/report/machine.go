@@ -38,13 +38,50 @@ type L3Attribution struct {
 	Writebacks, Prefetches, PrefHits uint64
 }
 
+// NUMASocketRow is one socket's DRAM traffic as issued by its cores.
+type NUMASocketRow struct {
+	// Socket is the socket index.
+	Socket int
+	// Threads lists the 1-based thread ids pinned to the socket.
+	Threads []int
+	// L3Misses counts the socket cores' DRAM fills (local + remote).
+	L3Misses uint64
+	// RemoteFills counts the fills served by another socket's node.
+	RemoteFills uint64
+	// L3Writebacks counts the socket L3's dirty evictions.
+	L3Writebacks uint64
+}
+
+// NUMANodeRow is one memory node's controller accounting (fills served,
+// by origin, plus absorbed writebacks and homed pages).
+type NUMANodeRow struct {
+	Node        int
+	FillsLocal  uint64
+	FillsRemote uint64
+	Writebacks  uint64
+	Pages       uint64
+}
+
+// NUMASection is the per-socket traffic / remote-miss report of a
+// NUMA-routed Machine run.
+type NUMASection struct {
+	// Policy and PageSize describe the placement.
+	Policy   string
+	PageSize uint64
+	Sockets  []NUMASocketRow
+	Nodes    []NUMANodeRow
+}
+
 // MachineFigure renders the cross-thread aggregate of a Machine run: one
-// folded MIPS curve and phase table per thread, and the shared-L3 miss
+// folded MIPS curve and phase table per thread, the shared-L3 miss
 // attribution — the multi-threaded analogue of Figure 1's bottom panel,
-// which Paraver would show as one timeline row per thread.
+// which Paraver would show as one timeline row per thread — and, on a
+// NUMA-routed machine, the per-socket traffic section.
 type MachineFigure struct {
 	Threads []ThreadFigure
 	L3      L3Attribution
+	// NUMA is the per-socket traffic section (nil on flat machines).
+	NUMA *NUMASection
 	// Width controls the raster width (default 100).
 	Width int
 }
@@ -57,7 +94,10 @@ func (f *MachineFigure) Render(w io.Writer) error {
 	if err := f.RenderPhaseTables(w); err != nil {
 		return err
 	}
-	return f.RenderL3(w)
+	if err := f.RenderL3(w); err != nil {
+		return err
+	}
+	return f.RenderNUMA(w)
 }
 
 // RenderMIPS draws each thread's folded instruction-rate curve.
@@ -127,4 +167,49 @@ func (f *MachineFigure) RenderL3(w io.Writer) error {
 	fmt.Fprintf(w, "cache-wide: writebacks %d, prefetches %d, prefetch hits %d\n",
 		f.L3.Writebacks, f.L3.Prefetches, f.L3.PrefHits)
 	return nil
+}
+
+// RenderNUMA writes the per-socket traffic and per-node controller tables
+// of a NUMA-routed run (a no-op when the section is absent).
+func (f *MachineFigure) RenderNUMA(w io.Writer) error {
+	n := f.NUMA
+	if n == nil {
+		return nil
+	}
+	fmt.Fprintf(w, "\n== NUMA: per-socket DRAM traffic (policy %s, %d B pages) ==\n",
+		n.Policy, n.PageSize)
+	fmt.Fprintf(w, "%-8s %-12s %12s %12s %9s %12s\n",
+		"socket", "threads", "L3 misses", "remote", "remote%", "L3 wbacks")
+	for _, row := range n.Sockets {
+		pct := 0.0
+		if row.L3Misses > 0 {
+			pct = 100 * float64(row.RemoteFills) / float64(row.L3Misses)
+		}
+		fmt.Fprintf(w, "%-8d %-12s %12d %12d %8.1f%% %12d\n",
+			row.Socket, threadList(row.Threads), row.L3Misses, row.RemoteFills, pct,
+			row.L3Writebacks)
+	}
+	fmt.Fprintf(w, "\n%-8s %14s %14s %12s %10s\n",
+		"node", "fills local", "fills remote", "writebacks", "pages")
+	for _, row := range n.Nodes {
+		fmt.Fprintf(w, "%-8d %14d %14d %12d %10d\n",
+			row.Node, row.FillsLocal, row.FillsRemote, row.Writebacks, row.Pages)
+	}
+	return nil
+}
+
+// threadList renders a compact 1-based thread id list ("-" when the socket
+// holds memory only).
+func threadList(ids []int) string {
+	if len(ids) == 0 {
+		return "-"
+	}
+	s := ""
+	for i, id := range ids {
+		if i > 0 {
+			s += ","
+		}
+		s += fmt.Sprintf("%d", id)
+	}
+	return s
 }

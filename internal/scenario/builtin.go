@@ -105,6 +105,49 @@ func init() {
 		Workload: func() workloads.PartitionedWorkload { return workloads.NewSpMV(16, 16, 16) },
 	})
 
+	// NUMA: the 2-socket machine with page placement. STREAM under
+	// first-touch (each thread's block lands on its own socket, sequential
+	// schedule) vs interleave (pages striped across both nodes, so every
+	// thread fills ~half its lines remotely): the pair of goldens must
+	// differ in remote-DRAM fill counts — the policy axis, pinned live.
+	mustRegister(Scenario{
+		Name:        "stream_numa_ft_2s4t",
+		Description: "STREAM triad, 16K doubles, 2 sockets x 2 threads, first-touch placement",
+		Hierarchy:   "haswell",
+		Threads:     4, Iters: 8, Period: 100,
+		Sockets: 2, Placement: "first-touch",
+		Workload: func() workloads.PartitionedWorkload { return workloads.NewStream(1 << 14) },
+	})
+	mustRegister(Scenario{
+		Name:        "stream_numa_il_2s4t",
+		Description: "STREAM triad, 16K doubles, 2 sockets x 2 threads, interleaved pages",
+		Hierarchy:   "haswell",
+		Threads:     4, Iters: 8, Period: 100,
+		Sockets: 2, Placement: "interleave",
+		Workload: func() workloads.PartitionedWorkload { return workloads.NewStream(1 << 14) },
+	})
+
+	// NUMA HPCG: one worker on socket 0 of a 2-socket machine. Under
+	// first-touch the serial problem generation homes everything on socket
+	// 0 (all fills local); under interleave half the pages are remote —
+	// the classic serial-init placement story, deterministically pinned.
+	mustRegister(Scenario{
+		Name:        "hpcg_numa_ft_2s1t",
+		Description: "HPCG 8^3 on a 2-socket machine, first-touch (serial init homes all pages on socket 0)",
+		Hierarchy:   "haswell",
+		Threads:     1, Period: 150,
+		Sockets: 2, Placement: "first-touch",
+		HPCG: &hpcg.Params{NX: 8, NY: 8, NZ: 8, MGLevels: 2, MaxIters: 3},
+	})
+	mustRegister(Scenario{
+		Name:        "hpcg_numa_il_2s1t",
+		Description: "HPCG 8^3 on a 2-socket machine, interleaved pages (~half the fills remote)",
+		Hierarchy:   "haswell",
+		Threads:     1, Period: 150,
+		Sockets: 2, Placement: "interleave",
+		HPCG: &hpcg.Params{NX: 8, NY: 8, NZ: 8, MGLevels: 2, MaxIters: 3},
+	})
+
 	// HPCG: the paper's evaluation at regression scale.
 	mustRegister(Scenario{
 		Name:        "hpcg_8_1t",

@@ -7,6 +7,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/folding"
 	"repro/internal/memhier"
+	"repro/internal/numa"
 	"repro/internal/objects"
 	"repro/internal/pebs"
 )
@@ -26,15 +27,56 @@ type Metrics struct {
 	Threads   int    `json:"threads"`
 	Iters     int    `json:"iters"`
 
+	// Sockets, Placement and PageSize describe the NUMA topology of a
+	// routed scenario (absent on the historical flat-DRAM runs, keeping
+	// their serialization byte-identical).
+	Sockets   int    `json:"sockets,omitempty"`
+	Placement string `json:"placement,omitempty"`
+	PageSize  uint64 `json:"page_size,omitempty"`
+
 	// CG is present for HPCG scenarios only.
 	CG *CGMetrics `json:"cg,omitempty"`
 
 	PerThread []ThreadMetrics `json:"per_thread"`
-	// SharedL3 aggregates the machine-wide shared LLC counters
-	// (multi-thread scenarios only; single-thread runs report the LLC as
-	// the last private level).
-	SharedL3 *LevelMetrics   `json:"shared_l3,omitempty"`
-	Objects  []ObjectMetrics `json:"objects"`
+	// SharedL3 aggregates the machine-wide shared LLC counters of a flat
+	// multi-thread run. Single-thread Session runs report the LLC as the
+	// last private level instead, and NUMA-routed runs (any socket count)
+	// report one L3 per socket in the NUMA section — never both.
+	SharedL3 *LevelMetrics `json:"shared_l3,omitempty"`
+	// NUMA is the per-socket / per-node breakdown of a routed scenario.
+	NUMA    *NUMAMetrics    `json:"numa,omitempty"`
+	Objects []ObjectMetrics `json:"objects"`
+}
+
+// NUMAMetrics is the per-socket and per-memory-node view of a NUMA run.
+type NUMAMetrics struct {
+	Sockets []SocketMetrics `json:"sockets"`
+	Nodes   []NodeMetrics   `json:"nodes"`
+}
+
+// SocketMetrics is one socket's shared L3 plus the DRAM traffic its cores
+// issued.
+type SocketMetrics struct {
+	Socket int `json:"socket"`
+	// Threads lists the 1-based thread ids grouped onto the socket.
+	Threads []int `json:"threads"`
+	// L3 is the socket's shared last-level cache (accesses/misses are the
+	// socket cores' demand attribution; writebacks and prefetches are
+	// cache-wide).
+	L3 LevelMetrics `json:"l3"`
+	// DRAMFills counts the socket cores' fills; RemoteDRAMFills the subset
+	// served by another socket's memory node.
+	DRAMFills       uint64 `json:"dram_fills"`
+	RemoteDRAMFills uint64 `json:"remote_dram_fills"`
+}
+
+// NodeMetrics is one memory node's controller accounting.
+type NodeMetrics struct {
+	Node        int    `json:"node"`
+	FillsLocal  uint64 `json:"fills_local"`
+	FillsRemote uint64 `json:"fills_remote"`
+	Writebacks  uint64 `json:"writebacks"`
+	Pages       uint64 `json:"pages"`
 }
 
 // CGMetrics records the solver outcome of an HPCG scenario.
@@ -61,9 +103,14 @@ type ThreadMetrics struct {
 
 	// Cache hierarchy, one entry per level as seen by this thread; the
 	// last entry of a Machine thread attributes its share of the shared
-	// L3. DRAMFills counts accesses that fell through every level.
-	Levels    []LevelMetrics `json:"levels"`
-	DRAMFills uint64         `json:"dram_fills"`
+	// L3. DRAMFills counts accesses that fell through every level;
+	// RemoteDRAMFills is the subset served by a remote socket's node —
+	// capability-keyed presence: set (0 included — first-touch's zero is
+	// the policy's headline result) exactly when the thread's hierarchy
+	// can serve remote fills, absent on flat stacks.
+	Levels          []LevelMetrics `json:"levels"`
+	DRAMFills       uint64         `json:"dram_fills"`
+	RemoteDRAMFills *uint64        `json:"remote_dram_fills,omitempty"`
 
 	// PEBS engine activity.
 	SamplesEligible  uint64 `json:"samples_eligible"`
@@ -115,6 +162,9 @@ type PhaseMetrics struct {
 	L1DMissPerInstr float64 `json:"l1d_miss_per_instr"`
 	L2MissPerInstr  float64 `json:"l2_miss_per_instr"`
 	L3MissPerInstr  float64 `json:"l3_miss_per_instr"`
+	// RemoteDRAMPerInstr is the remote-fill rate; present (0 included)
+	// exactly on remote-capable stacks.
+	RemoteDRAMPerInstr *float64 `json:"remote_dram_per_instr,omitempty"`
 }
 
 // ObjectMetrics is one data object's reference accounting.
@@ -131,6 +181,11 @@ type ObjectMetrics struct {
 	SrcL2       uint64  `json:"src_l2"`
 	SrcL3       uint64  `json:"src_l3"`
 	SrcDRAM     uint64  `json:"src_dram"`
+	// SrcDRAMRemote counts samples served by a remote socket's node, and
+	// PagesPerNode the object's placed pages by home node — both present
+	// (0 included) exactly on multi-node placements.
+	SrcDRAMRemote *uint64  `json:"src_dram_remote,omitempty"`
+	PagesPerNode  []uint64 `json:"pages_per_node,omitempty"`
 }
 
 // JSON returns the canonical serialization: two-space indented, fixed field
@@ -170,6 +225,11 @@ func threadMetrics(thread int, c *cpu.Core, hier *memhier.Hierarchy,
 		SampleDrains:     eng.Drains,
 		TraceRecordCount: nRecords,
 	}
+	remoteCapable := hier.RemoteDRAMPossible()
+	if remoteCapable {
+		remote := hier.RemoteDRAMAccesses()
+		tm.RemoteDRAMFills = &remote
+	}
 	for i := 0; i < hier.Levels(); i++ {
 		st := hier.LevelStats(i)
 		name := ""
@@ -192,7 +252,7 @@ func threadMetrics(thread int, c *cpu.Core, hier *memhier.Hierarchy,
 			}
 		}
 		for _, p := range folded.Phases {
-			tm.Phases = append(tm.Phases, phaseMetrics(p, ""))
+			tm.Phases = append(tm.Phases, phaseMetrics(p, "", remoteCapable))
 		}
 	}
 	return tm
@@ -211,8 +271,8 @@ func levelMetrics(name string, st memhier.LevelStats) LevelMetrics {
 	}
 }
 
-func phaseMetrics(p folding.Phase, label string) PhaseMetrics {
-	return PhaseMetrics{
+func phaseMetrics(p folding.Phase, label string, remoteCapable bool) PhaseMetrics {
+	pm := PhaseMetrics{
 		Name:            p.Name,
 		Label:           label,
 		Lo:              p.Lo,
@@ -227,12 +287,19 @@ func phaseMetrics(p folding.Phase, label string) PhaseMetrics {
 		L2MissPerInstr:  p.PerInstr[cpu.CtrL2Miss],
 		L3MissPerInstr:  p.PerInstr[cpu.CtrL3Miss],
 	}
+	if remoteCapable {
+		remote := p.PerInstr[cpu.CtrRemoteDRAM]
+		pm.RemoteDRAMPerInstr = &remote
+	}
+	return pm
 }
 
-func objectMetrics(objs []*objects.Object) []ObjectMetrics {
+// objectMetrics flattens the registry's accounting; placement (nil on flat
+// runs) adds the per-node page breakdown of each object's address range.
+func objectMetrics(objs []*objects.Object, placement *numa.Placement) []ObjectMetrics {
 	out := make([]ObjectMetrics, 0, len(objs))
 	for _, o := range objs {
-		out = append(out, ObjectMetrics{
+		om := ObjectMetrics{
 			Name:        o.Name,
 			Kind:        o.Kind.String(),
 			Bytes:       o.Bytes,
@@ -245,7 +312,13 @@ func objectMetrics(objs []*objects.Object) []ObjectMetrics {
 			SrcL2:       o.Sources[memhier.SrcL2],
 			SrcL3:       o.Sources[memhier.SrcL3],
 			SrcDRAM:     o.Sources[memhier.SrcDRAM],
-		})
+		}
+		if placement != nil && placement.Nodes() > 1 {
+			remote := o.Sources[memhier.SrcDRAMRemote]
+			om.SrcDRAMRemote = &remote
+			om.PagesPerNode = placement.PagesIn(o.Range.Lo, o.Range.Hi)
+		}
+		out = append(out, om)
 	}
 	return out
 }
@@ -255,22 +328,79 @@ func sessionMetrics(s *core.Session, folded *folding.Folded, levelNames []string
 	return threadMetrics(1, s.Core, s.Hier, s.Mon.Engine().Stats(), len(s.Mon.Records()), folded, levelNames)
 }
 
-// machineMetrics collects per-thread metrics plus the shared-L3 aggregate.
-func machineMetrics(m *core.Machine, foldedOf func(thread int) *folding.Folded, levelNames []string) ([]ThreadMetrics, *LevelMetrics) {
+// machineMetrics collects per-thread metrics, the shared-L3 aggregate
+// (single-socket machines) and the NUMA breakdown (routed machines).
+func machineMetrics(m *core.Machine, foldedOf func(thread int) *folding.Folded, levelNames []string) ([]ThreadMetrics, *LevelMetrics, *NUMAMetrics) {
 	var out []ThreadMetrics
 	for i, th := range m.Threads {
 		out = append(out, threadMetrics(i+1, th.Core, th.Hier, th.Mon.Engine().Stats(),
 			len(th.Mon.Records()), foldedOf(i+1), levelNames))
 	}
-	llc := levelMetrics(m.L3.Config().Name+" (shared)", m.L3.Stats())
-	return out, &llc
+	var shared *LevelMetrics
+	if m.Sockets == 1 && m.Placement == nil {
+		// Flat machine: the single L3 goes in shared_l3. Routed machines
+		// (any socket count) report their L3s in the NUMA section instead
+		// — never both, so the two fields cannot drift apart.
+		llc := levelMetrics(m.L3.Config().Name+" (shared)", m.L3.Stats())
+		shared = &llc
+	}
+	return out, shared, numaMetrics(m)
+}
+
+// numaMetrics assembles the per-socket / per-node view of a routed machine
+// (nil on the flat machine). The traffic aggregation is Machine.NUMAReport
+// — one aggregator feeds both the rendered report and the scenario JSON —
+// with the socket L3s' LevelMetrics (accesses/hits need the per-thread
+// demand attribution) layered on top.
+func numaMetrics(m *core.Machine) *NUMAMetrics {
+	rep := m.NUMAReport()
+	if rep == nil {
+		return nil
+	}
+	nm := &NUMAMetrics{}
+	llcLevel := m.Primary().Hier.Levels() - 1
+	for _, row := range rep.Sockets {
+		sm := SocketMetrics{
+			Socket:          row.Socket,
+			Threads:         row.Threads,
+			DRAMFills:       row.L3Misses,
+			RemoteDRAMFills: row.RemoteFills,
+		}
+		if sm.Threads == nil {
+			sm.Threads = []int{} // memory-only socket: serialize as []
+		}
+		var acc, misses uint64
+		for t, th := range m.Threads {
+			if m.SocketOf[t] != row.Socket {
+				continue
+			}
+			st := th.Hier.LevelStats(llcLevel)
+			acc += st.Accesses
+			misses += st.Misses
+		}
+		llc := m.L3s[row.Socket].Stats()
+		llc.Accesses, llc.Misses = acc, misses
+		llc.Hits = acc - misses
+		sm.L3 = levelMetrics(m.L3s[row.Socket].Config().Name+" (shared)", llc)
+		nm.Sockets = append(nm.Sockets, sm)
+	}
+	for _, n := range rep.Nodes {
+		nm.Nodes = append(nm.Nodes, NodeMetrics{
+			Node:        n.Node,
+			FillsLocal:  n.FillsLocal,
+			FillsRemote: n.FillsRemote,
+			Writebacks:  n.Writebacks,
+			Pages:       n.Pages,
+		})
+	}
+	return nm
 }
 
 // paperPhaseMetrics converts labeled HPCG phases.
-func paperPhaseMetrics(paper []core.PaperPhase) []PhaseMetrics {
+func paperPhaseMetrics(paper []core.PaperPhase, remoteCapable bool) []PhaseMetrics {
 	out := make([]PhaseMetrics, 0, len(paper))
 	for _, pp := range paper {
-		out = append(out, phaseMetrics(pp.Phase, pp.Label))
+		out = append(out, phaseMetrics(pp.Phase, pp.Label, remoteCapable))
 	}
 	return out
 }

@@ -23,6 +23,7 @@ import (
 	"repro/internal/folding"
 	"repro/internal/hpcg"
 	"repro/internal/memhier"
+	"repro/internal/numa"
 	"repro/internal/pebs"
 	"repro/internal/workloads"
 )
@@ -49,6 +50,14 @@ type Scenario struct {
 	Seed int64
 	// LatencyThreshold drops load samples below the threshold.
 	LatencyThreshold uint64
+	// Sockets > 0 routes the run through a NUMA Machine with that many
+	// sockets (0 keeps the historical flat-DRAM stack). NUMA scenarios
+	// always run on a Machine — even single-thread HPCG, which uses the
+	// 1-worker parallel solve (deterministic: one goroutine).
+	Sockets int
+	// Placement names the page placement policy for NUMA scenarios
+	// ("first-touch", "interleave"; "" = first-touch).
+	Placement string
 	// Workload builds the kernel; nil for HPCG scenarios.
 	Workload func() workloads.PartitionedWorkload
 	// HPCG, when non-nil, makes this an HPCG reproduction scenario.
@@ -63,6 +72,12 @@ type Options struct {
 	Reference bool
 	// Threads overrides the scenario's thread count when > 0.
 	Threads int
+	// Sockets overrides the scenario's socket count when > 0 (simrun
+	// -sockets).
+	Sockets int
+	// Placement overrides the scenario's placement policy when non-empty
+	// (simrun -placement).
+	Placement string
 }
 
 // HierarchyNames lists the named cache configurations of the matrix.
@@ -111,6 +126,13 @@ func (sc Scenario) Config(reference bool) (core.Config, error) {
 	cfg.Monitor.PEBS.Seed = sc.Seed
 	cfg.Monitor.PEBS.LatencyThreshold = sc.LatencyThreshold
 	cfg.Monitor.MuxQuantumNs = sc.MuxQuantumNs
+	if sc.Sockets > 0 {
+		policy, err := numa.ParsePolicy(sc.Placement)
+		if err != nil {
+			return core.Config{}, err
+		}
+		cfg.NUMA = numa.Config{Sockets: sc.Sockets, Policy: policy}
+	}
 	return cfg, nil
 }
 
@@ -139,6 +161,16 @@ func Register(sc Scenario) error {
 		// Run would reject this on every invocation; fail at registration
 		// like the other invariants.
 		return fmt.Errorf("scenario %q: HPCG scenarios are single-thread (no deterministic parallel schedule)", sc.Name)
+	}
+	if sc.Sockets < 0 {
+		return fmt.Errorf("scenario %q: negative socket count", sc.Name)
+	}
+	if sc.Sockets > 0 {
+		if _, err := numa.ParsePolicy(sc.Placement); err != nil {
+			return fmt.Errorf("scenario %q: %w", sc.Name, err)
+		}
+	} else if sc.Placement != "" {
+		return fmt.Errorf("scenario %q: placement %q without sockets", sc.Name, sc.Placement)
 	}
 	if _, err := HierarchyConfig(sc.Hierarchy); err != nil {
 		return err
@@ -172,14 +204,28 @@ func Get(name string) (Scenario, bool) {
 }
 
 // Run executes the scenario deterministically and collects its canonical
-// metrics. Single-thread scenarios run through a Session (the canonical
-// pipeline); multi-thread scenarios run the same partitioned workload on a
-// Machine under the sequential schedule, so repeated runs — and the fast
-// vs. reference paths — are byte-identical.
+// metrics. Single-thread flat scenarios run through a Session (the
+// canonical pipeline); multi-thread — and every NUMA-routed — scenario
+// runs on a Machine under a deterministic schedule (the sequential
+// workload schedule, or the 1-worker parallel HPCG solve), so repeated
+// runs — and the fast vs. reference paths — are byte-identical.
 func Run(sc Scenario, opts Options) (*Metrics, error) {
 	threads := sc.Threads
 	if opts.Threads > 0 {
 		threads = opts.Threads
+	}
+	if opts.Sockets > 0 {
+		sc.Sockets = opts.Sockets
+	}
+	if opts.Placement != "" {
+		sc.Placement = opts.Placement
+		if sc.Sockets == 0 {
+			// A placement with no NUMA topology is inert (one node:
+			// every policy places identically and remote fills are
+			// impossible); reject rather than silently run it, matching
+			// hpcgrepro's flag validation.
+			return nil, fmt.Errorf("scenario %q: placement %q without a NUMA topology (add -sockets or pick a NUMA scenario)", sc.Name, opts.Placement)
+		}
 	}
 	cfg, err := sc.Config(opts.Reference)
 	if err != nil {
@@ -193,50 +239,67 @@ func Run(sc Scenario, opts Options) (*Metrics, error) {
 	if hierarchy == "" {
 		hierarchy = "haswell"
 	}
+	numaOn := sc.Sockets > 0
+
+	m := &Metrics{
+		Scenario:  sc.Name,
+		Hierarchy: hierarchy,
+		Threads:   threads,
+		Iters:     sc.Iters,
+	}
+	if numaOn {
+		m.Sockets = sc.Sockets
+		// sc.Config already parsed sc.Placement into cfg.NUMA.
+		m.Placement = cfg.NUMA.Policy.String()
+		m.PageSize = cfg.NUMA.PageSize
+		if m.PageSize == 0 {
+			m.PageSize = numa.DefaultPageSize
+		}
+	}
 
 	if sc.HPCG != nil {
 		if threads != 1 {
 			return nil, fmt.Errorf("scenario %q: HPCG golden scenarios are single-thread (the barrier-coupled parallel solve has no deterministic schedule); use hpcgrepro -threads for the concurrent run", sc.Name)
 		}
+		m.Workload = "hpcg"
+		m.Iters = sc.HPCG.MaxIters
+		if numaOn {
+			// The 1-worker parallel solve is deterministic (one goroutine)
+			// and runs on a Machine, which is what carries the NUMA layer.
+			run, err := core.RunHPCGParallel(cfg, *sc.HPCG, 1)
+			if err != nil {
+				return nil, err
+			}
+			m.CG = cgMetrics(run.CG)
+			mach := run.Machine
+			folded := func(thread int) *folding.Folded { return run.Threads[thread-1].Folded }
+			m.PerThread, m.SharedL3, m.NUMA = machineMetrics(mach, folded, levelNames)
+			m.PerThread[0].Phases = paperPhaseMetrics(run.Threads[0].Paper,
+				mach.Primary().Hier.RemoteDRAMPossible())
+			m.Objects = objectMetrics(mach.Primary().Mon.Registry().Objects(), mach.Placement)
+			return m, nil
+		}
 		run, err := core.RunHPCG(cfg, *sc.HPCG)
 		if err != nil {
 			return nil, err
 		}
-		m := &Metrics{
-			Scenario:  sc.Name,
-			Workload:  "hpcg",
-			Hierarchy: hierarchy,
-			Threads:   1,
-			Iters:     sc.HPCG.MaxIters,
-			CG: &CGMetrics{
-				Iterations:    run.CG.Iterations,
-				Residuals:     run.CG.Residuals,
-				FinalError:    run.CG.FinalError,
-				FinalResidual: run.CG.Residuals[len(run.CG.Residuals)-1],
-			},
-			Objects: objectMetrics(run.Session.Mon.Registry().Objects()),
-		}
+		m.CG = cgMetrics(run.CG)
+		m.Objects = objectMetrics(run.Session.Mon.Registry().Objects(), nil)
 		tm := sessionMetrics(run.Session, run.Folded, levelNames)
-		tm.Phases = paperPhaseMetrics(run.Paper)
+		tm.Phases = paperPhaseMetrics(run.Paper, false)
 		m.PerThread = []ThreadMetrics{tm}
 		return m, nil
 	}
 
 	w := sc.Workload()
-	m := &Metrics{
-		Scenario:  sc.Name,
-		Workload:  w.Name(),
-		Hierarchy: hierarchy,
-		Threads:   threads,
-		Iters:     sc.Iters,
-	}
-	if threads == 1 {
+	m.Workload = w.Name()
+	if threads == 1 && !numaOn {
 		res, err := core.RunWorkload(cfg, w, sc.Iters)
 		if err != nil {
 			return nil, err
 		}
 		m.PerThread = []ThreadMetrics{sessionMetrics(res.Session, res.Folded, levelNames)}
-		m.Objects = objectMetrics(res.Session.Mon.Registry().Objects())
+		m.Objects = objectMetrics(res.Session.Mon.Registry().Objects(), nil)
 		return m, nil
 	}
 	res, err := core.RunWorkloadSequential(cfg, w, sc.Iters, threads)
@@ -244,9 +307,19 @@ func Run(sc Scenario, opts Options) (*Metrics, error) {
 		return nil, err
 	}
 	folded := func(thread int) *folding.Folded { return res.Threads[thread-1].Folded }
-	m.PerThread, m.SharedL3 = machineMetrics(res.Machine, folded, levelNames)
-	m.Objects = objectMetrics(res.Machine.Primary().Mon.Registry().Objects())
+	m.PerThread, m.SharedL3, m.NUMA = machineMetrics(res.Machine, folded, levelNames)
+	m.Objects = objectMetrics(res.Machine.Primary().Mon.Registry().Objects(), res.Machine.Placement)
 	return m, nil
+}
+
+// cgMetrics flattens a CG solve result.
+func cgMetrics(cg *hpcg.CGResult) *CGMetrics {
+	return &CGMetrics{
+		Iterations:    cg.Iterations,
+		Residuals:     cg.Residuals,
+		FinalError:    cg.FinalError,
+		FinalResidual: cg.Residuals[len(cg.Residuals)-1],
+	}
 }
 
 // RunByName resolves and runs a registered scenario.
