@@ -255,7 +255,7 @@ func BenchmarkMachineHPCG(b *testing.B) {
 		b.Run(fmt.Sprintf("threads=%d", threads), func(b *testing.B) {
 			var minPhases, letters int
 			for i := 0; i < b.N; i++ {
-				run, err := core.RunHPCGParallel(benchConfig(), benchParams(), threads)
+				run, err := core.RunHPCGParallel(nil, benchConfig(), benchParams(), threads)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -298,7 +298,7 @@ func BenchmarkNUMAStreamPlacement(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				cfg := benchConfig()
 				cfg.NUMA = numa.Config{Sockets: 2, Policy: policy}
-				res, err := core.RunWorkloadSequential(cfg, workloads.NewStream(n), iters, 4)
+				res, err := core.RunWorkloadSequential(nil, cfg, workloads.NewStream(n), iters, 4)
 				if err != nil {
 					b.Fatal(err)
 				}

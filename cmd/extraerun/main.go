@@ -6,9 +6,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 
+	"repro/internal/atomicio"
 	"repro/internal/core"
 	"repro/internal/pebs"
 	"repro/internal/workloads"
@@ -62,17 +64,13 @@ func main() {
 		w.Name(), *iters, len(s.Mon.Records()),
 		s.Mon.Engine().Stats().Recorded, 100*s.Mon.Registry().ResolutionRate())
 
-	prv, err := os.Create(*out + ".prv")
-	if err != nil {
-		fatal(err)
-	}
-	defer prv.Close()
-	pcf, err := os.Create(*out + ".pcf")
-	if err != nil {
-		fatal(err)
-	}
-	defer pcf.Close()
-	if err := s.WriteTrace(prv, pcf); err != nil {
+	// PRV and PCF are one artifact: write the pair atomically (temp files +
+	// rename) so a crash or full disk never leaves a trace without its
+	// labels — or truncated halves of either.
+	if err := atomicio.WriteFiles(
+		[]string{*out + ".prv", *out + ".pcf"},
+		func(ws []io.Writer) error { return s.WriteTrace(ws[0], ws[1]) },
+	); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("trace written to %s.prv / %s.pcf (region id %d = %q)\n",

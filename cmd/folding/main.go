@@ -11,6 +11,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/atomicio"
 	"repro/internal/cpu"
 	"repro/internal/folding"
 	"repro/internal/paraver"
@@ -108,12 +109,9 @@ func main() {
 	fmt.Printf("mean L1D misses/instruction: %.4f\n", meanL1/float64(len(l1)))
 
 	if *csvOut != "" {
-		out, err := os.Create(*csvOut)
-		if err != nil {
-			fatal(err)
-		}
-		defer out.Close()
-		if err := report.WriteCountersCSV(out, folded); err != nil {
+		if err := atomicio.WriteFile(*csvOut, func(w io.Writer) error {
+			return report.WriteCountersCSV(w, folded)
+		}); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("folded counter series written to %s\n", *csvOut)

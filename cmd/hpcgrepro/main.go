@@ -8,11 +8,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
+	"repro/internal/atomicio"
 	"repro/internal/core"
 	"repro/internal/hpcg"
 	"repro/internal/numa"
@@ -33,6 +39,7 @@ func main() {
 		period     = flag.Uint64("period", 1000, "PEBS sampling period (memory ops per sample)")
 		muxNs      = flag.Uint64("mux-ns", 1_000_000, "load/store multiplexing quantum in ns (0 = sample both always)")
 		outDir     = flag.String("out", "", "directory for CSV series and trace files (optional)")
+		timeout    = flag.Duration("timeout", 0, "abort the run after this wall-clock duration (0 = no limit); an aborted run exits non-zero")
 		noGroups   = flag.Bool("no-grouping", false, "disable allocation grouping (reproduces the paper's failed preliminary analysis)")
 		paper      = flag.Bool("paper", false, "paper-scale mode: 104^3 box, 4 MG levels (overrides -nx and -mg-levels; long run)")
 		refPath    = flag.Bool("reference", false, "use the per-op reference simulation path instead of the fast path (validation/debug)")
@@ -49,6 +56,15 @@ func main() {
 		fatal(err)
 	}
 	defer stopProfiles()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	ctx, stopSignals := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	cfg := core.DefaultConfig()
 	cfg.Reference = *refPath
@@ -101,13 +117,13 @@ func main() {
 		// NUMA runs always go through the Machine (the Session has no
 		// placement layer); with one thread the parallel solve is the
 		// sequential solve on worker 0.
-		runParallel(cfg, params, *threads, *outDir)
+		runParallel(ctx, cfg, params, *threads, *outDir)
 		return
 	}
 
-	run, err := core.RunHPCG(cfg, params)
+	run, err := core.RunHPCGCheckpointed(ctx, cfg, params, nil)
 	if err != nil {
-		fatal(err)
+		fatalRun(err, *outDir)
 	}
 
 	fmt.Printf("\nCG finished: %d iterations, final residual %.3e, |x - xexact| = %.3e\n",
@@ -139,7 +155,7 @@ func main() {
 
 	if *outDir != "" {
 		if err := writeOutputs(*outDir, run, fig); err != nil {
-			fatal(err)
+			failOutputs(*outDir, err)
 		}
 		fmt.Printf("\nCSV series and trace written to %s\n", *outDir)
 	}
@@ -148,10 +164,10 @@ func main() {
 // runParallel is the multi-threaded reproduction: one simulated core per
 // thread with private L1/L2, a shared L3, static row partitioning of
 // every kernel, and a separate folded analysis per thread.
-func runParallel(cfg core.Config, params hpcg.Params, threads int, outDir string) {
-	run, err := core.RunHPCGParallel(cfg, params, threads)
+func runParallel(ctx context.Context, cfg core.Config, params hpcg.Params, threads int, outDir string) {
+	run, err := core.RunHPCGParallel(ctx, cfg, params, threads)
 	if err != nil {
-		fatal(err)
+		fatalRun(err, outDir)
 	}
 	fmt.Printf("\nCG finished: %d iterations, final residual %.3e, |x - xexact| = %.3e\n",
 		run.CG.Iterations, run.CG.Residuals[len(run.CG.Residuals)-1], run.CG.FinalError)
@@ -165,7 +181,7 @@ func runParallel(cfg core.Config, params hpcg.Params, threads int, outDir string
 
 	if outDir != "" {
 		if err := writeParallelOutputs(outDir, run); err != nil {
-			fatal(err)
+			failOutputs(outDir, err)
 		}
 		fmt.Printf("\nPer-thread CSV series and merged trace written to %s\n", outDir)
 	}
@@ -176,74 +192,81 @@ func writeParallelOutputs(dir string, run *core.MachineHPCGRun) error {
 		return err
 	}
 	for _, tr := range run.Threads {
+		tr := tr
 		name := fmt.Sprintf("phases_t%d.csv", tr.Thread)
-		f, err := os.Create(filepath.Join(dir, name))
-		if err != nil {
-			return err
-		}
-		if err := report.WritePhasesCSV(f, tr.Folded); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
+		if err := atomicio.WriteFile(filepath.Join(dir, name), func(w io.Writer) error {
+			return report.WritePhasesCSV(w, tr.Folded)
+		}); err != nil {
 			return err
 		}
 	}
-	prv, err := os.Create(filepath.Join(dir, "hpcg.prv"))
-	if err != nil {
-		return err
-	}
-	defer prv.Close()
-	pcf, err := os.Create(filepath.Join(dir, "hpcg.pcf"))
-	if err != nil {
-		return err
-	}
-	defer pcf.Close()
-	return run.Machine.WriteTrace(prv, pcf)
+	// The trace is a PRV/PCF pair: write both atomically so a fault cannot
+	// leave a PRV whose labels are missing.
+	return atomicio.WriteFiles(
+		[]string{filepath.Join(dir, "hpcg.prv"), filepath.Join(dir, "hpcg.pcf")},
+		func(ws []io.Writer) error { return run.Machine.WriteTrace(ws[0], ws[1]) })
 }
 
 func writeOutputs(dir string, run *core.HPCGRun, fig *report.Figure1) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	files := map[string]func(*os.File) error{
-		"fig1a_lines.csv": func(f *os.File) error { return report.WriteLinesCSV(f, fig) },
-		"fig1b_mem.csv": func(f *os.File) error {
+	files := map[string]func(io.Writer) error{
+		"fig1a_lines.csv": func(w io.Writer) error { return report.WriteLinesCSV(w, fig) },
+		"fig1b_mem.csv": func(w io.Writer) error {
 			reg := run.Session.Mon.Registry()
-			return report.WriteMemCSV(f, fig, func(addr uint64) string {
+			return report.WriteMemCSV(w, fig, func(addr uint64) string {
 				if o, ok := reg.Resolve(addr); ok {
 					return o.Name
 				}
 				return ""
 			})
 		},
-		"fig1c_counters.csv": func(f *os.File) error { return report.WriteCountersCSV(f, fig.Folded) },
-		"phases.csv":         func(f *os.File) error { return report.WritePhasesCSV(f, fig.Folded) },
+		"fig1c_counters.csv": func(w io.Writer) error { return report.WriteCountersCSV(w, fig.Folded) },
+		"phases.csv":         func(w io.Writer) error { return report.WritePhasesCSV(w, fig.Folded) },
 	}
 	for name, write := range files {
-		f, err := os.Create(filepath.Join(dir, name))
-		if err != nil {
-			return err
-		}
-		if err := write(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
+		if err := atomicio.WriteFile(filepath.Join(dir, name), write); err != nil {
 			return err
 		}
 	}
-	prv, err := os.Create(filepath.Join(dir, "hpcg.prv"))
-	if err != nil {
-		return err
+	return atomicio.WriteFiles(
+		[]string{filepath.Join(dir, "hpcg.prv"), filepath.Join(dir, "hpcg.pcf")},
+		func(ws []io.Writer) error { return run.Session.WriteTrace(ws[0], ws[1]) })
+}
+
+// fatalRun reports a failed or aborted solve. A clean instance-boundary
+// stop (timeout, signal) is distinguished from a hard failure, and a
+// pre-existing output directory is suffixed .partial so downstream tooling
+// never mistakes it for a complete artifact set.
+func fatalRun(err error, outDir string) {
+	var rerr *core.RunError
+	if errors.As(err, &rerr) {
+		fmt.Fprintf(os.Stderr, "hpcgrepro: run aborted: %v\n", rerr)
+	} else {
+		fmt.Fprintln(os.Stderr, "hpcgrepro:", err)
 	}
-	defer prv.Close()
-	pcf, err := os.Create(filepath.Join(dir, "hpcg.pcf"))
-	if err != nil {
-		return err
+	markPartialDir(outDir)
+	os.Exit(1)
+}
+
+// failOutputs handles a mid-write failure of the output directory.
+func failOutputs(dir string, err error) {
+	fmt.Fprintln(os.Stderr, "hpcgrepro:", err)
+	markPartialDir(dir)
+	os.Exit(1)
+}
+
+func markPartialDir(dir string) {
+	if dir == "" {
+		return
 	}
-	defer pcf.Close()
-	return run.Session.WriteTrace(prv, pcf)
+	if _, err := os.Stat(dir); err != nil {
+		return
+	}
+	if err := os.Rename(dir, dir+".partial"); err == nil {
+		fmt.Fprintf(os.Stderr, "hpcgrepro: incomplete outputs moved to %s.partial\n", dir)
+	}
 }
 
 func fatal(err error) {

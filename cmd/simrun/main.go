@@ -11,19 +11,33 @@
 //	simrun -run stream_triad_4t [-json]
 //	simrun -run spmv_csr_1t -threads 4
 //	simrun -run all -reference
+//	simrun -run stream_triad_4t -checkpoint-every 4 -checkpoint ck.bin
+//	simrun -run stream_triad_4t -resume ck.bin
 //	simrun -update-golden [-golden internal/scenario/testdata/golden]
 //
 // Golden diffs produced by -update-golden must be justified in the PR that
 // carries them: a changed golden is a changed simulation result.
+//
+// Fault tolerance: -timeout (or SIGINT/SIGTERM) stops the run at the next
+// instance boundary with partial, clearly-marked metrics and a non-zero
+// exit. -checkpoint-every N atomically rewrites the snapshot file every N
+// instances; -resume continues a killed run from it, reproducing the
+// uninterrupted result bit for bit on the deterministic paths.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
+	"syscall"
 
+	"repro/internal/atomicio"
+	"repro/internal/checkpoint"
 	"repro/internal/numa"
 	"repro/internal/profiling"
 	"repro/internal/scenario"
@@ -40,6 +54,10 @@ func main() {
 		jsonOut    = flag.Bool("json", false, "print the full canonical Metrics JSON instead of the summary line")
 		update     = flag.Bool("update-golden", false, "rewrite the golden metrics files for every scenario")
 		golden     = flag.String("golden", filepath.Join("internal", "scenario", "testdata", "golden"), "golden directory used by -update-golden")
+		timeout    = flag.Duration("timeout", 0, "abort the run at the next instance boundary after this duration (0 = no limit); partial metrics are marked and the exit status is non-zero")
+		ckEvery    = flag.Int("checkpoint-every", 0, "snapshot the full simulation state every N completed instances (requires -checkpoint; deterministic single-scenario runs only)")
+		ckPath     = flag.String("checkpoint", "", "checkpoint file, atomically rewritten at every snapshot (latest wins)")
+		resumePath = flag.String("resume", "", "resume from this checkpoint file instead of starting from instance 0")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (perf work: profile real scenario runs, not just microbenchmarks)")
 		memProfile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
@@ -76,6 +94,18 @@ func main() {
 			Sockets:   *sockets,
 			Placement: *placement,
 		}
+		ctx := context.Background()
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
+		}
+		ctx, stopSignals := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+		defer stopSignals()
+		opts.Context = ctx
+		if err := setupCheckpointing(&opts, *run, *ckEvery, *ckPath, *resumePath); err != nil {
+			fatal(err)
+		}
 		if err := runScenarios(*run, opts, *jsonOut); err != nil {
 			fatal(err)
 		}
@@ -83,6 +113,45 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// setupCheckpointing validates the checkpoint/resume flag combinations and
+// wires the snapshot sink (atomic rewrite of the checkpoint file) and the
+// resume source into the scenario options.
+func setupCheckpointing(opts *scenario.Options, run string, every int, ckPath, resumePath string) error {
+	if every < 0 {
+		return fmt.Errorf("-checkpoint-every must be >= 0")
+	}
+	if every > 0 && ckPath == "" {
+		return fmt.Errorf("-checkpoint-every requires -checkpoint <file>")
+	}
+	if ckPath != "" && every == 0 {
+		return fmt.Errorf("-checkpoint requires -checkpoint-every N")
+	}
+	if (every > 0 || resumePath != "") && run == "all" {
+		return fmt.Errorf("checkpoint/resume applies to a single scenario, not -run all")
+	}
+	if every > 0 {
+		opts.CheckpointEvery = every
+		opts.CheckpointSink = func(snap *checkpoint.Snapshot) error {
+			return atomicio.WriteFile(ckPath, func(w io.Writer) error {
+				return checkpoint.Write(w, snap)
+			})
+		}
+	}
+	if resumePath != "" {
+		f, err := os.Open(resumePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		snap, err := checkpoint.Read(f)
+		if err != nil {
+			return fmt.Errorf("%s: %w", resumePath, err)
+		}
+		opts.Resume = snap
+	}
+	return nil
 }
 
 func listScenarios() {
@@ -126,22 +195,42 @@ func runScenarios(name string, opts scenario.Options, jsonOut bool) error {
 		}
 		m, err := scenario.Run(sc, opts)
 		if err != nil {
+			if m != nil && m.Partial {
+				// A clean instance-boundary stop (timeout, signal, injected
+				// fault): emit the clearly-marked partial metrics, then fail
+				// so callers never mistake the run for a complete one.
+				emit(m, jsonOut)
+				return fmt.Errorf("%s: partial run (stopped at %s): %w", sc.Name, m.FaultCursor, err)
+			}
 			return fmt.Errorf("%s: %w", sc.Name, err)
 		}
-		if jsonOut {
-			b, err := m.JSON()
-			if err != nil {
-				return err
-			}
-			os.Stdout.Write(b)
-			continue
+		if err := emit(m, jsonOut); err != nil {
+			return err
 		}
-		printSummary(m)
 	}
 	return nil
 }
 
+func emit(m *scenario.Metrics, jsonOut bool) error {
+	if jsonOut {
+		b, err := m.JSON()
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(b)
+		return nil
+	}
+	printSummary(m)
+	return nil
+}
+
 func printSummary(m *scenario.Metrics) {
+	if m.Partial {
+		fmt.Printf("%-28s PARTIAL (stopped at %s: %s)\n", m.Scenario, m.FaultCursor, m.Fault)
+		if len(m.PerThread) == 0 {
+			return
+		}
+	}
 	t0 := m.PerThread[0]
 	fmt.Printf("%-28s %-12s threads=%d instr=%d cycles=%d dram=%d samples=%d phases=%d\n",
 		m.Scenario, m.Workload, m.Threads,
@@ -189,7 +278,10 @@ func updateGoldens(dir string) error {
 			return err
 		}
 		path := filepath.Join(dir, sc.Name+".json")
-		if err := os.WriteFile(path, b, 0o644); err != nil {
+		if err := atomicio.WriteFile(path, func(w io.Writer) error {
+			_, err := w.Write(b)
+			return err
+		}); err != nil {
 			return err
 		}
 		fmt.Printf("wrote %s (%d bytes)\n", path, len(b))

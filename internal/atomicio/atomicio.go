@@ -1,0 +1,72 @@
+// Package atomicio writes artifacts atomically: content is streamed into a
+// temp file in the destination directory and renamed over the target only
+// after a successful flush and close. A crash — or an injected ENOSPC —
+// mid-write can therefore never leave a truncated .prv/.pcf/.json/.csv in
+// place of a complete one; the target either keeps its old content or gains
+// the fully-written new one.
+package atomicio
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/faultinject"
+)
+
+// WriteFile atomically replaces path with the bytes write produces. On any
+// error (including a failed Close, which is where deferred ENOSPC surfaces
+// on real filesystems) the temp file is removed and path is untouched.
+func WriteFile(path string, write func(io.Writer) error) error {
+	return WriteFiles([]string{path}, func(ws []io.Writer) error { return write(ws[0]) })
+}
+
+// WriteFiles atomically replaces a set of paths together: every temp file
+// must write and close cleanly before the first rename happens, so a
+// multi-file artifact (a .prv and its .pcf) is never left half-replaced by
+// a failure during writing. Renames themselves are sequential; a rename
+// failure aborts with the remaining targets untouched.
+func WriteFiles(paths []string, write func(ws []io.Writer) error) (err error) {
+	tmps := make([]*os.File, 0, len(paths))
+	defer func() {
+		for _, f := range tmps {
+			if f != nil {
+				f.Close()
+				os.Remove(f.Name())
+			}
+		}
+	}()
+	ws := make([]io.Writer, 0, len(paths))
+	for _, path := range paths {
+		f, terr := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+		if terr != nil {
+			return fmt.Errorf("atomicio: %w", terr)
+		}
+		tmps = append(tmps, f)
+		// CreateTemp's 0600 would otherwise become the artifact's mode.
+		if cerr := f.Chmod(0o644); cerr != nil {
+			return fmt.Errorf("atomicio: %w", cerr)
+		}
+		ws = append(ws, faultinject.Writer(f, faultinject.PointWrite))
+	}
+	if err := write(ws); err != nil {
+		return err
+	}
+	for i, f := range tmps {
+		if err := faultinject.Hit(faultinject.PointClose); err != nil {
+			return err
+		}
+		if cerr := f.Close(); cerr != nil {
+			return fmt.Errorf("atomicio: closing temp for %s: %w", paths[i], cerr)
+		}
+		if err := faultinject.Hit(faultinject.PointRename); err != nil {
+			return err
+		}
+		if rerr := os.Rename(f.Name(), paths[i]); rerr != nil {
+			return fmt.Errorf("atomicio: %w", rerr)
+		}
+		tmps[i] = nil // renamed into place; nothing left to clean up
+	}
+	return nil
+}

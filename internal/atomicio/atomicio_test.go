@@ -1,0 +1,168 @@
+package atomicio_test
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/atomicio"
+	"repro/internal/faultinject"
+)
+
+func readFile(t *testing.T, path string) string {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading %s: %v", path, err)
+	}
+	return string(b)
+}
+
+// tempLitter returns leftover temp files in dir (an atomic writer must
+// clean up after itself on every failure path).
+func tempLitter(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var litter []string
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			litter = append(litter, e.Name())
+		}
+	}
+	return litter
+}
+
+func TestWriteFileReplaces(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.csv")
+	for _, content := range []string{"v1\n", "v2 longer content\n"} {
+		if err := atomicio.WriteFile(path, func(w io.Writer) error {
+			_, err := io.WriteString(w, content)
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if got := readFile(t, path); got != content {
+			t.Fatalf("content = %q, want %q", got, content)
+		}
+	}
+	if litter := tempLitter(t, dir); len(litter) > 0 {
+		t.Errorf("temp files left behind: %v", litter)
+	}
+}
+
+func TestWriteErrorKeepsOldContent(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.csv")
+	if err := os.WriteFile(path, []byte("old\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sentinel := errors.New("producer failed")
+	err := atomicio.WriteFile(path, func(w io.Writer) error {
+		io.WriteString(w, "half-written garbage")
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want producer error", err)
+	}
+	if got := readFile(t, path); got != "old\n" {
+		t.Errorf("target clobbered: %q", got)
+	}
+	if litter := tempLitter(t, dir); len(litter) > 0 {
+		t.Errorf("temp files left behind: %v", litter)
+	}
+}
+
+// TestInjectedFaults drives the three fault points of the writer: a torn
+// short write (ENOSPC mid-stream), a failed close (deferred ENOSPC) and a
+// failed rename. Each must surface the injected error, keep the old target
+// bytes and leave no temp litter.
+func TestInjectedFaults(t *testing.T) {
+	for _, point := range []string{
+		faultinject.PointWrite,
+		faultinject.PointClose,
+		faultinject.PointRename,
+	} {
+		t.Run(point, func(t *testing.T) {
+			defer faultinject.Reset()
+			dir := t.TempDir()
+			path := filepath.Join(dir, "trace.prv")
+			if err := os.WriteFile(path, []byte("old\n"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			faultinject.Enable(point, 1, nil)
+			err := atomicio.WriteFile(path, func(w io.Writer) error {
+				_, err := io.WriteString(w, "new content that must never land\n")
+				return err
+			})
+			if !errors.Is(err, faultinject.ErrInjected) {
+				t.Fatalf("err = %v, want injected fault", err)
+			}
+			if got := readFile(t, path); got != "old\n" {
+				t.Errorf("target corrupted after %s fault: %q", point, got)
+			}
+			if litter := tempLitter(t, dir); len(litter) > 0 {
+				t.Errorf("temp files left behind: %v", litter)
+			}
+		})
+	}
+}
+
+// TestWriteFilesPairAtomic checks the multi-file contract: a failure while
+// producing the pair leaves neither target replaced (a PRV must never
+// appear without its PCF labels).
+func TestWriteFilesPairAtomic(t *testing.T) {
+	defer faultinject.Reset()
+	dir := t.TempDir()
+	prv := filepath.Join(dir, "trace.prv")
+	pcf := filepath.Join(dir, "trace.pcf")
+	for _, p := range []string{prv, pcf} {
+		if err := os.WriteFile(p, []byte("old\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Fail the second stream's write: the first file was already produced
+	// in full, but must still not be renamed into place.
+	faultinject.Enable(faultinject.PointWrite, 2, nil)
+	err := atomicio.WriteFiles([]string{prv, pcf}, func(ws []io.Writer) error {
+		if _, err := io.WriteString(ws[0], "new prv\n"); err != nil {
+			return err
+		}
+		_, err := io.WriteString(ws[1], "new pcf\n")
+		return err
+	})
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("err = %v, want injected fault", err)
+	}
+	for _, p := range []string{prv, pcf} {
+		if got := readFile(t, p); got != "old\n" {
+			t.Errorf("%s replaced despite pair failure: %q", filepath.Base(p), got)
+		}
+	}
+	if litter := tempLitter(t, dir); len(litter) > 0 {
+		t.Errorf("temp files left behind: %v", litter)
+	}
+}
+
+func TestWriteFilesSuccess(t *testing.T) {
+	dir := t.TempDir()
+	prv := filepath.Join(dir, "trace.prv")
+	pcf := filepath.Join(dir, "trace.pcf")
+	err := atomicio.WriteFiles([]string{prv, pcf}, func(ws []io.Writer) error {
+		io.WriteString(ws[0], "prv\n")
+		io.WriteString(ws[1], "pcf\n")
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if readFile(t, prv) != "prv\n" || readFile(t, pcf) != "pcf\n" {
+		t.Error("pair content wrong")
+	}
+}

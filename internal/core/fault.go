@@ -1,0 +1,32 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/checkpoint"
+)
+
+// RunError reports a run stopped at an instance boundary without completing:
+// cancellation, an injected fault, or a contained worker panic. The cursor
+// pins the first instance that did not execute, which is exactly where a
+// checkpointed run resumes.
+type RunError struct {
+	// Thread is the 1-based thread whose schedule was interrupted, 0 when
+	// the fault is global (e.g. a parallel solve aborting at a barrier).
+	Thread int
+	// Cursor locates the next instance that did not run.
+	Cursor checkpoint.Cursor
+	// Cause is the underlying fault: context.Canceled,
+	// context.DeadlineExceeded, a faultinject error or a recovered panic.
+	Cause error
+}
+
+func (e *RunError) Error() string {
+	if e.Thread > 0 {
+		return fmt.Sprintf("core: run stopped on thread %d before instance (thread %d, iter %d): %v",
+			e.Thread, e.Cursor.Thread, e.Cursor.Iter, e.Cause)
+	}
+	return fmt.Sprintf("core: run stopped after %d completed iterations: %v", e.Cursor.Iter, e.Cause)
+}
+
+func (e *RunError) Unwrap() error { return e.Cause }

@@ -28,36 +28,16 @@ type HPCGRun struct {
 	Folded *folding.Folded
 	// Paper maps the detected phases onto the paper's labels.
 	Paper []PaperPhase
+	// Partial marks a run stopped before completion; Folded may be nil if
+	// no iteration finished.
+	Partial bool
 }
 
 // RunHPCG executes the paper's evaluation end to end: generate the problem
 // (setup phase, unmonitored but with allocation tracking), run CG under
 // monitoring, fold the iteration region and label the phases.
 func RunHPCG(cfg Config, params hpcg.Params) (*HPCGRun, error) {
-	s, err := NewSession(cfg)
-	if err != nil {
-		return nil, err
-	}
-	if err := hpcg.SetupBinary(s.Bin); err != nil {
-		return nil, err
-	}
-	problem, err := hpcg.Generate(params, s.Core, s.Mon, s.Bin)
-	if err != nil {
-		return nil, err
-	}
-	s.Mon.Start()
-	cg, err := problem.RunCG()
-	if err != nil {
-		return nil, err
-	}
-	s.Mon.Stop()
-	folded, err := s.Fold(problem.RegionIteration)
-	if err != nil {
-		return nil, err
-	}
-	run := &HPCGRun{Session: s, Problem: problem, CG: cg, Folded: folded}
-	run.Paper = LabelPaperPhases(folded, s.FuncOf)
-	return run, nil
+	return RunHPCGCheckpointed(nil, cfg, params, nil)
 }
 
 // LabelPaperPhases walks the detected phases of a folded HPCG iteration and

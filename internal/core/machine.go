@@ -1,11 +1,15 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 
+	"repro/internal/checkpoint"
 	"repro/internal/cpu"
 	"repro/internal/extrae"
+	"repro/internal/faultinject"
 	"repro/internal/folding"
 	"repro/internal/hpcg"
 	"repro/internal/memhier"
@@ -296,9 +300,10 @@ func (m *Machine) WriteTrace(prv, pcf interface {
 // thread free-running its static element block (the triad-style workloads
 // have no cross-block dependencies, so no barriers are needed), then one
 // folded analysis per thread. With one thread the run is identical to
-// RunWorkload.
-func RunWorkloadParallel(cfg Config, w workloads.PartitionedWorkload, iters, threads int) (*MachineWorkloadResult, error) {
-	return runWorkloadPartitioned(cfg, w, iters, threads, true)
+// RunWorkload. Workers poll ctx at instance boundaries and recover panics;
+// either fault surfaces as a *RunError alongside the partial result.
+func RunWorkloadParallel(ctx context.Context, cfg Config, w workloads.PartitionedWorkload, iters, threads int) (*MachineWorkloadResult, error) {
+	return runWorkloadPartitioned(ctx, cfg, w, iters, threads, true, nil)
 }
 
 // RunWorkloadSequential is RunWorkloadParallel under a deterministic
@@ -309,11 +314,21 @@ func RunWorkloadParallel(cfg Config, w workloads.PartitionedWorkload, iters, thr
 // the goroutine schedule it fixes the order of shared-L3 fills, making the
 // run bit-reproducible — the scenario golden-metrics harness depends on
 // this. With one thread both entry points are identical.
-func RunWorkloadSequential(cfg Config, w workloads.PartitionedWorkload, iters, threads int) (*MachineWorkloadResult, error) {
-	return runWorkloadPartitioned(cfg, w, iters, threads, false)
+func RunWorkloadSequential(ctx context.Context, cfg Config, w workloads.PartitionedWorkload, iters, threads int) (*MachineWorkloadResult, error) {
+	return runWorkloadPartitioned(ctx, cfg, w, iters, threads, false, nil)
 }
 
-func runWorkloadPartitioned(cfg Config, w workloads.PartitionedWorkload, iters, threads int, concurrent bool) (*MachineWorkloadResult, error) {
+func runWorkloadPartitioned(ctx context.Context, cfg Config, w workloads.PartitionedWorkload, iters, threads int, concurrent bool, ck *Checkpointer) (*MachineWorkloadResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	rw, resumable := w.(workloads.ResumableWorkload)
+	if ck != nil && !resumable {
+		return nil, fmt.Errorf("core: workload %q does not support checkpointing (no RunPartitionRange)", w.Name())
+	}
+	if ck != nil && concurrent {
+		return nil, fmt.Errorf("core: checkpointing requires the deterministic sequential schedule")
+	}
 	m, err := NewMachine(cfg, threads)
 	if err != nil {
 		return nil, err
@@ -332,32 +347,29 @@ func runWorkloadPartitioned(cfg Config, w workloads.PartitionedWorkload, iters, 
 	}
 	m.StartAll()
 	n := w.Elements()
-	errs := make([]error, len(m.Threads))
-	runThread := func(t int, th *MachineThread) error {
-		lo, hi := t*n/len(m.Threads), (t+1)*n/len(m.Threads)
-		return w.RunPartition(&workloads.Ctx{Core: th.Core, Mon: th.Mon, Bin: m.Bin}, iters, lo, hi)
-	}
+	var runErr *RunError
 	if concurrent {
-		var wg sync.WaitGroup
-		for t, th := range m.Threads {
-			wg.Add(1)
-			go func(t int, th *MachineThread) {
-				defer wg.Done()
-				errs[t] = runThread(t, th)
-			}(t, th)
-		}
-		wg.Wait()
+		runErr = m.runConcurrent(ctx, w, rw, iters, n)
 	} else {
-		for t, th := range m.Threads {
-			errs[t] = runThread(t, th)
-		}
-	}
-	for t, err := range errs {
+		runErr, err = m.runSequential(ctx, w, rw, iters, n, ck)
 		if err != nil {
-			return nil, fmt.Errorf("core: thread %d: %w", t+1, err)
+			return nil, err
 		}
 	}
 	m.StopAll()
+	if runErr != nil {
+		// Partial result: fold whatever threads completed instances. The
+		// caller gets both the data and the structured error.
+		res := &MachineWorkloadResult{Machine: m, Partial: true}
+		for t := 1; t <= len(m.Threads); t++ {
+			folded, err := m.Fold(w.Region(), t)
+			if err != nil {
+				continue
+			}
+			res.Threads = append(res.Threads, MachineThreadRun{Thread: t, Folded: folded})
+		}
+		return res, runErr
+	}
 	res := &MachineWorkloadResult{Machine: m}
 	for t := 1; t <= len(m.Threads); t++ {
 		folded, err := m.Fold(w.Region(), t)
@@ -369,11 +381,135 @@ func runWorkloadPartitioned(cfg Config, w workloads.PartitionedWorkload, iters, 
 	return res, nil
 }
 
+// runConcurrent free-runs every thread's block in its own goroutine. Each
+// goroutine polls ctx between instances and recovers panics, so one dying
+// worker can never hang the WaitGroup; the first fault (lowest thread id)
+// becomes the run's error.
+func (m *Machine) runConcurrent(ctx context.Context, w workloads.PartitionedWorkload, rw workloads.ResumableWorkload, iters, n int) *RunError {
+	errs := make([]*RunError, len(m.Threads))
+	cursors := make([]int, len(m.Threads))
+	var wg sync.WaitGroup
+	for t, th := range m.Threads {
+		wg.Add(1)
+		go func(t int, th *MachineThread) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[t] = &RunError{Thread: t + 1,
+						Cursor: checkpoint.Cursor{Thread: t, Iter: cursors[t]},
+						Cause:  fmt.Errorf("panic: %v", r)}
+				}
+			}()
+			lo, hi := t*n/len(m.Threads), (t+1)*n/len(m.Threads)
+			wctx := &workloads.Ctx{Core: th.Core, Mon: th.Mon, Bin: m.Bin}
+			if rw == nil {
+				// Non-resumable workloads run their block in one call;
+				// cancellation is only observed before the block starts.
+				if err := ctx.Err(); err != nil {
+					errs[t] = &RunError{Thread: t + 1, Cursor: checkpoint.Cursor{Thread: t}, Cause: err}
+					return
+				}
+				if err := w.RunPartition(wctx, iters, lo, hi); err != nil {
+					errs[t] = &RunError{Thread: t + 1, Cursor: checkpoint.Cursor{Thread: t}, Cause: err}
+				}
+				return
+			}
+			for it := 0; it < iters; it++ {
+				cursors[t] = it
+				if err := ctx.Err(); err != nil {
+					errs[t] = &RunError{Thread: t + 1, Cursor: checkpoint.Cursor{Thread: t, Iter: it}, Cause: err}
+					return
+				}
+				if err := rw.RunPartitionRange(wctx, it, it+1, lo, hi); err != nil {
+					errs[t] = &RunError{Thread: t + 1, Cursor: checkpoint.Cursor{Thread: t, Iter: it}, Cause: err}
+					return
+				}
+			}
+		}(t, th)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// runSequential drives the deterministic thread-major schedule one instance
+// at a time: cancellation polls and the instance fault-injection point sit
+// between instances, and the optional checkpointer snapshots there too —
+// the only program points where the monitors' sampling state is quiescent.
+// The returned *RunError is a clean stop (resume-able); the plain error is
+// a hard failure.
+func (m *Machine) runSequential(ctx context.Context, w workloads.PartitionedWorkload, rw workloads.ResumableWorkload, iters, n int, ck *Checkpointer) (*RunError, error) {
+	if rw == nil {
+		for t, th := range m.Threads {
+			if err := ctx.Err(); err != nil {
+				return &RunError{Thread: t + 1, Cursor: checkpoint.Cursor{Thread: t}, Cause: err}, nil
+			}
+			lo, hi := t*n/len(m.Threads), (t+1)*n/len(m.Threads)
+			if err := w.RunPartition(&workloads.Ctx{Core: th.Core, Mon: th.Mon, Bin: m.Bin}, iters, lo, hi); err != nil {
+				return nil, fmt.Errorf("core: thread %d: %w", t+1, err)
+			}
+		}
+		return nil, nil
+	}
+	start := checkpoint.Cursor{}
+	if ck != nil && ck.Resume != nil {
+		if err := m.RestoreSnapshot(ck.Resume, ck.Tag); err != nil {
+			return nil, err
+		}
+		start = ck.Resume.Cursor
+	}
+	done := 0
+	for t := start.Thread; t < len(m.Threads); t++ {
+		th := m.Threads[t]
+		lo, hi := t*n/len(m.Threads), (t+1)*n/len(m.Threads)
+		wctx := &workloads.Ctx{Core: th.Core, Mon: th.Mon, Bin: m.Bin}
+		it0 := 0
+		if t == start.Thread {
+			it0 = start.Iter
+		}
+		for it := it0; it < iters; it++ {
+			cur := checkpoint.Cursor{Thread: t, Iter: it}
+			if err := ctx.Err(); err != nil {
+				return &RunError{Thread: t + 1, Cursor: cur, Cause: err}, nil
+			}
+			if err := faultinject.Hit(faultinject.PointInstance); err != nil {
+				return &RunError{Thread: t + 1, Cursor: cur, Cause: err}, nil
+			}
+			if err := rw.RunPartitionRange(wctx, it, it+1, lo, hi); err != nil {
+				return nil, fmt.Errorf("core: thread %d: %w", t+1, err)
+			}
+			done++
+			next := checkpoint.Cursor{Thread: t, Iter: it + 1}
+			if next.Iter == iters {
+				next = checkpoint.Cursor{Thread: t + 1}
+			}
+			atEnd := next.Thread == len(m.Threads)
+			if ck != nil && ck.Every > 0 && done%ck.Every == 0 && !atEnd {
+				snap, err := m.Snapshot(next, ck.Tag)
+				if err != nil {
+					return nil, err
+				}
+				if err := ck.emit(snap); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return nil, nil
+}
+
 // MachineWorkloadResult bundles a multi-threaded synthetic-workload run
 // with its per-thread foldings.
 type MachineWorkloadResult struct {
 	Machine *Machine
 	Threads []MachineThreadRun
+	// Partial marks a run stopped before completion (cancellation, injected
+	// fault or contained panic): Threads holds only what folded cleanly.
+	Partial bool
 }
 
 // MachineThreadRun is one thread's folded view of a machine HPCG run.
@@ -393,13 +529,21 @@ type MachineHPCGRun struct {
 	Problem *hpcg.Problem
 	CG      *hpcg.CGResult
 	Threads []MachineThreadRun
+	// Partial marks a solve aborted at an instance boundary (cancellation
+	// or a contained worker panic): Threads holds only what folded cleanly.
+	Partial bool
 }
 
 // RunHPCGParallel executes the paper's evaluation on an n-thread Machine:
 // generate the problem once (setup on thread 1), run the OpenMP-style
 // domain-partitioned CG across all threads under monitoring, merge the
-// per-thread trace streams and fold each thread separately.
-func RunHPCGParallel(cfg Config, params hpcg.Params, threads int) (*MachineHPCGRun, error) {
+// per-thread trace streams and fold each thread separately. The team polls
+// ctx at every parallel-section fork and contains worker panics; an
+// aborted solve returns the partial result alongside a *RunError.
+func RunHPCGParallel(ctx context.Context, cfg Config, params hpcg.Params, threads int) (*MachineHPCGRun, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	m, err := NewMachine(cfg, threads)
 	if err != nil {
 		return nil, err
@@ -422,10 +566,28 @@ func RunHPCGParallel(cfg Config, params hpcg.Params, threads int) (*MachineHPCGR
 		return nil, err
 	}
 	defer team.Close()
+	team.SetContext(ctx)
 	m.StartAll()
 	cg, err := problem.RunCGParallel(team)
 	if err != nil {
-		return nil, err
+		var abort *hpcg.AbortError
+		if !errors.As(err, &abort) {
+			return nil, err
+		}
+		m.StopAll()
+		run := &MachineHPCGRun{Machine: m, Problem: problem, Partial: true}
+		for t := 1; t <= len(m.Threads); t++ {
+			folded, ferr := m.Fold(problem.RegionIteration, t)
+			if ferr != nil {
+				continue
+			}
+			run.Threads = append(run.Threads, MachineThreadRun{
+				Thread: t,
+				Folded: folded,
+				Paper:  LabelPaperPhases(folded, m.FuncOf),
+			})
+		}
+		return run, &RunError{Cursor: checkpoint.Cursor{Iter: abort.Iteration}, Cause: abort.Err}
 	}
 	m.StopAll()
 	run := &MachineHPCGRun{Machine: m, Problem: problem, CG: cg}

@@ -29,7 +29,7 @@ func TestMachineSingleThreadIdenticalToSession(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			mach, err := RunHPCGParallel(mode.cfg(), params, 1)
+			mach, err := RunHPCGParallel(nil, mode.cfg(), params, 1)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -121,7 +121,7 @@ func machineTestConfig() Config {
 // own trace stream.
 func TestMachineHPCGFourThreads(t *testing.T) {
 	const threads = 4
-	run, err := RunHPCGParallel(machineTestConfig(), machineTestParams(), threads)
+	run, err := RunHPCGParallel(nil, machineTestConfig(), machineTestParams(), threads)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +203,7 @@ func TestMachineStreamSingleThreadIdentical(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mach, err := RunWorkloadParallel(cfg, workloads.NewStream(1<<13), 12, 1)
+	mach, err := RunWorkloadParallel(nil, cfg, workloads.NewStream(1<<13), 12, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +234,7 @@ func TestMachineStreamFourThreads(t *testing.T) {
 	cfg := testConfig()
 	cfg.Monitor.PEBS.Period = 60
 	w := workloads.NewStream(1 << 14)
-	res, err := RunWorkloadParallel(cfg, w, 20, threads)
+	res, err := RunWorkloadParallel(nil, cfg, w, 20, threads)
 	if err != nil {
 		t.Fatal(err)
 	}

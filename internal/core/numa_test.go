@@ -37,11 +37,11 @@ func TestNUMASingleSocketIdenticalToMachine(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			for _, policy := range []numa.Policy{numa.FirstTouch, numa.Interleave} {
 				t.Run(policy.String(), func(t *testing.T) {
-					flat, err := RunWorkloadSequential(testConfig(), mk(), iters, threads)
+					flat, err := RunWorkloadSequential(nil, testConfig(), mk(), iters, threads)
 					if err != nil {
 						t.Fatal(err)
 					}
-					routed, err := RunWorkloadSequential(numaConfig(1, policy), mk(), iters, threads)
+					routed, err := RunWorkloadSequential(nil, numaConfig(1, policy), mk(), iters, threads)
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -95,7 +95,7 @@ func TestNUMASingleSocketIdenticalToMachine(t *testing.T) {
 func TestNUMATwoSocketInterleaveRemoteFills(t *testing.T) {
 	const iters, threads = 4, 4
 	run := func(policy numa.Policy) (*MachineWorkloadResult, uint64, uint64) {
-		res, err := RunWorkloadSequential(numaConfig(2, policy), partitionedWorkloads()["stream"](), iters, threads)
+		res, err := RunWorkloadSequential(nil, numaConfig(2, policy), partitionedWorkloads()["stream"](), iters, threads)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -157,7 +157,7 @@ func TestNUMATwoSocketInterleaveRemoteFills(t *testing.T) {
 func TestNUMAConcurrentPlacement(t *testing.T) {
 	for _, policy := range []numa.Policy{numa.FirstTouch, numa.Interleave} {
 		t.Run(policy.String(), func(t *testing.T) {
-			res, err := RunWorkloadParallel(numaConfig(2, policy), partitionedWorkloads()["random_access"](), 4, 4)
+			res, err := RunWorkloadParallel(nil, numaConfig(2, policy), partitionedWorkloads()["random_access"](), 4, 4)
 			if err != nil {
 				t.Fatal(err)
 			}

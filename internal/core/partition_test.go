@@ -88,7 +88,7 @@ func TestPartitionSingleThreadIdenticalToSession(t *testing.T) {
 					if err != nil {
 						t.Fatal(err)
 					}
-					mach, err := RunWorkloadParallel(mode.cfg(), mk(), iters, 1)
+					mach, err := RunWorkloadParallel(nil, mode.cfg(), mk(), iters, 1)
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -105,11 +105,11 @@ func TestPartitionSingleThreadIdenticalToSession(t *testing.T) {
 func TestPartitionSequentialMatchesParallelSingleThread(t *testing.T) {
 	cfg := testConfig()
 	mk := func() workloads.PartitionedWorkload { return workloads.NewSpMV(8, 8, 8) }
-	par, err := RunWorkloadParallel(cfg, mk(), 4, 1)
+	par, err := RunWorkloadParallel(nil, cfg, mk(), 4, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	seq, err := RunWorkloadSequential(cfg, mk(), 4, 1)
+	seq, err := RunWorkloadSequential(nil, cfg, mk(), 4, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +129,7 @@ func TestPartitionFourThreads(t *testing.T) {
 	cfg.Monitor.PEBS.Period = 60
 	for name, mk := range partitionedWorkloads() {
 		t.Run(name, func(t *testing.T) {
-			res, err := RunWorkloadParallel(cfg, mk(), 4, threads)
+			res, err := RunWorkloadParallel(nil, cfg, mk(), 4, threads)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -151,7 +151,7 @@ func TestPartitionFourThreads(t *testing.T) {
 func TestPartitionResultsCorrect(t *testing.T) {
 	cfg := testConfig()
 	st := workloads.NewStream(1 << 13)
-	if _, err := RunWorkloadParallel(cfg, st, 3, 4); err != nil {
+	if _, err := RunWorkloadParallel(nil, cfg, st, 3, 4); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < st.N; i += 97 {
@@ -160,7 +160,7 @@ func TestPartitionResultsCorrect(t *testing.T) {
 		}
 	}
 	sp := workloads.NewSpMV(12, 12, 12)
-	if _, err := RunWorkloadParallel(cfg, sp, 2, 4); err != nil {
+	if _, err := RunWorkloadParallel(nil, cfg, sp, 2, 4); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < sp.Rows(); i += 53 {

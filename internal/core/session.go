@@ -219,6 +219,9 @@ func (s *Session) Fold(region extrae.Region) (*folding.Folded, error) {
 type RunWorkloadResult struct {
 	Session *Session
 	Folded  *folding.Folded
+	// Partial marks a run stopped before completion; Folded may be nil if
+	// no instance finished.
+	Partial bool
 }
 
 // RunWorkload sets up, monitors and folds a synthetic workload: the

@@ -1,0 +1,86 @@
+package cpu
+
+import "fmt"
+
+// Checkpoint support. A restore target is always rebuilt from the same
+// configuration first (which reinstates the counter programming — groups,
+// quantum, inGroup, everMux — via NewPMU / EnableRemoteDRAM / Program), so
+// the snapshot carries only the mutable counting state and the multiplexing
+// clock, and restore validates the snapshot against the rebuilt programming.
+
+// PMUState is the serializable mutable state of one PMU.
+type PMUState struct {
+	Raw     [NumCounters]uint64
+	Visible [NumCounters]uint64
+	Active  [NumCounters]uint64
+	Total   uint64
+	Slot    int
+	SlotAge uint64
+}
+
+// State copies the PMU's mutable counting state.
+func (p *PMU) State() PMUState {
+	return PMUState{
+		Raw:     p.raw,
+		Visible: p.visible,
+		Active:  p.active,
+		Total:   p.total,
+		Slot:    p.slot,
+		SlotAge: p.slotAge,
+	}
+}
+
+// RestoreState overwrites the mutable counting state of a PMU that has been
+// reprogrammed identically to the snapshotted one.
+func (p *PMU) RestoreState(st PMUState) error {
+	if st.Slot < 0 || st.Slot >= len(p.groups) {
+		return fmt.Errorf("cpu: snapshot slot %d out of range for %d groups", st.Slot, len(p.groups))
+	}
+	if p.quantum > 0 && st.SlotAge >= p.quantum {
+		return fmt.Errorf("cpu: snapshot slot age %d exceeds quantum %d", st.SlotAge, p.quantum)
+	}
+	p.raw = st.Raw
+	p.visible = st.Visible
+	p.active = st.Active
+	p.total = st.Total
+	p.slot = st.Slot
+	p.slotAge = st.SlotAge
+	return nil
+}
+
+// CoreState is the serializable mutable state of one core: its clock and
+// the PEBS sampling gates. The latency tables are config-derived.
+type CoreState struct {
+	Cycles     uint64
+	FracCycles float64
+	LoadGate   uint64
+	StoreGate  uint64
+	HookCycle  uint64
+	PMU        PMUState
+}
+
+// State copies the core's mutable state (clock, sampling gates, PMU).
+func (c *Core) State() CoreState {
+	return CoreState{
+		Cycles:     c.cycles,
+		FracCycles: c.fracCycles,
+		LoadGate:   c.loadGate,
+		StoreGate:  c.storeGate,
+		HookCycle:  c.hookCycle,
+		PMU:        c.pmu.State(),
+	}
+}
+
+// RestoreState overwrites the core's mutable state from a snapshot taken on
+// an identically configured core.
+func (c *Core) RestoreState(st CoreState) error {
+	if err := c.pmu.RestoreState(st.PMU); err != nil {
+		return err
+	}
+	c.cycles = st.Cycles
+	c.fracCycles = st.FracCycles
+	c.loadGate = st.LoadGate
+	c.storeGate = st.StoreGate
+	c.hookCycle = st.HookCycle
+	return nil
+}

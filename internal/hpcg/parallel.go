@@ -21,8 +21,10 @@ package hpcg
 // simulated access pattern identical to the racy shared-x original.
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/cpu"
 	"repro/internal/extrae"
@@ -35,10 +37,19 @@ type Worker struct {
 }
 
 // Team is a fixed pool of workers driven in fork-join parallel sections.
+// A worker panic or a context cancellation poisons the team: the fault is
+// recorded (Err), the in-flight section's barrier still releases — a
+// panicking worker must never strand the others — and every subsequent Run
+// becomes a no-op, so the orchestrating solve observes the fault at its
+// next instance boundary instead of deadlocking.
 type Team struct {
 	workers []*Worker
 	work    []chan func()
 	done    chan struct{}
+	ctx     context.Context
+
+	mu  sync.Mutex
+	err error
 }
 
 // NewTeam launches one goroutine per worker. Close must be called to
@@ -47,18 +58,55 @@ func NewTeam(workers []*Worker) (*Team, error) {
 	if len(workers) == 0 {
 		return nil, fmt.Errorf("hpcg: team needs at least one worker")
 	}
-	t := &Team{workers: workers, done: make(chan struct{}, len(workers))}
-	for range workers {
+	t := &Team{workers: workers, done: make(chan struct{}, len(workers)), ctx: context.Background()}
+	for i := range workers {
 		ch := make(chan func())
 		t.work = append(t.work, ch)
-		go func(ch chan func()) {
+		go func(tid int, ch chan func()) {
 			for f := range ch {
-				f()
-				t.done <- struct{}{}
+				t.runOne(tid, f)
 			}
-		}(ch)
+		}(i, ch)
 	}
 	return t, nil
+}
+
+// runOne executes one dispatched closure, converting a panic into the
+// team's error. The barrier token is sent unconditionally: the join in Run
+// must complete even when the worker died mid-kernel.
+func (t *Team) runOne(tid int, f func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.fail(fmt.Errorf("hpcg: worker %d panicked: %v", tid+1, r))
+		}
+		t.done <- struct{}{}
+	}()
+	f()
+}
+
+// SetContext installs the cancellation source polled at every parallel
+// section fork. Must be set before the solve starts; nil is ignored.
+func (t *Team) SetContext(ctx context.Context) {
+	if ctx != nil {
+		t.ctx = ctx
+	}
+}
+
+func (t *Team) fail(err error) {
+	t.mu.Lock()
+	if t.err == nil {
+		t.err = err
+	}
+	t.mu.Unlock()
+}
+
+// Err returns the fault that poisoned the team: the first worker panic or
+// the context cancellation, nil while healthy. Orchestrating loops poll it
+// at instance boundaries.
+func (t *Team) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
 }
 
 // Size returns the number of workers.
@@ -78,13 +126,28 @@ func (t *Team) Close() {
 // all of them (a fork-join parallel section). On the join it models the
 // barrier: every core that finished early spins until the slowest core's
 // clock, so the team leaves each barrier with synchronized simulated time.
+// Once the team is poisoned (worker panic, cancelled context) Run is a
+// no-op, letting the orchestrating solve unwind without touching the
+// simulated state further.
 func (t *Team) Run(f func(tid int, w *Worker)) {
+	if t.Err() != nil {
+		return
+	}
+	if err := t.ctx.Err(); err != nil {
+		t.fail(err)
+		return
+	}
 	for i, ch := range t.work {
 		i := i
 		ch <- func() { f(i, t.workers[i]) }
 	}
 	for range t.work {
 		<-t.done
+	}
+	if t.Err() != nil {
+		// A worker died mid-section; the surviving clocks are whatever they
+		// are. Skip the sync — the run is being abandoned.
+		return
 	}
 	var max uint64
 	for _, w := range t.workers {
@@ -309,10 +372,16 @@ func (p *Problem) RunCGParallel(team *Team) (*CGResult, error) {
 	res := &CGResult{}
 	var rtzOld float64
 	normR0 := math.Sqrt(p.parallelDot(team, r, r))
+	if err := team.Err(); err != nil {
+		return nil, &AbortError{Iteration: 0, Err: err}
+	}
 	if normR0 == 0 {
 		return nil, fmt.Errorf("hpcg: zero right-hand side")
 	}
 	for k := 1; k <= p.Params.MaxIters; k++ {
+		if err := team.Err(); err != nil {
+			return nil, &AbortError{Iteration: k - 1, Err: err}
+		}
 		team.Run(func(_ int, w *Worker) { w.Mon.EnterRegion(p.RegionIteration) })
 
 		p.parallelMG(team, r, z) // preconditioner: phases A..D
@@ -328,6 +397,11 @@ func (p *Problem) RunCGParallel(team *Team) (*CGResult, error) {
 
 		p.parallelSpMV(team, p.Fine, pv, ap) // phase E
 		pap := p.parallelDot(team, pv, ap)
+		if err := team.Err(); err != nil {
+			// Check before the breakdown test: a poisoned team produces
+			// zero partials, which must not masquerade as p·Ap = 0.
+			return nil, &AbortError{Iteration: k, Err: err}
+		}
 		if pap == 0 {
 			team.Run(func(_ int, w *Worker) { w.Mon.ExitRegion(p.RegionIteration) })
 			return nil, fmt.Errorf("hpcg: CG breakdown (p·Ap = 0) at iteration %d", k)
@@ -346,6 +420,9 @@ func (p *Problem) RunCGParallel(team *Team) (*CGResult, error) {
 			res.Converged = true
 			break
 		}
+	}
+	if err := team.Err(); err != nil {
+		return nil, &AbortError{Iteration: res.Iterations, Err: err}
 	}
 	var maxErr float64
 	for i := range p.X.Data {

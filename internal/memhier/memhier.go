@@ -232,11 +232,11 @@ type cache struct {
 	ticks      []uint64
 	tickStride int
 	setMask    uint64
-	lineShift uint
-	setBits   uint // log2(nsets), tag = line >> setBits
-	assoc     int
-	tick      uint32
-	stats     LevelStats
+	lineShift  uint
+	setBits    uint // log2(nsets), tag = line >> setBits
+	assoc      int
+	tick       uint32
+	stats      LevelStats
 
 	// MRU shortcut: the slab index / set / way and line address of the most
 	// recently demand-touched line. MRU lines never carry entPref (demand

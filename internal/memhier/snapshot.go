@@ -1,0 +1,151 @@
+package memhier
+
+import "fmt"
+
+// Checkpoint support: a CacheState is a deep copy of one packed cache's
+// mutable state — slab words, occupancy, signatures, LRU matrices or tick
+// arrays, the LRU clock, counters and the MRU shortcut. Geometry (set
+// count, associativity, strides) is deliberately absent: a restore target
+// is always rebuilt from the same Config first, and restore validates the
+// array lengths against it, so a snapshot can never be grafted onto a
+// different hierarchy shape.
+
+// CacheState is the serializable mutable state of one cache level (or one
+// shared-cache shard).
+type CacheState struct {
+	Slab  []uint64
+	Occ   []uint8
+	Sigs  []byte
+	Mats  []uint64 // nil on tick-policy levels
+	Ticks []uint64 // nil on matrix-policy levels
+	Tick  uint32
+	Stats LevelStats
+
+	MRUIdx   int
+	MRUSet   int
+	MRUWay   int
+	MRULine  uint64
+	MRUValid bool
+}
+
+func (c *cache) state() CacheState {
+	return CacheState{
+		Slab:     append([]uint64(nil), c.slab...),
+		Occ:      append([]uint8(nil), c.occ...),
+		Sigs:     append([]byte(nil), c.sigs...),
+		Mats:     append([]uint64(nil), c.mats...),
+		Ticks:    append([]uint64(nil), c.ticks...),
+		Tick:     c.tick,
+		Stats:    c.stats,
+		MRUIdx:   c.mruIdx,
+		MRUSet:   c.mruSet,
+		MRUWay:   c.mruWay,
+		MRULine:  c.mruLine,
+		MRUValid: c.mruValid,
+	}
+}
+
+func (c *cache) restore(st CacheState) error {
+	if len(st.Slab) != len(c.slab) || len(st.Occ) != len(c.occ) ||
+		len(st.Sigs) != len(c.sigs) || len(st.Mats) != len(c.mats) ||
+		len(st.Ticks) != len(c.ticks) {
+		return fmt.Errorf("memhier: snapshot geometry mismatch for level %s (slab %d/%d occ %d/%d sigs %d/%d mats %d/%d ticks %d/%d)",
+			c.cfg.Name, len(st.Slab), len(c.slab), len(st.Occ), len(c.occ),
+			len(st.Sigs), len(c.sigs), len(st.Mats), len(c.mats), len(st.Ticks), len(c.ticks))
+	}
+	copy(c.slab, st.Slab)
+	copy(c.occ, st.Occ)
+	copy(c.sigs, st.Sigs)
+	copy(c.mats, st.Mats)
+	copy(c.ticks, st.Ticks)
+	c.tick = st.Tick
+	c.stats = st.Stats
+	c.mruIdx = st.MRUIdx
+	c.mruSet = st.MRUSet
+	c.mruWay = st.MRUWay
+	c.mruLine = st.MRULine
+	c.mruValid = st.MRUValid
+	return nil
+}
+
+// HierarchyState is the serializable state of one core's private levels
+// plus its DRAM attribution counters. An attached SharedCache is captured
+// separately (SharedCache.State) — it belongs to the Machine, not to any
+// one hierarchy.
+type HierarchyState struct {
+	Levels     []CacheState
+	DRAM       uint64
+	DRAMRemote uint64
+	MRUHits    uint64
+	ProbeOps   uint64
+}
+
+// State deep-copies the hierarchy's private mutable state.
+func (h *Hierarchy) State() HierarchyState {
+	st := HierarchyState{
+		DRAM:       h.dram,
+		DRAMRemote: h.dramRemote,
+		MRUHits:    h.mruHits,
+		ProbeOps:   h.probeOps,
+	}
+	for _, c := range h.levels {
+		st.Levels = append(st.Levels, c.state())
+	}
+	return st
+}
+
+// RestoreState overwrites the hierarchy's private state from a snapshot
+// taken on an identically configured hierarchy.
+func (h *Hierarchy) RestoreState(st HierarchyState) error {
+	if len(st.Levels) != len(h.levels) {
+		return fmt.Errorf("memhier: snapshot has %d private levels, hierarchy has %d", len(st.Levels), len(h.levels))
+	}
+	for i, c := range h.levels {
+		if err := c.restore(st.Levels[i]); err != nil {
+			return err
+		}
+	}
+	h.dram = st.DRAM
+	h.dramRemote = st.DRAMRemote
+	h.mruHits = st.MRUHits
+	h.probeOps = st.ProbeOps
+	return nil
+}
+
+// SharedCacheState is the serializable state of a shared LLC: one
+// CacheState per shard, in shard order.
+type SharedCacheState struct {
+	Shards []CacheState
+}
+
+// State deep-copies every shard. Callers must ensure no core is accessing
+// the cache concurrently (checkpoints happen at instance boundaries of the
+// sequential schedule, where no simulated core is mid-access).
+func (s *SharedCache) State() SharedCacheState {
+	st := SharedCacheState{}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		st.Shards = append(st.Shards, sh.c.state())
+		sh.mu.Unlock()
+	}
+	return st
+}
+
+// RestoreState overwrites every shard from a snapshot of an identically
+// configured shared cache.
+func (s *SharedCache) RestoreState(st SharedCacheState) error {
+	if len(st.Shards) != len(s.shards) {
+		return fmt.Errorf("memhier: snapshot has %d shards, shared cache has %d", len(st.Shards), len(s.shards))
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		err := sh.c.restore(st.Shards[i])
+		sh.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

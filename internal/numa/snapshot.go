@@ -1,0 +1,88 @@
+package numa
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Checkpoint support. A Placement's geometry (nodes, page size, policy) is
+// config-derived; what the run mutates is the page table (first-touch and
+// interleave placements), the bind list, and the per-node controller
+// counters. Pages are serialized sorted by page number so identical
+// placements produce identical snapshots regardless of map iteration order.
+
+// PageHome is one policy-placed page.
+type PageHome struct {
+	Page uint64
+	Node uint8
+}
+
+// BindState is one explicit bind range (page numbers, [Lo, Hi)).
+type BindState struct {
+	Lo, Hi uint64
+	Node   uint8
+}
+
+// PlacementState is the serializable mutable state of a Placement.
+type PlacementState struct {
+	Pages []PageHome
+	Binds []BindState
+	Stats []NodeStats
+}
+
+// State deep-copies the placement's mutable state. Callers must ensure no
+// core is filling concurrently (checkpoints happen at instance boundaries
+// of the sequential schedule).
+func (p *Placement) State() PlacementState {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	st := PlacementState{
+		Pages: make([]PageHome, 0, len(p.pages)),
+		Binds: make([]BindState, 0, len(p.binds)),
+		Stats: p.Stats(),
+	}
+	for pn, n := range p.pages {
+		st.Pages = append(st.Pages, PageHome{Page: pn, Node: n})
+	}
+	sort.Slice(st.Pages, func(i, j int) bool { return st.Pages[i].Page < st.Pages[j].Page })
+	for _, b := range p.binds {
+		st.Binds = append(st.Binds, BindState{Lo: b.lo, Hi: b.hi, Node: b.node})
+	}
+	return st
+}
+
+// RestoreState overwrites the mutable state of a placement built from the
+// same Config.
+func (p *Placement) RestoreState(st PlacementState) error {
+	if len(st.Stats) != p.nodes {
+		return fmt.Errorf("numa: snapshot has %d nodes, placement has %d", len(st.Stats), p.nodes)
+	}
+	for _, ph := range st.Pages {
+		if int(ph.Node) >= p.nodes {
+			return fmt.Errorf("numa: snapshot places page %#x on node %d of %d", ph.Page, ph.Node, p.nodes)
+		}
+	}
+	for _, b := range st.Binds {
+		if b.Hi <= b.Lo || int(b.Node) >= p.nodes {
+			return fmt.Errorf("numa: snapshot bind [%#x, %#x) node %d invalid", b.Lo, b.Hi, b.Node)
+		}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.pages = make(map[uint64]uint8, len(st.Pages))
+	for _, ph := range st.Pages {
+		p.pages[ph.Page] = ph.Node
+	}
+	p.binds = p.binds[:0]
+	for _, b := range st.Binds {
+		p.binds = append(p.binds, bindRange{lo: b.Lo, hi: b.Hi, node: b.Node})
+	}
+	for i := range p.stats {
+		c := &p.stats[i]
+		c.fillsLocal.Store(st.Stats[i].FillsLocal)
+		c.fillsRemote.Store(st.Stats[i].FillsRemote)
+		c.writebacks.Store(st.Stats[i].Writebacks)
+		c.pages.Store(st.Stats[i].Pages)
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+package objects
+
+import (
+	"fmt"
+
+	"repro/internal/memhier"
+)
+
+// Checkpoint support. Registration is deterministic — rebuilt from the
+// binary scan, the allocation hooks and the grouping calls of the replayed
+// setup — so the snapshot carries only what sampling mutates at run time:
+// the per-object reference accounting (in registration order) and the
+// registry statistics.
+
+// ObjectCounts is the sampled reference accounting of one object.
+type ObjectCounts struct {
+	Refs       uint64
+	Loads      uint64
+	Stores     uint64
+	LatencySum uint64
+	Sources    [memhier.NumSources]uint64
+}
+
+// RegistryState is the serializable run-time state of a registry.
+type RegistryState struct {
+	Counts []ObjectCounts // registration order
+	Stats  Stats
+}
+
+// State copies the run-time accounting of every registered object.
+func (r *Registry) State() RegistryState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := RegistryState{Counts: make([]ObjectCounts, len(r.objs)), Stats: r.stats}
+	for i, o := range r.objs {
+		st.Counts[i] = ObjectCounts{
+			Refs:       o.Refs,
+			Loads:      o.Loads,
+			Stores:     o.Stores,
+			LatencySum: o.LatencySum,
+			Sources:    o.Sources,
+		}
+	}
+	return st
+}
+
+// RestoreState overwrites the run-time accounting of a registry rebuilt by
+// an identical setup (same object count in the same order).
+func (r *Registry) RestoreState(st RegistryState) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(st.Counts) != len(r.objs) {
+		return fmt.Errorf("objects: snapshot has %d objects, rebuilt registry has %d", len(st.Counts), len(r.objs))
+	}
+	for i, o := range r.objs {
+		c := st.Counts[i]
+		o.Refs = c.Refs
+		o.Loads = c.Loads
+		o.Stores = c.Stores
+		o.LatencySum = c.LatencySum
+		o.Sources = c.Sources
+	}
+	r.stats = st.Stats
+	return nil
+}

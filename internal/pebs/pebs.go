@@ -130,6 +130,7 @@ type Engine struct {
 	nextStore uint64
 	buf       []Sample
 	stats     Stats
+	draws     uint64 // RNG draws made by gap(), for checkpoint restore
 }
 
 // New validates the configuration and creates an engine. drain receives the
@@ -169,6 +170,7 @@ func (e *Engine) gap() uint64 {
 	if e.span == 0 {
 		return e.cfg.Period
 	}
+	e.draws++
 	return e.cfg.Period - e.span/2 + uint64(e.rng.Int63n(int64(e.span)+1))
 }
 

@@ -1,0 +1,75 @@
+package pebs
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Checkpoint support. Snapshots are taken at instance boundaries, after the
+// monitoring layer has flushed the sample buffer, so an EngineState never
+// carries buffered samples — only the countdowns, the statistics, the
+// currently multiplexed event mask, and the number of RNG draws made so
+// far. math/rand generators are not serializable, but the draw sequence is
+// a pure function of (seed, draw count): restore re-seeds and discards.
+
+// maxReplayDraws bounds the RNG replay loop on restore; see RestoreState.
+const maxReplayDraws = 1 << 30
+
+// EngineState is the serializable mutable state of a PEBS engine.
+type EngineState struct {
+	NextLoad  uint64
+	NextStore uint64
+	Stats     Stats
+	Events    EventMask
+	Draws     uint64
+}
+
+// State copies the engine's mutable state. It refuses to snapshot an engine
+// with buffered samples: checkpoints happen after a Flush, and silently
+// dropping pending samples would desynchronize the resumed monitor log.
+func (e *Engine) State() (EngineState, error) {
+	if len(e.buf) != 0 {
+		return EngineState{}, fmt.Errorf("pebs: cannot snapshot with %d buffered samples (flush first)", len(e.buf))
+	}
+	return EngineState{
+		NextLoad:  e.nextLoad,
+		NextStore: e.nextStore,
+		Stats:     e.stats,
+		Events:    e.cfg.Events,
+		Draws:     e.draws,
+	}, nil
+}
+
+// RestoreState overwrites the mutable state of an engine built from the
+// same Config, reconstructing the RNG by replaying the recorded number of
+// draws from the configured seed. Construction itself draws twice (the
+// initial countdowns), so a valid snapshot never records fewer draws than a
+// fresh engine has already made.
+func (e *Engine) RestoreState(st EngineState) error {
+	if st.Events == 0 {
+		return fmt.Errorf("pebs: snapshot has no events selected")
+	}
+	if e.span > 0 {
+		if st.Draws < 2 {
+			return fmt.Errorf("pebs: snapshot records %d RNG draws, construction makes 2", st.Draws)
+		}
+		// One draw per fired sample: even a -paper scale run stays far under
+		// this, so anything larger is a corrupt or hostile snapshot, and
+		// rejecting it bounds the replay loop below.
+		if st.Draws > maxReplayDraws {
+			return fmt.Errorf("pebs: snapshot records %d RNG draws (max %d)", st.Draws, uint64(maxReplayDraws))
+		}
+		rng := rand.New(rand.NewSource(e.cfg.Seed))
+		for i := uint64(0); i < st.Draws; i++ {
+			rng.Int63n(int64(e.span) + 1)
+		}
+		e.rng = rng
+	}
+	e.nextLoad = st.NextLoad
+	e.nextStore = st.NextStore
+	e.stats = st.Stats
+	e.cfg.Events = st.Events
+	e.draws = st.Draws
+	e.buf = e.buf[:0]
+	return nil
+}

@@ -95,6 +95,49 @@ func (st *StackTable) Frames(id uint32) []uint64 {
 // Len returns the number of interned stacks, including the empty stack.
 func (st *StackTable) Len() int { return len(st.stacks) }
 
+// Stacks returns a deep copy of every interned chain, index = id (the
+// checkpoint serialization of the table; the key map is derivable).
+func (st *StackTable) Stacks() [][]uint64 {
+	out := make([][]uint64, len(st.stacks))
+	for i, s := range st.stacks {
+		out[i] = append([]uint64(nil), s...)
+	}
+	return out
+}
+
+// RestoreStacks replaces the table's contents with the given chains. The
+// table as rebuilt by setup must be a prefix of the snapshot (runtime
+// interning only appends); a mismatch means the snapshot belongs to a
+// different configuration and is rejected.
+func (st *StackTable) RestoreStacks(stacks [][]uint64) error {
+	if len(stacks) == 0 || len(stacks[0]) != 0 {
+		return fmt.Errorf("prog: stack snapshot must reserve id 0 for the empty stack")
+	}
+	if len(stacks) < len(st.stacks) {
+		return fmt.Errorf("prog: stack snapshot has %d chains, rebuilt table already has %d", len(stacks), len(st.stacks))
+	}
+	ids := make(map[string]uint32, len(stacks))
+	chains := make([][]uint64, 0, len(stacks))
+	for i, s := range stacks {
+		var cp []uint64
+		if len(s) > 0 {
+			cp = append([]uint64(nil), s...)
+		}
+		key := stackKey(cp)
+		if prev, ok := ids[key]; ok {
+			return fmt.Errorf("prog: stack snapshot chains %d and %d are duplicates", prev, i)
+		}
+		if i < len(st.stacks) && key != stackKey(st.stacks[i]) {
+			return fmt.Errorf("prog: stack snapshot chain %d does not match the rebuilt table", i)
+		}
+		ids[key] = uint32(i)
+		chains = append(chains, cp)
+	}
+	st.ids = ids
+	st.stacks = chains
+	return nil
+}
+
 // Format renders the stack id as a human-readable chain using the binary's
 // line tables, innermost frame last, e.g.
 // "main (hpcg.cpp:42) > GenerateProblem (GenerateProblem_ref.cpp:108)".

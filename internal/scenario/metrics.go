@@ -46,6 +46,14 @@ type Metrics struct {
 	// NUMA is the per-socket / per-node breakdown of a routed scenario.
 	NUMA    *NUMAMetrics    `json:"numa,omitempty"`
 	Objects []ObjectMetrics `json:"objects"`
+
+	// Partial marks metrics from a run stopped at an instance boundary
+	// (cancellation, injected fault, contained panic); Fault carries the
+	// cause and FaultCursor the first instance that did not run. All
+	// omitempty: completed runs serialize exactly as before.
+	Partial     bool   `json:"partial,omitempty"`
+	Fault       string `json:"fault,omitempty"`
+	FaultCursor string `json:"fault_cursor,omitempty"`
 }
 
 // NUMAMetrics is the per-socket and per-memory-node view of a NUMA run.

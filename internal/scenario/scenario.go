@@ -16,9 +16,12 @@
 package scenario
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/folding"
 	"repro/internal/hpcg"
@@ -78,6 +81,20 @@ type Options struct {
 	// Placement overrides the scenario's placement policy when non-empty
 	// (simrun -placement).
 	Placement string
+	// Context cancels the run at the next instance boundary (nil: never).
+	// A cancelled run returns partial, Partial-marked metrics alongside a
+	// *core.RunError.
+	Context context.Context
+	// CheckpointEvery snapshots the full simulation state every N completed
+	// instances (0: never). Requires a deterministic schedule: sequential
+	// workload scenarios and flat single-thread HPCG.
+	CheckpointEvery int
+	// CheckpointSink receives each snapshot.
+	CheckpointSink func(*checkpoint.Snapshot) error
+	// Resume restores a snapshot (validated against the scenario's
+	// fingerprint) and continues from its cursor; the completed run is
+	// byte-identical to an uninterrupted one.
+	Resume *checkpoint.Snapshot
 }
 
 // HierarchyNames lists the named cache configurations of the matrix.
@@ -257,6 +274,16 @@ func Run(sc Scenario, opts Options) (*Metrics, error) {
 		}
 	}
 
+	var ck *core.Checkpointer
+	if opts.CheckpointEvery > 0 || opts.Resume != nil {
+		ck = &core.Checkpointer{
+			Every:  opts.CheckpointEvery,
+			Tag:    core.CheckpointTag(sc.Name, threads, cfg),
+			Sink:   opts.CheckpointSink,
+			Resume: opts.Resume,
+		}
+	}
+
 	if sc.HPCG != nil {
 		if threads != 1 {
 			return nil, fmt.Errorf("scenario %q: HPCG golden scenarios are single-thread (the barrier-coupled parallel solve has no deterministic schedule); use hpcgrepro -threads for the concurrent run", sc.Name)
@@ -264,10 +291,17 @@ func Run(sc Scenario, opts Options) (*Metrics, error) {
 		m.Workload = "hpcg"
 		m.Iters = sc.HPCG.MaxIters
 		if numaOn {
+			if ck != nil {
+				return nil, fmt.Errorf("scenario %q: checkpointing is not supported on the NUMA HPCG path (the barrier-coupled parallel solve has no instance-boundary snapshot point)", sc.Name)
+			}
 			// The 1-worker parallel solve is deterministic (one goroutine)
 			// and runs on a Machine, which is what carries the NUMA layer.
-			run, err := core.RunHPCGParallel(cfg, *sc.HPCG, 1)
+			run, err := core.RunHPCGParallel(opts.Context, cfg, *sc.HPCG, 1)
 			if err != nil {
+				if rerr := asRunError(err); rerr != nil && run != nil {
+					markPartial(m, rerr)
+					return m, err
+				}
 				return nil, err
 			}
 			m.CG = cgMetrics(run.CG)
@@ -279,8 +313,15 @@ func Run(sc Scenario, opts Options) (*Metrics, error) {
 			m.Objects = objectMetrics(mach.Primary().Mon.Registry().Objects(), mach.Placement)
 			return m, nil
 		}
-		run, err := core.RunHPCG(cfg, *sc.HPCG)
+		run, err := core.RunHPCGCheckpointed(opts.Context, cfg, *sc.HPCG, ck)
 		if err != nil {
+			if rerr := asRunError(err); rerr != nil && run != nil {
+				markPartial(m, rerr)
+				if run.CG != nil && len(run.CG.Residuals) > 0 {
+					m.CG = cgMetrics(run.CG)
+				}
+				return m, err
+			}
 			return nil, err
 		}
 		m.CG = cgMetrics(run.CG)
@@ -294,22 +335,50 @@ func Run(sc Scenario, opts Options) (*Metrics, error) {
 	w := sc.Workload()
 	m.Workload = w.Name()
 	if threads == 1 && !numaOn {
-		res, err := core.RunWorkload(cfg, w, sc.Iters)
+		res, err := core.RunWorkloadCheckpointed(opts.Context, cfg, w, sc.Iters, ck)
 		if err != nil {
+			if rerr := asRunError(err); rerr != nil && res != nil {
+				markPartial(m, rerr)
+				return m, err
+			}
 			return nil, err
 		}
 		m.PerThread = []ThreadMetrics{sessionMetrics(res.Session, res.Folded, levelNames)}
 		m.Objects = objectMetrics(res.Session.Mon.Registry().Objects(), nil)
 		return m, nil
 	}
-	res, err := core.RunWorkloadSequential(cfg, w, sc.Iters, threads)
+	res, err := core.RunWorkloadSequentialCheckpointed(opts.Context, cfg, w, sc.Iters, threads, ck)
 	if err != nil {
+		if rerr := asRunError(err); rerr != nil && res != nil {
+			markPartial(m, rerr)
+			return m, err
+		}
 		return nil, err
 	}
 	folded := func(thread int) *folding.Folded { return res.Threads[thread-1].Folded }
 	m.PerThread, m.SharedL3, m.NUMA = machineMetrics(res.Machine, folded, levelNames)
 	m.Objects = objectMetrics(res.Machine.Primary().Mon.Registry().Objects(), res.Machine.Placement)
 	return m, nil
+}
+
+// asRunError unwraps a clean instance-boundary stop (nil for hard
+// failures).
+func asRunError(err error) *core.RunError {
+	var rerr *core.RunError
+	if errors.As(err, &rerr) {
+		return rerr
+	}
+	return nil
+}
+
+// markPartial stamps metrics from an interrupted run: consumers (and the
+// JSON artifact) see explicitly that these numbers cover only a prefix of
+// the schedule. The fields are omitempty, so completed runs serialize
+// exactly as before.
+func markPartial(m *Metrics, rerr *core.RunError) {
+	m.Partial = true
+	m.Fault = rerr.Cause.Error()
+	m.FaultCursor = fmt.Sprintf("thread %d, iter %d", rerr.Cursor.Thread, rerr.Cursor.Iter)
 }
 
 // cgMetrics flattens a CG solve result.

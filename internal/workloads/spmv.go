@@ -142,8 +142,14 @@ func (s *SpMV) Elements() int { return s.Rows() }
 // is one indexed load per nonzero. x is read-only and the y rows are
 // disjoint per block, so concurrent partitions are race-free.
 func (s *SpMV) RunPartition(ctx *Ctx, iters int, lo, hi int) error {
+	return s.RunPartitionRange(ctx, 0, iters, lo, hi)
+}
+
+// RunPartitionRange implements ResumableWorkload. y = A·x is recomputed
+// from scratch each pass, so iterations are independent.
+func (s *SpMV) RunPartitionRange(ctx *Ctx, startIter, endIter int, lo, hi int) error {
 	core := ctx.Core
-	for it := 0; it < iters; it++ {
+	for it := startIter; it < endIter; it++ {
 		ctx.Mon.EnterRegion(s.region)
 		for i := lo; i < hi; i++ {
 			b, e := s.rowPtr[i], s.rowPtr[i+1]
@@ -179,11 +185,11 @@ func (s *SpMV) Expected(i int) float64 {
 	return float64(6 - (int(s.rowPtr[i+1]) - int(s.rowPtr[i]) - 1))
 }
 
-// Interface conformance: every synthetic workload partitions.
+// Interface conformance: every synthetic workload partitions and resumes.
 var (
-	_ PartitionedWorkload = (*Stream)(nil)
-	_ PartitionedWorkload = (*RandomAccess)(nil)
-	_ PartitionedWorkload = (*PointerChase)(nil)
-	_ PartitionedWorkload = (*MatMul)(nil)
-	_ PartitionedWorkload = (*SpMV)(nil)
+	_ ResumableWorkload = (*Stream)(nil)
+	_ ResumableWorkload = (*RandomAccess)(nil)
+	_ ResumableWorkload = (*PointerChase)(nil)
+	_ ResumableWorkload = (*MatMul)(nil)
+	_ ResumableWorkload = (*SpMV)(nil)
 )

@@ -52,6 +52,20 @@ type PartitionedWorkload interface {
 	RunPartition(ctx *Ctx, iters int, lo, hi int) error
 }
 
+// ResumableWorkload is a PartitionedWorkload that can execute an arbitrary
+// iteration window, reconstructing any per-partition state (such as an RNG
+// position) from the start iteration. This is what lets the checkpointed
+// run drivers stop between iterations and continue later: running
+// [0, k) then [k, n) must be indistinguishable — in simulated accesses,
+// not just in results — from running [0, n) in one call.
+type ResumableWorkload interface {
+	PartitionedWorkload
+	// RunPartitionRange executes instrumented iterations [startIter,
+	// endIter) over elements [lo, hi). RunPartition(ctx, iters, lo, hi)
+	// must equal RunPartitionRange(ctx, 0, iters, lo, hi).
+	RunPartitionRange(ctx *Ctx, startIter, endIter int, lo, hi int) error
+}
+
 // Stream is the STREAM triad: a[i] = b[i] + s*c[i] over N doubles.
 type Stream struct {
 	// N is the number of elements per array.
@@ -141,9 +155,16 @@ func (s *Stream) Elements() int { return s.N }
 // so issuing the store run back-to-back with the loads preserves the
 // simulated access order of the per-call form exactly.
 func (s *Stream) RunPartition(ctx *Ctx, iters int, lo, hi int) error {
+	return s.RunPartitionRange(ctx, 0, iters, lo, hi)
+}
+
+// RunPartitionRange implements ResumableWorkload. Iterations are
+// independent (the triad recomputes a from b and c every pass), so any
+// window runs as-is.
+func (s *Stream) RunPartitionRange(ctx *Ctx, startIter, endIter int, lo, hi int) error {
 	core := ctx.Core
 	const chunk = 8 // float64s per 64-byte line
-	for it := 0; it < iters; it++ {
+	for it := startIter; it < endIter; it++ {
 		ctx.Mon.EnterRegion(s.region)
 		for i := lo; i < hi; i += chunk {
 			k := min(chunk, hi-i)
@@ -243,10 +264,22 @@ func (r *RandomAccess) Elements() int { return r.N }
 // block share. Each partition derives its own index stream from Seed+lo, so
 // concurrent blocks write disjoint table slices without sharing an RNG.
 func (r *RandomAccess) RunPartition(ctx *Ctx, iters int, lo, hi int) error {
+	return r.RunPartitionRange(ctx, 0, iters, lo, hi)
+}
+
+// RunPartitionRange implements ResumableWorkload. The index stream is the
+// only cross-iteration state; it is repositioned by redrawing the first
+// startIter iterations' indices (rejection sampling makes the consumed
+// generator state depend on the drawn values, so skipping must replay the
+// identical Intn calls, not jump the generator).
+func (r *RandomAccess) RunPartitionRange(ctx *Ctx, startIter, endIter int, lo, hi int) error {
 	core := ctx.Core
 	rng := rand.New(rand.NewSource(r.Seed + int64(lo)))
 	updates := r.UpdatesPerIter * (hi - lo) / r.N
-	for it := 0; it < iters; it++ {
+	for u := 0; u < startIter*updates; u++ {
+		rng.Intn(hi - lo)
+	}
+	for it := startIter; it < endIter; it++ {
 		ctx.Mon.EnterRegion(r.region)
 		for u := 0; u < updates; u++ {
 			i := lo + rng.Intn(hi-lo)
@@ -336,8 +369,14 @@ func (p *PointerChase) Elements() int { return p.N }
 // partitions walking overlapping stretches of the cycle stay race-free;
 // each block still issues one dependent load per step.
 func (p *PointerChase) RunPartition(ctx *Ctx, iters int, lo, hi int) error {
+	return p.RunPartitionRange(ctx, 0, iters, lo, hi)
+}
+
+// RunPartitionRange implements ResumableWorkload. Every iteration restarts
+// the walk at node lo, so iterations are independent.
+func (p *PointerChase) RunPartitionRange(ctx *Ctx, startIter, endIter int, lo, hi int) error {
 	core := ctx.Core
-	for it := 0; it < iters; it++ {
+	for it := startIter; it < endIter; it++ {
 		ctx.Mon.EnterRegion(p.region)
 		node := int32(lo)
 		for step := lo; step < hi; step++ {
@@ -427,9 +466,15 @@ func (m *MatMul) Elements() int { return m.N }
 // A and B are read-only and the C rows are disjoint per block, so the
 // OpenMP-style i-loop partitioning is race-free.
 func (m *MatMul) RunPartition(ctx *Ctx, iters int, lo, hi int) error {
+	return m.RunPartitionRange(ctx, 0, iters, lo, hi)
+}
+
+// RunPartitionRange implements ResumableWorkload. Each iteration recomputes
+// C from the constant A and B, so iterations are independent.
+func (m *MatMul) RunPartitionRange(ctx *Ctx, startIter, endIter int, lo, hi int) error {
 	core := ctx.Core
 	n := m.N
-	for it := 0; it < iters; it++ {
+	for it := startIter; it < endIter; it++ {
 		ctx.Mon.EnterRegion(m.region)
 		for i := lo; i < hi; i++ {
 			for j := 0; j < n; j++ {
