@@ -1,0 +1,62 @@
+// Command reprolint statically enforces the simulator's load-bearing
+// invariants with custom go/analysis analyzers:
+//
+//   - noalloc: `//repro:noalloc` functions (the per-memory-op hot path)
+//     contain no allocating constructs, transitively through
+//     same-package callees.
+//   - detrand: the golden-artifact packages never read the wall clock
+//     or the global rand stream, and never leak map iteration order.
+//   - goldenkey: json fields added to the scenario metric structs
+//     beyond the frozen baseline carry omitempty, so old goldens never
+//     churn.
+//   - workersafe: worker goroutines in the engine packages reach a
+//     deferred recover, and instance loops poll their context.
+//
+// Usage:
+//
+//	reprolint ./...                      # convenience: re-execs go vet
+//	go vet -vettool=$(which reprolint) ./...
+//
+// The binary implements the go vet -vettool protocol (unitchecker):
+// invoked with a *.cfg argument or flags it acts as the vet backend;
+// invoked with package patterns it re-execs `go vet -vettool=<self>`
+// so `reprolint ./...` works directly and exits non-zero on any
+// diagnostic.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) > 0 && (strings.HasPrefix(args[0], "-") || strings.HasSuffix(args[0], ".cfg")) {
+		// go vet backend mode (also handles -V=full, -flags, -help).
+		unitchecker.Main(analysis.Suite...) // never returns
+	}
+
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "reprolint: cannot locate own binary: %v\n", err)
+		os.Exit(2)
+	}
+	vet := append([]string{"vet", "-vettool=" + self}, args...)
+	cmd := exec.Command("go", vet...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintf(os.Stderr, "reprolint: %v\n", err)
+		os.Exit(2)
+	}
+}

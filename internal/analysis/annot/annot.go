@@ -1,0 +1,126 @@
+// Package annot implements the comment conventions shared by the
+// reprolint analyzers: `//repro:<name>` annotations that opt a function
+// into a checked invariant, and `//repro:<name> <reason>` waivers that
+// suppress one diagnostic with a recorded justification.
+//
+// An annotation marks a declaration (it lives in the doc comment of the
+// function it annotates). A waiver marks a site: it suppresses a
+// diagnostic reported on the same line, or on the line directly below
+// it, and it must carry a non-empty reason — an unexplained waiver is
+// itself a diagnostic, so every escape hatch leaves a paper trail.
+package annot
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// prefix is the comment namespace of every reprolint marker.
+const prefix = "//repro:"
+
+// Has reports whether the comment group carries the `//repro:<name>`
+// annotation (alone on its line; trailing text is allowed and ignored).
+func Has(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if marker, _, ok := split(c.Text); ok && marker == name {
+			return true
+		}
+	}
+	return false
+}
+
+// split parses one comment line into a reprolint marker and its trailing
+// reason text.
+func split(text string) (marker, reason string, ok bool) {
+	if !strings.HasPrefix(text, prefix) {
+		return "", "", false
+	}
+	rest := strings.TrimPrefix(text, prefix)
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		return rest[:i], strings.TrimSpace(rest[i:]), true
+	}
+	return rest, "", true
+}
+
+// Waivers indexes the `//repro:<name>` waiver comments of one pass.
+type Waivers struct {
+	pass *analysis.Pass
+	name string
+	// byLine maps file:line of the waiver comment to its reason.
+	byLine map[key]string
+}
+
+type key struct {
+	file string
+	line int
+}
+
+// NewWaivers collects every `//repro:<name>` waiver in the pass's files.
+// A waiver with no reason is reported immediately: the comment is the
+// audit trail, so it must say why the invariant does not apply.
+func NewWaivers(pass *analysis.Pass, name string) *Waivers {
+	w := &Waivers{pass: pass, name: name, byLine: make(map[key]string)}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				marker, reason, ok := split(c.Text)
+				if !ok || marker != name {
+					continue
+				}
+				if reason == "" {
+					pass.Reportf(c.Pos(), "//repro:%s waiver without a justification", name)
+					continue
+				}
+				pos := pass.Fset.Position(c.Pos())
+				w.byLine[key{pos.Filename, pos.Line}] = reason
+			}
+		}
+	}
+	return w
+}
+
+// Waived reports whether a diagnostic at pos is suppressed by a waiver
+// on the same line or on the line directly above.
+func (w *Waivers) Waived(pos token.Pos) bool {
+	p := w.pass.Fset.Position(pos)
+	if _, ok := w.byLine[key{p.Filename, p.Line}]; ok {
+		return true
+	}
+	_, ok := w.byLine[key{p.Filename, p.Line - 1}]
+	return ok
+}
+
+// PackageMatch reports whether the package path is on the comma-separated
+// surface list: an element matches the path's last segment or is a full
+// suffix of the path (so both "trace" and "internal/trace" select
+// repro/internal/trace).
+func PackageMatch(path, list string) bool {
+	base := path
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		base = path[i+1:]
+	}
+	for _, el := range strings.Split(list, ",") {
+		el = strings.TrimSpace(el)
+		if el == "" {
+			continue
+		}
+		if el == base || el == path || strings.HasSuffix(path, "/"+el) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestFile reports whether the node's file is a _test.go file. The
+// analyzers that police whole packages skip test files: tests are free
+// to iterate maps and spawn goroutines; the invariants bind the shipped
+// simulator.
+func TestFile(pass *analysis.Pass, pos token.Pos) bool {
+	return strings.HasSuffix(pass.Fset.Position(pos).Filename, "_test.go")
+}

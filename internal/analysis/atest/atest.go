@@ -1,0 +1,227 @@
+// Package atest is a self-contained analysistest harness for the
+// reprolint analyzers. The upstream analysistest depends on
+// go/packages (and through it on a module-aware loader); this repo
+// vendors only the analysis framework the Go toolchain itself ships,
+// so atest loads fixture packages directly: it parses every .go file
+// in a testdata/src/<pkg> directory, type-checks against the standard
+// library via the source importer (no export data, no network), runs
+// the analyzer's required passes, and matches reported diagnostics
+// against `// want "regexp"` comments exactly like analysistest does.
+//
+// Semantics kept from analysistest: each `// want` comment expects one
+// or more diagnostics on its own line, each matching the quoted
+// regular expression; unmatched diagnostics and unsatisfied
+// expectations both fail the test.
+package atest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// SetFlags sets analyzer flags for the duration of a test and restores
+// the previous values on cleanup (analyzer flag state is global).
+func SetFlags(t *testing.T, a *analysis.Analyzer, kv map[string]string) {
+	t.Helper()
+	for name, value := range kv {
+		f := a.Flags.Lookup(name)
+		if f == nil {
+			t.Fatalf("analyzer %s has no flag -%s", a.Name, name)
+		}
+		old := f.Value.String()
+		if err := f.Value.Set(value); err != nil {
+			t.Fatalf("setting -%s=%s: %v", name, value, err)
+		}
+		t.Cleanup(func() {
+			if err := f.Value.Set(old); err != nil {
+				t.Errorf("restoring -%s=%s: %v", name, old, err)
+			}
+		})
+	}
+}
+
+// Run loads the fixture package in dir (e.g. "testdata/src/a"), runs
+// the analyzer over it, and checks diagnostics against the fixture's
+// `// want` expectations.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	pass, diags := analyze(t, a, dir)
+	checkWants(t, pass.Fset, pass.Files, diags)
+}
+
+// Diagnostics loads and runs like Run but returns the raw diagnostics
+// instead of matching expectations (for tests asserting counts or
+// cross-cutting properties).
+func Diagnostics(t *testing.T, a *analysis.Analyzer, dir string) []analysis.Diagnostic {
+	t.Helper()
+	_, diags := analyze(t, a, dir)
+	return diags
+}
+
+func analyze(t *testing.T, a *analysis.Analyzer, dir string) (*analysis.Pass, []analysis.Diagnostic) {
+	t.Helper()
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no .go files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{
+		// The source importer type-checks stdlib dependencies from
+		// GOROOT/src: slower than export data, but hermetic.
+		Importer: importer.ForCompiler(fset, "source", nil),
+		Sizes:    types.SizesFor("gc", "amd64"),
+	}
+	pkgName := files[0].Name.Name
+	pkg, err := conf.Check(pkgName, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", dir, err)
+	}
+
+	var diags []analysis.Diagnostic
+	results := make(map[*analysis.Analyzer]any)
+	var runAll func(a *analysis.Analyzer) error
+	runAll = func(a *analysis.Analyzer) error {
+		if _, done := results[a]; done {
+			return nil
+		}
+		for _, req := range a.Requires {
+			if err := runAll(req); err != nil {
+				return err
+			}
+		}
+		pass := &analysis.Pass{
+			Analyzer:   a,
+			Fset:       fset,
+			Files:      files,
+			Pkg:        pkg,
+			TypesInfo:  info,
+			TypesSizes: conf.Sizes,
+			ResultOf:   results,
+			ReadFile:   os.ReadFile,
+			Report: func(d analysis.Diagnostic) {
+				diags = append(diags, d)
+			},
+		}
+		res, err := a.Run(pass)
+		if err != nil {
+			return fmt.Errorf("%s: %w", a.Name, err)
+		}
+		results[a] = res
+		return nil
+	}
+	// Run prerequisites silently (their diagnostics are not under test),
+	// then the target analyzer collecting diagnostics.
+	for _, req := range a.Requires {
+		if err := runAll(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	diags = nil
+	if err := runAll(a); err != nil {
+		t.Fatal(err)
+	}
+
+	pass := &analysis.Pass{Fset: fset, Files: files}
+	return pass, diags
+}
+
+// want arguments are regular expressions, double-quoted or backquoted
+// (as in analysistest).
+var wantRE = regexp.MustCompile("// want((?: +(?:\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`))+)")
+var wantArgRE = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, arg := range wantArgRE.FindAllStringSubmatch(m[1], -1) {
+					text := arg[1]
+					if arg[2] != "" {
+						text = arg[2]
+					}
+					pat, err := regexp.Compile(text)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, text, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, pattern: pat})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.pattern.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+// Package detrand defines an analyzer enforcing the determinism
+// invariant of the packages that feed golden artifacts: everything that
+// reaches a scenario Metrics JSON, a PRV/PCF trace or a rendered report
+// must be a pure function of the simulated run, so two executions
+// produce byte-identical output.
+//
+// Two sources of silent nondeterminism are policed. Wall-clock and
+// ambient randomness: calls to time.Now/Since/Until and to the global
+// (package-level) math/rand and math/rand/v2 functions are flagged —
+// seeded *rand.Rand instances are fine, the shared stream is not. And
+// map iteration order: a `range` over a map is flagged unless the
+// enclosing function visibly restores an order afterwards (a sort.* or
+// slices.Sort* call after the loop starts — the collect-keys-then-sort
+// idiom the codebase uses), or the loop carries a
+// `//repro:unordered <reason>` waiver recording why order cannot reach
+// an output (e.g. the results land in another map, or are reduced
+// commutatively).
+//
+// Test files are exempt: the invariant binds the shipped pipeline.
+package detrand
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"repro/internal/analysis/annot"
+)
+
+const doc = `check determinism-surface packages for nondeterminism sources
+
+Packages on the golden-artifact surface must not read the wall clock
+(time.Now/Since/Until) or the global math/rand stream, and must not let
+map iteration order escape: a range over a map needs a later sort in the
+same function or a //repro:unordered <reason> waiver.`
+
+// Analyzer is the detrand analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrand",
+	Doc:  doc,
+	Run:  run,
+}
+
+// DefaultSurface is the determinism surface: every package whose output
+// is pinned byte-exact by a golden test or consumed by one.
+const DefaultSurface = "scenario,checkpoint,trace,paraver,folding,report"
+
+var surface string
+
+func init() {
+	Analyzer.Flags.StringVar(&surface, "packages", DefaultSurface,
+		"comma-separated packages (name or path suffix) on the determinism surface")
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !annot.PackageMatch(pass.Pkg.Path(), surface) {
+		return nil, nil
+	}
+	waivers := annot.NewWaivers(pass, "unordered")
+	for _, f := range pass.Files {
+		if annot.TestFile(pass, f.Pos()) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd, waivers)
+		}
+	}
+	return nil, nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, waivers *annot.Waivers) {
+	// Collect the positions of order-restoring calls once per function;
+	// a map range is justified by any sort that starts after it does.
+	var sortPositions []token.Pos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn, ok := typeutil.Callee(pass.TypesInfo, call).(*types.Func); ok && isSortCall(fn) {
+			sortPositions = append(sortPositions, call.Pos())
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			fn, ok := typeutil.Callee(pass.TypesInfo, n).(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				switch fn.Name() {
+				case "Now", "Since", "Until":
+					if !waivers.Waived(n.Pos()) {
+						pass.Reportf(n.Pos(), "time.%s reads the wall clock on the determinism surface", fn.Name())
+					}
+				}
+			case "math/rand", "math/rand/v2":
+				if isGlobalRand(fn) && !waivers.Waived(n.Pos()) {
+					pass.Reportf(n.Pos(), "global %s.%s draws from the shared nondeterministic stream (use a seeded *rand.Rand)",
+						fn.Pkg().Name(), fn.Name())
+				}
+			}
+		case *ast.RangeStmt:
+			if !isMapType(pass.TypesInfo.TypeOf(n.X)) {
+				return true
+			}
+			if waivers.Waived(n.Pos()) {
+				return true
+			}
+			for _, p := range sortPositions {
+				if p > n.Pos() {
+					return true // collect-then-sort idiom
+				}
+			}
+			pass.Reportf(n.Pos(), "map iteration order can reach an output: sort the results or waive with //repro:unordered <reason>")
+		}
+		return true
+	})
+}
+
+// isGlobalRand reports whether fn is a package-level math/rand function
+// that draws from (or perturbs) the shared stream. Constructors of
+// self-contained deterministic state are allowed.
+func isGlobalRand(fn *types.Func) bool {
+	if fn.Signature().Recv() != nil {
+		return false // methods on a seeded *rand.Rand are deterministic
+	}
+	switch fn.Name() {
+	case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+		return false
+	}
+	return true
+}
+
+func isSortCall(fn *types.Func) bool {
+	if fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "sort":
+		// Every package-level entry point that establishes an order.
+		switch fn.Name() {
+		case "Sort", "Stable", "Slice", "SliceStable", "Strings", "Ints", "Float64s":
+			return true
+		}
+	case "slices":
+		switch fn.Name() {
+		case "Sort", "SortFunc", "SortStableFunc", "Sorted", "SortedFunc", "SortedStableFunc":
+			return true
+		}
+	}
+	return false
+}
+
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}

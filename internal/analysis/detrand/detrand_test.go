@@ -1,0 +1,19 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/atest"
+	"repro/internal/analysis/detrand"
+)
+
+func TestDetrand(t *testing.T) {
+	atest.Run(t, detrand.Analyzer, "testdata/src/trace")
+}
+
+func TestOffSurfacePackageIgnored(t *testing.T) {
+	diags := atest.Diagnostics(t, detrand.Analyzer, "testdata/src/other")
+	if len(diags) != 0 {
+		t.Fatalf("off-surface package produced %d diagnostics, want 0: %v", len(diags), diags)
+	}
+}

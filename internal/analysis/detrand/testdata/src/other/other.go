@@ -1,0 +1,17 @@
+// Package other is off the determinism surface: the same constructs
+// must produce no diagnostics.
+package other
+
+import "time"
+
+func WallClock() int64 {
+	return time.Now().UnixNano()
+}
+
+func Keys(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+// Package trace is the detrand fixture (its name puts it on the
+// default determinism surface): wall-clock reads, global rand draws,
+// and map iteration with and without order restoration.
+package trace
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func WallClock() int64 {
+	return time.Now().UnixNano() // want `time.Now reads the wall clock`
+}
+
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time.Since reads the wall clock`
+}
+
+func GlobalDraw() int {
+	return rand.Intn(10) // want `global rand.Intn draws from the shared nondeterministic stream`
+}
+
+// SeededDraw is fine: a self-contained deterministic stream.
+func SeededDraw(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// KeysUnsorted leaks map order into the returned slice.
+func KeysUnsorted(m map[int]string) []string {
+	var out []string
+	for k := range m { // want `map iteration order can reach an output`
+		out = append(out, m[k])
+	}
+	return out
+}
+
+// KeysSorted is the codebase's collect-then-sort idiom: the range is
+// justified by the later sort.
+func KeysSorted(m map[int]string) []string {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+// SlicesSorted accepts the slices package's sorts too.
+func SlicesSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+	sort.SliceStable(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func sortStrings(s []string) { sort.Strings(s) }
+
+// Waived: a commutative reduction cannot observe order.
+func Waived(m map[int]int) int {
+	s := 0
+	//repro:unordered commutative sum; iteration order cannot reach the result
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// NonMapRanges must not be flagged.
+func NonMapRanges(xs []int, s string) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	for range s {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,142 @@
+// Package goldenkey defines an analyzer enforcing the capability-keying
+// rule for the scenario Metrics serialization: every json-tagged field
+// added to the metric structs after the golden baseline was frozen must
+// carry `omitempty`, so pre-existing golden files never churn when a new
+// capability lands (the PR-5 NUMA fields and PR-6 fault fields both
+// followed this rule; this analyzer makes it a compile-time property).
+//
+// The baseline — the fields that existed when the first goldens were
+// pinned, serialized unconditionally ever since — is checked in next to
+// the analyzer (baseline.txt, one Struct.Field per line). A field that
+// is neither in the baseline nor omitempty is a diagnostic: either key
+// it (`json:"name,omitempty"`, ideally behind a capability predicate so
+// zero values disappear entirely), or consciously regenerate every
+// golden and add the field to the baseline in the same commit.
+package goldenkey
+
+import (
+	"bufio"
+	_ "embed"
+	"go/ast"
+	"reflect"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"repro/internal/analysis/annot"
+)
+
+const doc = `check metric structs for capability-keyed (omitempty) json fields
+
+Fields of the golden-serialized metric structs added beyond the frozen
+baseline must carry omitempty, so existing golden files stay
+byte-identical when new capabilities land.`
+
+// Analyzer is the goldenkey analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "goldenkey",
+	Doc:  doc,
+	Run:  run,
+}
+
+//go:embed baseline.txt
+var embeddedBaseline string
+
+var (
+	surface      string
+	baselineFlag string
+)
+
+func init() {
+	Analyzer.Flags.StringVar(&surface, "packages", "scenario",
+		"comma-separated packages (name or path suffix) holding golden-serialized structs")
+	Analyzer.Flags.StringVar(&baselineFlag, "baseline", "",
+		"comma-separated Struct.Field baseline overriding the checked-in list (tests)")
+}
+
+func baseline() map[string]bool {
+	m := make(map[string]bool)
+	if baselineFlag != "" {
+		for _, e := range strings.Split(baselineFlag, ",") {
+			if e = strings.TrimSpace(e); e != "" {
+				m[e] = true
+			}
+		}
+		return m
+	}
+	sc := bufio.NewScanner(strings.NewReader(embeddedBaseline))
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		m[line] = true
+	}
+	return m
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !annot.PackageMatch(pass.Pkg.Path(), surface) {
+		return nil, nil
+	}
+	base := baseline()
+	for _, f := range pass.Files {
+		if annot.TestFile(pass, f.Pos()) {
+			continue
+		}
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				checkStruct(pass, ts.Name.Name, st, base)
+			}
+		}
+	}
+	return nil, nil
+}
+
+func checkStruct(pass *analysis.Pass, name string, st *ast.StructType, base map[string]bool) {
+	for _, field := range st.Fields.List {
+		if field.Tag == nil {
+			continue
+		}
+		tag := reflect.StructTag(strings.Trim(field.Tag.Value, "`"))
+		jsonTag, ok := tag.Lookup("json")
+		if !ok || jsonTag == "-" {
+			continue
+		}
+		parts := strings.Split(jsonTag, ",")
+		keyed := false
+		for _, opt := range parts[1:] {
+			if opt == "omitempty" {
+				keyed = true
+			}
+		}
+		if keyed {
+			continue
+		}
+		for _, id := range field.Names {
+			key := name + "." + id.Name
+			if base[key] {
+				continue
+			}
+			pass.Reportf(field.Pos(),
+				"json field %s (%q) is serialized unconditionally: new metric fields must be capability-keyed with omitempty, or the golden baseline must be regenerated and %s added to baseline.txt",
+				key, parts[0], key)
+		}
+		// Embedded json-tagged field: same rule, keyed by type name.
+		if len(field.Names) == 0 {
+			pass.Reportf(field.Pos(), "embedded json-tagged field in %s: name it explicitly so the baseline can track it", name)
+		}
+	}
+}

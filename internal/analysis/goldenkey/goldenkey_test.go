@@ -1,0 +1,60 @@
+package goldenkey_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/atest"
+	"repro/internal/analysis/goldenkey"
+)
+
+func TestGoldenkey(t *testing.T) {
+	atest.SetFlags(t, goldenkey.Analyzer, map[string]string{
+		"baseline": "Metrics.Scenario,Metrics.Threads,PhaseMetrics.Name",
+	})
+	atest.Run(t, goldenkey.Analyzer, "testdata/src/scenario")
+}
+
+// TestDeletingOmitemptyIsADiagnostic pins the acceptance case: taking
+// omitempty off a post-baseline field must produce a diagnostic. The
+// fixture's NewUnkeyed field IS that case (a field with the tag
+// stripped); this test asserts it fires even with an otherwise-complete
+// baseline, so the analyzer cannot rot into tag-blindness.
+func TestDeletingOmitemptyIsADiagnostic(t *testing.T) {
+	atest.SetFlags(t, goldenkey.Analyzer, map[string]string{
+		"baseline": "Metrics.Scenario,Metrics.Threads,Metrics.NewKeyed,PhaseMetrics.Name,PhaseMetrics.Extra",
+	})
+	diags := atest.Diagnostics(t, goldenkey.Analyzer, "testdata/src/scenario")
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1 (NewUnkeyed)", len(diags))
+	}
+	if !strings.Contains(diags[0].Message, "Metrics.NewUnkeyed") {
+		t.Fatalf("diagnostic = %q, want it to name Metrics.NewUnkeyed", diags[0].Message)
+	}
+}
+
+// TestEmbeddedBaselineCoversRealMetrics guards the checked-in baseline
+// list: the fields the PR-3 goldens serialize unconditionally must stay
+// present, or the analyzer would start flagging the real metrics.go.
+func TestEmbeddedBaselineCoversRealMetrics(t *testing.T) {
+	atest.SetFlags(t, goldenkey.Analyzer, map[string]string{"baseline": ""})
+	// The fixture reuses the real struct/field names: with the embedded
+	// baseline loaded, Metrics.Scenario / Metrics.Threads /
+	// PhaseMetrics.Name are suppressed and only the two post-baseline
+	// fields fire. An empty or unparsed baseline would flag all five.
+	diags := atest.Diagnostics(t, goldenkey.Analyzer, "testdata/src/scenario")
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics with embedded baseline, want 2 (NewUnkeyed, Extra): %v", len(diags), diags)
+	}
+	got := map[string]bool{}
+	for _, d := range diags {
+		for _, f := range []string{"Metrics.NewUnkeyed", "PhaseMetrics.Extra"} {
+			if strings.Contains(d.Message, f) {
+				got[f] = true
+			}
+		}
+	}
+	if !got["Metrics.NewUnkeyed"] || !got["PhaseMetrics.Extra"] {
+		t.Fatalf("embedded-baseline run missed the unkeyed fields: %v", diags)
+	}
+}

@@ -1,0 +1,30 @@
+// Package scenario is the goldenkey fixture: a golden-serialized
+// metric struct with baseline fields, a properly capability-keyed new
+// field, and an unkeyed new field (the diagnostic).
+package scenario
+
+// Metrics mirrors the shape of the real scenario.Metrics.
+type Metrics struct {
+	Scenario string `json:"scenario"`
+	Threads  int    `json:"threads"`
+
+	// NewUnkeyed postdates the baseline and serializes unconditionally:
+	// every old golden would grow this key.
+	NewUnkeyed int `json:"new_unkeyed"` // want `json field Metrics.NewUnkeyed .* must be capability-keyed`
+
+	// NewKeyed is the correct pattern: omitempty, ideally behind a
+	// capability predicate.
+	NewKeyed *int `json:"new_keyed,omitempty"`
+
+	// Ignored and untagged fields never reach the serialization.
+	Ignored  int `json:"-"`
+	internal int
+}
+
+// Nested structs are checked by the same rule.
+type PhaseMetrics struct {
+	Name  string  `json:"name"`
+	Extra float64 `json:"extra"` // want `json field PhaseMetrics.Extra .* must be capability-keyed`
+}
+
+func use() { _ = Metrics{internal: 1} }

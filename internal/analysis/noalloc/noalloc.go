@@ -1,0 +1,368 @@
+// Package noalloc defines an analyzer enforcing the repository's
+// zero-allocation invariant: a function annotated `//repro:noalloc`
+// (the per-memory-op hot path — memhier.accessLine/AccessRun, the cpu
+// issue and PMU accounting layer, the PEBS gate path) must not contain
+// constructs that can allocate, directly or transitively through
+// same-package callees.
+//
+// The flagged constructs are the ones the hot-path rewrites of PR 1 and
+// PR 4 eliminated and that benchmem proved away: make/new, composite
+// literals that escape through & and slice/map literals, string
+// concatenation and string<->[]byte conversions, values boxed into
+// interfaces, closure creation, calls into package fmt, variadic calls
+// that materialize their argument slice, and go statements. Dynamic
+// (interface-method and func-value) calls are the callee's
+// responsibility and are not flagged; cross-package static calls are
+// likewise trusted — the annotation lives where the body lives.
+//
+// Two escape hatches keep the check honest rather than silent:
+// allocations that only happen on a path that ends in panic (error
+// formatting for impossible states) are exempt, and a
+// `//repro:alloc-ok <reason>` waiver on or directly above the flagged
+// line suppresses one diagnostic while recording why the construct is
+// provably allocation-free (e.g. an append into a buffer whose capacity
+// is maintained elsewhere).
+package noalloc
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"repro/internal/analysis/annot"
+)
+
+const doc = `check //repro:noalloc functions for allocating constructs
+
+Functions whose doc comment carries //repro:noalloc must stay free of
+make/new, escaping composite literals, string concatenation, interface
+boxing, closures, fmt and variadic calls, and go statements —
+transitively through same-package callees. Constructs on panic paths
+are exempt; //repro:alloc-ok <reason> waives one finding.`
+
+// Analyzer is the noalloc analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "noalloc",
+	Doc:  doc,
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	var annotated []*ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+			if annot.Has(fd.Doc, "noalloc") {
+				annotated = append(annotated, fd)
+			}
+		}
+	}
+	if len(annotated) == 0 {
+		return nil, nil
+	}
+	c := &checker{
+		pass:     pass,
+		decls:    decls,
+		waivers:  annot.NewWaivers(pass, "alloc-ok"),
+		reported: make(map[token.Pos]bool),
+	}
+	for _, fd := range annotated {
+		c.root = fd
+		c.visited = map[*ast.FuncDecl]bool{fd: true}
+		c.check(fd)
+	}
+	return nil, nil
+}
+
+type checker struct {
+	pass     *analysis.Pass
+	decls    map[*types.Func]*ast.FuncDecl
+	waivers  *annot.Waivers
+	reported map[token.Pos]bool
+
+	root    *ast.FuncDecl // the annotated function being enforced
+	visited map[*ast.FuncDecl]bool
+	cur     *ast.FuncDecl // the function whose body is being walked
+}
+
+func (c *checker) report(pos token.Pos, format string, args ...any) {
+	if c.reported[pos] || c.waivers.Waived(pos) {
+		return
+	}
+	c.reported[pos] = true
+	where := fmt.Sprintf("in //repro:noalloc function %s", c.root.Name.Name)
+	if c.cur != c.root {
+		where = fmt.Sprintf("in %s, reached from //repro:noalloc function %s",
+			c.cur.Name.Name, c.root.Name.Name)
+	}
+	c.pass.Reportf(pos, "%s %s", fmt.Sprintf(format, args...), where)
+}
+
+func (c *checker) check(fd *ast.FuncDecl) {
+	prev := c.cur
+	c.cur = fd
+	c.walk(fd.Body, false)
+	c.cur = prev
+}
+
+// walk visits one statement/expression tree. inPanic marks nodes inside
+// an argument of a call to the panic builtin: allocations there only
+// happen on a path that dies, which the 0 allocs/op invariant (a
+// steady-state property) does not cover.
+func (c *checker) walk(n ast.Node, inPanic bool) {
+	if n == nil {
+		return
+	}
+	switch n := n.(type) {
+	case *ast.CallExpr:
+		c.call(n, inPanic)
+		return
+	case *ast.FuncLit:
+		if !inPanic {
+			c.report(n.Pos(), "closure creation allocates")
+		}
+		// The literal itself is the finding; its body runs under the
+		// same budget only if the closure is ever called on the hot
+		// path, which the waiver reason must argue.
+		return
+	case *ast.UnaryExpr:
+		if n.Op == token.AND {
+			if _, ok := n.X.(*ast.CompositeLit); ok && !inPanic {
+				c.report(n.Pos(), "composite literal escapes through &")
+			}
+		}
+	case *ast.CompositeLit:
+		if !inPanic {
+			switch c.typeOf(n).(type) {
+			case *types.Slice:
+				c.report(n.Pos(), "slice literal allocates its backing array")
+			case *types.Map:
+				c.report(n.Pos(), "map literal allocates")
+			}
+		}
+	case *ast.BinaryExpr:
+		if n.Op == token.ADD && !inPanic {
+			if tv, ok := c.pass.TypesInfo.Types[ast.Expr(n)]; ok && tv.Value == nil {
+				if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+					c.report(n.Pos(), "string concatenation allocates")
+				}
+			}
+		}
+	case *ast.GoStmt:
+		if !inPanic {
+			c.report(n.Pos(), "go statement allocates a goroutine")
+		}
+	case *ast.AssignStmt:
+		if len(n.Lhs) == len(n.Rhs) {
+			for i, rhs := range n.Rhs {
+				c.boxing(rhs, c.typeOf(n.Lhs[i]), inPanic)
+			}
+		}
+	case *ast.ReturnStmt:
+		if c.cur != nil && c.cur.Type.Results != nil {
+			results := c.resultTypes()
+			if len(results) == len(n.Results) {
+				for i, r := range n.Results {
+					c.boxing(r, results[i], inPanic)
+				}
+			}
+		}
+	}
+	for _, child := range children(n) {
+		c.walk(child, inPanic)
+	}
+}
+
+// call handles one call expression: builtin allocators, conversions,
+// fmt/variadic calls, argument boxing, and transitive descent into
+// same-package callees.
+func (c *checker) call(call *ast.CallExpr, inPanic bool) {
+	// Type conversion, not a call.
+	if tv, ok := c.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		c.conversion(call, tv.Type, inPanic)
+		for _, a := range call.Args {
+			c.walk(a, inPanic)
+		}
+		return
+	}
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := c.pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				if !inPanic {
+					c.report(call.Pos(), "make allocates")
+				}
+			case "new":
+				if !inPanic {
+					c.report(call.Pos(), "new allocates")
+				}
+			case "panic":
+				// Arguments only evaluate on a dying path.
+				for _, a := range call.Args {
+					c.walk(a, true)
+				}
+				return
+			}
+			for _, a := range call.Args {
+				c.walk(a, inPanic)
+			}
+			return
+		}
+	}
+	fn, _ := typeutil.Callee(c.pass.TypesInfo, call).(*types.Func)
+	sig, _ := c.typeOf(call.Fun).(*types.Signature)
+
+	if !inPanic {
+		switch {
+		case fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt":
+			c.report(call.Pos(), "call to fmt.%s allocates", fn.Name())
+		case sig != nil && sig.Variadic() && !call.Ellipsis.IsValid() && len(call.Args) >= sig.Params().Len():
+			c.report(call.Pos(), "variadic call allocates its argument slice")
+		default:
+			// Per-argument interface boxing (only when the call itself
+			// was not already flagged).
+			if sig != nil {
+				for i, arg := range call.Args {
+					c.boxing(arg, paramType(sig, i), inPanic)
+				}
+			}
+		}
+	}
+
+	// Transitive descent: static same-package callee with a body that is
+	// not independently annotated (annotated callees are checked on
+	// their own; trusting the annotation keeps diagnostics unique).
+	if fn != nil && fn.Pkg() == c.pass.Pkg {
+		if callee, ok := c.decls[fn]; ok && !annot.Has(callee.Doc, "noalloc") && !c.visited[callee] {
+			c.visited[callee] = true
+			c.check(callee)
+		}
+	}
+
+	c.walk(call.Fun, inPanic)
+	for _, a := range call.Args {
+		c.walk(a, inPanic)
+	}
+}
+
+// conversion flags allocating conversions: concrete values boxed into
+// an interface type and the string<->[]byte/[]rune copies.
+func (c *checker) conversion(call *ast.CallExpr, to types.Type, inPanic bool) {
+	if inPanic || len(call.Args) != 1 {
+		return
+	}
+	from := c.typeOf(call.Args[0])
+	if from == nil {
+		return
+	}
+	if types.IsInterface(to.Underlying()) && !types.IsInterface(from.Underlying()) {
+		c.report(call.Pos(), "conversion boxes %s into interface", types.TypeString(from, types.RelativeTo(c.pass.Pkg)))
+		return
+	}
+	if isString(to) && isByteOrRuneSlice(from) {
+		c.report(call.Pos(), "[]byte-to-string conversion copies")
+		return
+	}
+	if isByteOrRuneSlice(to) && isString(from) {
+		c.report(call.Pos(), "string-to-slice conversion copies")
+	}
+}
+
+// boxing flags a concrete value assigned/passed/returned where an
+// interface is expected.
+func (c *checker) boxing(expr ast.Expr, target types.Type, inPanic bool) {
+	if inPanic || target == nil || !types.IsInterface(target.Underlying()) {
+		return
+	}
+	tv, ok := c.pass.TypesInfo.Types[expr]
+	if !ok || tv.Type == nil || tv.IsNil() {
+		return
+	}
+	if types.IsInterface(tv.Type.Underlying()) {
+		return
+	}
+	c.report(expr.Pos(), "%s boxed into interface", types.TypeString(tv.Type, types.RelativeTo(c.pass.Pkg)))
+}
+
+func (c *checker) typeOf(e ast.Expr) types.Type {
+	if tv, ok := c.pass.TypesInfo.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// resultTypes returns the flattened result types of the current function.
+func (c *checker) resultTypes() []types.Type {
+	var out []types.Type
+	for _, f := range c.cur.Type.Results.List {
+		t := c.typeOf(f.Type)
+		n := len(f.Names)
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func paramType(sig *types.Signature, i int) types.Type {
+	n := sig.Params().Len()
+	if sig.Variadic() && i >= n-1 {
+		if s, ok := sig.Params().At(n - 1).Type().(*types.Slice); ok {
+			return s.Elem()
+		}
+		return nil
+	}
+	if i < n {
+		return sig.Params().At(i).Type()
+	}
+	return nil
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// children returns the direct AST children of n in source order, via
+// ast.Inspect's first level. The checker drives its own recursion so it
+// can carry the inPanic flag and intercept calls/closures.
+func children(n ast.Node) []ast.Node {
+	var out []ast.Node
+	first := true
+	ast.Inspect(n, func(m ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if m != nil {
+			out = append(out, m)
+		}
+		return false
+	})
+	return out
+}

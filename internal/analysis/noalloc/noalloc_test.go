@@ -1,0 +1,23 @@
+package noalloc_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/atest"
+	"repro/internal/analysis/noalloc"
+)
+
+func TestNoalloc(t *testing.T) {
+	atest.Run(t, noalloc.Analyzer, "testdata/src/a")
+}
+
+func TestWaiverWithoutReason(t *testing.T) {
+	diags := atest.Diagnostics(t, noalloc.Analyzer, "testdata/src/badwaiver")
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want exactly 1 (the unexplained waiver)", len(diags))
+	}
+	if !strings.Contains(diags[0].Message, "waiver without a justification") {
+		t.Fatalf("diagnostic = %q, want the missing-justification message", diags[0].Message)
+	}
+}

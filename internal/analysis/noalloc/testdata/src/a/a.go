@@ -1,0 +1,111 @@
+// Package a is the noalloc fixture: annotated functions exercising
+// every flagged construct, the panic-path exemption, the waiver, and
+// transitive same-package enforcement.
+package a
+
+import "fmt"
+
+// Sink swallows values so fixtures type-check without unused errors.
+var Sink any
+
+// Total accumulates results.
+var Total int
+
+//repro:noalloc
+func HotConstructs(xs []int, n int, s1, s2 string) {
+	a := make([]int, n) // want `make allocates`
+	_ = a
+	p := new(int) // want `new allocates`
+	_ = p
+	lit := []int{1, 2, 3} // want `slice literal allocates`
+	_ = lit
+	m := map[int]int{} // want `map literal allocates`
+	_ = m
+	pt := &point{1, 2} // want `composite literal escapes through &`
+	_ = pt
+	cat := s1 + s2 // want `string concatenation allocates`
+	_ = cat
+	Sink = n                     // want `int boxed into interface`
+	f := func() int { return 1 } // want `closure creation allocates`
+	_ = f
+	fmt.Println(n) // want `call to fmt.Println allocates`
+	variadic(1, 2) // want `variadic call allocates its argument slice`
+	go work()      // want `go statement allocates a goroutine`
+}
+
+//repro:noalloc
+func HotConversions(b []byte, s string, n int) {
+	str := string(b) // want `\[\]byte-to-string conversion copies`
+	_ = str
+	bs := []byte(s) // want `string-to-slice conversion copies`
+	_ = bs
+	Sink = any(n) // want `conversion boxes int into interface`
+}
+
+// HotClean is the negative case: value struct literals, same-package
+// calls, spread variadics, arithmetic and constant concatenation are
+// all allocation-free.
+//
+//repro:noalloc
+func HotClean(xs []int, n int) int {
+	const greeting = "a" + "b" // constant: folded at compile time
+	pt := point{x: n, y: n}    // value composite literal: stack
+	total := 0
+	for _, x := range xs {
+		total += x * pt.x
+	}
+	total += leafHelper(total)
+	variadic(xs...) // spread: no argument slice materialized
+	variadic()      // zero variadic args: nil slice
+	return total + len(greeting)
+}
+
+// HotPanicPath: allocations that only happen on a dying path are
+// exempt — the 0 allocs/op invariant is a steady-state property.
+//
+//repro:noalloc
+func HotPanicPath(x int) int {
+	if x < 0 {
+		panic(fmt.Sprintf("negative input %d", x))
+	}
+	return x * 2
+}
+
+// HotWaived: the escape hatch, with its reason recorded.
+//
+//repro:noalloc
+func HotWaived(buf []int, n int) []int {
+	buf = append(buf, make([]int, 0, n)...) //repro:alloc-ok fixture: capacity proven reserved by caller contract
+	return buf
+}
+
+// HotTransitive reaches an allocation through an unannotated
+// same-package helper: the diagnostic lands at the allocation site and
+// names the annotated root.
+//
+//repro:noalloc
+func HotTransitive(n int) int {
+	return allocHelper(n) + leafHelper(n)
+}
+
+func allocHelper(n int) int {
+	tmp := make([]int, n) // want `make allocates in allocHelper, reached from //repro:noalloc function HotTransitive`
+	return len(tmp)
+}
+
+func leafHelper(n int) int { return n + 1 }
+
+// ColdAllocates is unannotated: nothing here is checked.
+func ColdAllocates(n int) []int {
+	return make([]int, n)
+}
+
+type point struct{ x, y int }
+
+func variadic(xs ...int) {
+	for _, x := range xs {
+		Total += x
+	}
+}
+
+func work() { Total++ }

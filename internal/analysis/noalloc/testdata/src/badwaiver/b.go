@@ -1,0 +1,11 @@
+// Package badwaiver holds the waiver-without-reason case: an
+// unexplained //repro:alloc-ok is itself a diagnostic (tested
+// programmatically — a want comment cannot share a line with the bare
+// waiver comment under test).
+package badwaiver
+
+//repro:noalloc
+func Hot(n int) int {
+	//repro:alloc-ok
+	return n + 1
+}

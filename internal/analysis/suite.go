@@ -1,0 +1,27 @@
+// Package analysis assembles the reprolint suite: the custom
+// go/analysis analyzers that turn the repository's load-bearing
+// invariants — 0 allocs/op hot paths, byte-exact deterministic golden
+// surfaces, capability-keyed Metrics serialization, panic-safe and
+// cancellable worker goroutines — into machine-checked properties of
+// the source. cmd/reprolint drives the suite via go vet -vettool.
+package analysis
+
+import (
+	"golang.org/x/tools/go/analysis"
+
+	"repro/internal/analysis/detrand"
+	"repro/internal/analysis/goldenkey"
+	"repro/internal/analysis/noalloc"
+	"repro/internal/analysis/workersafe"
+)
+
+// Suite is the full reprolint analyzer set, in diagnostic-priority
+// order: allocation regressions first (they silently cost performance),
+// then determinism, serialization compatibility and worker safety
+// (they silently cost correctness).
+var Suite = []*analysis.Analyzer{
+	noalloc.Analyzer,
+	detrand.Analyzer,
+	goldenkey.Analyzer,
+	workersafe.Analyzer,
+}

@@ -1,0 +1,116 @@
+// Package core is the workersafe fixture (its name puts it on the
+// default worker surface): goroutine spawns with and without panic
+// containment, and instance loops with and without cancellation polling.
+package core
+
+import "context"
+
+// BareSpawn leaks panics out of the goroutine.
+func BareSpawn(work func()) {
+	go work() // want `goroutine without a reachable deferred recover`
+}
+
+// BareFuncLit has a body, but no recover anywhere in it.
+func BareFuncLit(n int) {
+	go func() { // want `goroutine without a reachable deferred recover`
+		_ = n * n
+	}()
+}
+
+// DirectRecover is the blessed inline pattern.
+func DirectRecover(work func()) {
+	go func() {
+		defer func() {
+			_ = recover()
+		}()
+		work()
+	}()
+}
+
+// runOne is a same-package spawn helper whose body recovers; spawning
+// through it is safe (mirrors hpcg.Team.runOne).
+func runOne(work func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			_ = r
+		}
+	}()
+	work()
+}
+
+func SpawnViaHelper(work func()) {
+	go runOne(work)
+}
+
+// SpawnViaLitHelper routes the recover through one call hop inside the
+// goroutine's function literal.
+func SpawnViaLitHelper(work func()) {
+	go func() {
+		runOne(work)
+	}()
+}
+
+// Waived: the body provably cannot panic.
+func SpawnWaived(ch chan struct{}) {
+	//repro:spawn-ok close on a dedicated channel cannot panic
+	go close(ch)
+}
+
+type solver struct{}
+
+func (s *solver) Step() error  { return nil }
+func (s *solver) Solve() error { return nil }
+
+// UnpolledLoop runs instances without ever observing ctx.
+func UnpolledLoop(ctx context.Context, s *solver, n int) error {
+	for i := 0; i < n; i++ { // want `without polling the function.s context`
+		if err := s.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PolledLoop checks ctx each instance boundary.
+func PolledLoop(ctx context.Context, s *solver, n int) error {
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := s.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NopollWaived delegates cancellation elsewhere.
+func NopollWaived(ctx context.Context, s *solver, n int) error {
+	//repro:nopoll cancellation is handled by the solver internally
+	for i := 0; i < n; i++ {
+		if err := s.Solve(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NoInstanceCalls: loops without Run*/Step/Solve calls are not
+// instance boundaries.
+func NoInstanceCalls(ctx context.Context, xs []int) int {
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum
+}
+
+// NoContextParam: functions without a ctx parameter have nothing to poll.
+func NoContextParam(s *solver, n int) error {
+	for i := 0; i < n; i++ {
+		if err := s.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

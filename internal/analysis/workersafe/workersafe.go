@@ -1,0 +1,305 @@
+// Package workersafe defines an analyzer enforcing the fault-tolerant
+// worker discipline of the simulation engine (PR 6): in the packages
+// that spawn simulated-thread goroutines, every `go` statement must
+// lead to a recover — a panicking worker must post its barrier token
+// and poison the team, never strand the other threads on a WaitGroup —
+// and instance-executing loops in cancellable functions must poll their
+// context, so cancellation is observed at instance boundaries instead
+// of after the full run.
+//
+// The recover rule is structural, not nominal: the spawned function
+// (or a same-package function it calls, up to a small depth) must
+// contain a deferred recover. Routing spawns through hpcg.Team/
+// core.Machine's recover-wrapped helpers satisfies it; a bare
+// `go func() { work() }()` does not. A `//repro:spawn-ok <reason>`
+// waiver documents the rare goroutine that genuinely cannot panic.
+//
+// The polling rule fires on loops, inside functions that take a
+// context.Context, whose body issues instances (a call to a Run*,
+// Step or Solve method) without referencing the context: such a loop
+// runs to completion regardless of cancellation. `//repro:nopoll
+// <reason>` waives loops whose cancellation is delegated (e.g. the CG
+// solve loop, which polls through Team.Run's installed context).
+package workersafe
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"repro/internal/analysis/annot"
+)
+
+const doc = `check worker goroutines for recover wrapping and ctx polling
+
+In the engine packages, go statements must reach a deferred recover
+(use the Team/Machine spawn helpers), and loops that execute instances
+inside a context-taking function must poll that context.`
+
+// Analyzer is the workersafe analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "workersafe",
+	Doc:  doc,
+	Run:  run,
+}
+
+var surface string
+
+func init() {
+	Analyzer.Flags.StringVar(&surface, "packages", "core,hpcg",
+		"comma-separated packages (name or path suffix) holding the worker engine")
+}
+
+// maxDepth bounds the same-package call chase when looking for a
+// deferred recover below a go statement.
+const maxDepth = 4
+
+func run(pass *analysis.Pass) (any, error) {
+	if !annot.PackageMatch(pass.Pkg.Path(), surface) {
+		return nil, nil
+	}
+	spawnWaivers := annot.NewWaivers(pass, "spawn-ok")
+	pollWaivers := annot.NewWaivers(pass, "nopoll")
+
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					decls[fn] = fd
+				}
+			}
+		}
+	}
+
+	for _, f := range pass.Files {
+		if annot.TestFile(pass, f.Pos()) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkSpawns(pass, fd, decls, spawnWaivers)
+			checkPolling(pass, fd, pollWaivers)
+		}
+	}
+	return nil, nil
+}
+
+// checkSpawns flags go statements that cannot reach a deferred recover.
+func checkSpawns(pass *analysis.Pass, fd *ast.FuncDecl, decls map[*types.Func]*ast.FuncDecl, waivers *annot.Waivers) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if waivers.Waived(gs.Pos()) {
+			return true
+		}
+		if !spawnRecovers(pass, gs.Call, decls, make(map[*ast.FuncDecl]bool), maxDepth) {
+			pass.Reportf(gs.Pos(), "goroutine without a reachable deferred recover: a worker panic strands its team (route spawns through the recover-wrapped helpers)")
+		}
+		return true
+	})
+}
+
+// spawnRecovers reports whether the spawned call leads to a deferred
+// recover: directly in a go'd function literal, or in a same-package
+// function the spawned body (transitively) calls.
+func spawnRecovers(pass *analysis.Pass, call *ast.CallExpr, decls map[*types.Func]*ast.FuncDecl, seen map[*ast.FuncDecl]bool, depth int) bool {
+	if depth == 0 {
+		return false
+	}
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return bodyRecovers(pass, lit.Body, decls, seen, depth)
+	}
+	if fn, ok := typeutil.Callee(pass.TypesInfo, call).(*types.Func); ok {
+		if fd, ok := decls[fn]; ok && !seen[fd] {
+			seen[fd] = true
+			return bodyRecovers(pass, fd.Body, decls, seen, depth-1)
+		}
+	}
+	return false
+}
+
+// bodyRecovers reports whether body contains a deferred recover, or a
+// call to a same-package function that does.
+func bodyRecovers(pass *analysis.Pass, body *ast.BlockStmt, decls map[*types.Func]*ast.FuncDecl, seen map[*ast.FuncDecl]bool, depth int) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if deferredRecovers(pass, n, decls) {
+				found = true
+				return false
+			}
+		case *ast.CallExpr:
+			if fn, ok := typeutil.Callee(pass.TypesInfo, n).(*types.Func); ok {
+				if fd, ok := decls[fn]; ok && !seen[fd] && depth > 0 {
+					seen[fd] = true
+					if bodyRecovers(pass, fd.Body, decls, seen, depth-1) {
+						found = true
+						return false
+					}
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// deferredRecovers reports whether the deferred call contains (or is) a
+// recover.
+func deferredRecovers(pass *analysis.Pass, ds *ast.DeferStmt, decls map[*types.Func]*ast.FuncDecl) bool {
+	if isRecover(pass, ds.Call) {
+		return true
+	}
+	var body *ast.BlockStmt
+	if lit, ok := ast.Unparen(ds.Call.Fun).(*ast.FuncLit); ok {
+		body = lit.Body
+	} else if fn, ok := typeutil.Callee(pass.TypesInfo, ds.Call).(*types.Func); ok {
+		if fd, ok := decls[fn]; ok {
+			body = fd.Body
+		}
+	}
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isRecover(pass, call) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func isRecover(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "recover"
+}
+
+// checkPolling flags instance-executing loops that ignore the
+// function's context parameter.
+func checkPolling(pass *analysis.Pass, fd *ast.FuncDecl, waivers *annot.Waivers) {
+	ctxVars := contextParams(pass, fd)
+	if len(ctxVars) == 0 {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			body = n.Body
+		case *ast.RangeStmt:
+			body = n.Body
+		default:
+			return true
+		}
+		if waivers.Waived(n.Pos()) {
+			return true
+		}
+		issue := instanceCall(pass, body)
+		if issue == "" {
+			return true
+		}
+		if referencesAny(pass, body, ctxVars) {
+			return true
+		}
+		pass.Reportf(n.Pos(), "loop issues instances (%s) without polling the function's context: cancellation would only be observed after the loop", issue)
+		return true
+	})
+}
+
+// contextParams returns the function's context.Context parameter objects.
+func contextParams(pass *analysis.Pass, fd *ast.FuncDecl) []*types.Var {
+	var out []*types.Var
+	for _, field := range fd.Type.Params.List {
+		t := pass.TypesInfo.TypeOf(field.Type)
+		if t == nil || !isContext(t) {
+			continue
+		}
+		for _, name := range field.Names {
+			if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+func isContext(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// instanceCall returns the name of the first instance-executing call in
+// body ("" if none): a method or function whose name starts with Run or
+// is Step/Solve — the entry points that advance simulated instances.
+func instanceCall(pass *analysis.Pass, body *ast.BlockStmt) string {
+	name := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var id *ast.Ident
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			id = fun
+		case *ast.SelectorExpr:
+			id = fun.Sel
+		default:
+			return true
+		}
+		if strings.HasPrefix(id.Name, "Run") || id.Name == "Step" || id.Name == "Solve" {
+			name = id.Name
+		}
+		return true
+	})
+	return name
+}
+
+// referencesAny reports whether body mentions any of the given objects.
+func referencesAny(pass *analysis.Pass, body *ast.BlockStmt, vars []*types.Var) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		for _, v := range vars {
+			if obj == v {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package workersafe_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/atest"
+	"repro/internal/analysis/workersafe"
+)
+
+func TestWorkersafe(t *testing.T) {
+	atest.Run(t, workersafe.Analyzer, "testdata/src/core")
+}

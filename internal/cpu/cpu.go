@@ -322,6 +322,8 @@ func (c *Core) Branch() {
 // dependency), which cannot be overlapped and stalls for the full latency.
 // The per-op cost is one hierarchy access, one fused PMU update and two
 // gate decrements; the monitor hook runs only when a gate fires.
+//
+//repro:noalloc
 func (c *Core) memAccess(ip, addr uint64, size int, store, dependent bool) memhier.AccessResult {
 	res := c.hier.Access(addr, size, store)
 	// Effective stall, precomputed per source: L1 hits cost their full
@@ -467,6 +469,8 @@ func (c *Core) StoreStream(ip, base uint64, stride, size, n int) {
 // operation that may fire a sample gate or cross the hook cycle takes the
 // precise per-op path, so sampling decisions, PEBS gap draws and monitor
 // hooks happen on exactly the operations per-op issue would pick.
+//
+//repro:noalloc
 func (c *Core) stream(ip, base uint64, stride, size, n int, store, dependent bool) {
 	if n <= 0 {
 		return

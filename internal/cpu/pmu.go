@@ -162,6 +162,8 @@ func (p *PMU) count(c CounterID, n uint64) {
 // single call: the instruction, the load/store event, the miss events
 // implied by the data source, and the cycle cost. On the (default)
 // never-multiplexed configuration this is a handful of plain additions.
+//
+//repro:noalloc
 func (p *PMU) countMem(store bool, src memhier.DataSource, cycles uint64) {
 	if !p.everMux {
 		p.raw[CtrInstructions]++
@@ -220,6 +222,8 @@ func (p *PMU) countMem(store bool, src memhier.DataSource, cycles uint64) {
 // costing cycles in total. It bypasses the visible/active bookkeeping, so
 // it is only exact while no multiplexing has ever been programmed
 // (bulkOK); Core.stream degrades to per-op issue otherwise.
+//
+//repro:noalloc
 func (p *PMU) countMemRun(store bool, n uint64, rr *memhier.RunResult, cycles uint64) {
 	p.raw[CtrInstructions] += n
 	p.raw[CtrCycles] += cycles

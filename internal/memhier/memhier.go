@@ -810,6 +810,8 @@ func (c *cache) fill(lineAddr uint64, ph *probeHint, dirty bool) (evictedDirty b
 // wanted tag byte against the whole set's signatures with the zero-byte
 // trick and verifies only candidate ways in the slab, so a miss usually
 // touches no slab words at all. No LRU or flag side effects.
+//
+//repro:noalloc
 func (c *cache) findWay(setIdx, base int, want uint64) int {
 	bcast := (want >> tagShift & 0xFF) * oneBytes
 	sb := setIdx * c.sigStride
@@ -959,6 +961,8 @@ func (c *cache) contains(lineAddr uint64) bool {
 // Addresses must lie below the packed-tag range reported at construction
 // (2^53 for the default geometry — far beyond the simulated 46-bit address
 // space); Access panics otherwise rather than alias tags silently.
+//
+//repro:noalloc
 func (h *Hierarchy) Access(addr uint64, size int, write bool) AccessResult {
 	lineAddr := addr &^ h.lineMask
 	// L1 MRU fast path: a repeat touch of the most recently used line costs
@@ -984,6 +988,8 @@ func (h *Hierarchy) Access(addr uint64, size int, write bool) AccessResult {
 // for one line-resolving access. It is shared by Access and AccessRun (the
 // line-run batch path), which both guarantee the L1 MRU shortcut does not
 // apply when it is called.
+//
+//repro:noalloc
 func (h *Hierarchy) accessLine(addr, lineAddr uint64, write bool) AccessResult {
 	if lineAddr >= h.maxLine {
 		panic(fmt.Sprintf("memhier: address %#x beyond the %d-bit packed-tag range", addr, bits.Len64(h.maxLine-1)))
@@ -1158,6 +1164,8 @@ func (rr *RunResult) Ops() uint64 {
 // responsible for splitting runs at monitoring boundaries: any access that
 // must be observed per-op (a sample-gate firing, a multiplexing quantum
 // boundary) has to be issued through Access instead.
+//
+//repro:noalloc
 func (h *Hierarchy) AccessRun(addr, stride, n uint64, write bool, rr *RunResult) {
 	lineSize := uint64(h.cfg.Levels[0].LineSize)
 	l1 := h.l1

@@ -166,6 +166,8 @@ func New(cfg Config, drain func([]Sample)) (*Engine, error) {
 // gap returns the next inter-sample distance (Period ± 25% when
 // randomized; the window is precomputed at construction so the sampled-op
 // path draws straight from the generator).
+//
+//repro:noalloc
 func (e *Engine) gap() uint64 {
 	if e.span == 0 {
 		return e.cfg.Period
@@ -193,6 +195,8 @@ func (e *Engine) Pending() int { return len(e.buf) }
 // sample-time context (e.g. a PMU snapshot) before the buffer drains: a full
 // buffer is drained at the *next* observation (or at Flush), never inside
 // the call that recorded the final sample.
+//
+//repro:noalloc
 func (e *Engine) Observe(op cpu.MemOp, timeNs uint64, stackID uint32) bool {
 	if len(e.buf) >= e.cfg.BufferSize {
 		e.flushBuffer()
@@ -262,6 +266,8 @@ func (e *Engine) AddEligible(n uint64) { e.stats.Eligible += n }
 // randomized runs reproducible across both paths — applies the latency
 // threshold, and records the sample. It returns whether the op was
 // recorded and the new countdown for the op's class.
+//
+//repro:noalloc
 func (e *Engine) ObserveSampled(op cpu.MemOp, timeNs uint64, stackID uint32) (recorded bool, nextGap uint64) {
 	if len(e.buf) >= e.cfg.BufferSize {
 		e.flushBuffer()
