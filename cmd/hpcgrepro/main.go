@@ -21,6 +21,7 @@ import (
 	"repro/internal/atomicio"
 	"repro/internal/core"
 	"repro/internal/hpcg"
+	"repro/internal/machspec"
 	"repro/internal/numa"
 	"repro/internal/pebs"
 	"repro/internal/profiling"
@@ -34,8 +35,9 @@ func main() {
 		iters      = flag.Int("iters", 8, "CG iterations to fold over")
 		threads    = flag.Int("threads", 1, "simulated hardware threads (OpenMP-style row partitioning, shared L3, one trace stream and folded analysis per thread)")
 		sockets    = flag.Int("sockets", 0, "simulated sockets: >0 builds a NUMA machine (threads grouped into socket blocks, one shared L3 and memory node per socket, remote fills charged the interconnect penalty); 0 keeps the flat single-L3 machine")
-		placement  = flag.String("placement", "", "NUMA page placement policy: first-touch (default) or interleave (requires -sockets)")
-		remoteLat  = flag.Uint64("remote-latency", 0, "remote-socket DRAM fill latency in cycles (0 = default 370; requires -sockets >= 2)")
+		placement  = flag.String("placement", "", "NUMA page placement policy: first-touch (default) or interleave (requires a NUMA topology from -sockets or -machine)")
+		remoteLat  = flag.Uint64("remote-latency", 0, "remote-socket DRAM fill latency in cycles (0 = default 370; requires >= 2 sockets)")
+		machine    = flag.String("machine", "", "machine spec: a named hierarchy or a spec .json file; replaces the default cache hierarchy and NUMA topology (-sockets/-placement/-remote-latency still apply on top)")
 		period     = flag.Uint64("period", 1000, "PEBS sampling period (memory ops per sample)")
 		muxNs      = flag.Uint64("mux-ns", 1_000_000, "load/store multiplexing quantum in ns (0 = sample both always)")
 		outDir     = flag.String("out", "", "directory for CSV series and trace files (optional)")
@@ -57,43 +59,13 @@ func main() {
 	}
 	defer stopProfiles()
 
-	ctx := context.Background()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
+	cfg, err := machineConfig(*machine, *sockets, *placement, *remoteLat)
+	if err != nil {
+		fatal(err)
 	}
-	ctx, stopSignals := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
-	defer stopSignals()
-
-	cfg := core.DefaultConfig()
 	cfg.Reference = *refPath
 	cfg.Monitor.PEBS.Period = *period
 	cfg.Monitor.MuxQuantumNs = *muxNs
-	var numaPolicy numa.Policy
-	if *sockets < 0 {
-		fatal(fmt.Errorf("-sockets must be >= 0"))
-	}
-	if *sockets > 0 {
-		var err error
-		if numaPolicy, err = numa.ParsePolicy(*placement); err != nil {
-			fatal(err)
-		}
-		if *remoteLat != 0 && *sockets < 2 {
-			// A 1-node machine has no remote fills to charge; silently
-			// ignoring the override would make the flag look inert.
-			fatal(fmt.Errorf("-remote-latency requires -sockets >= 2"))
-		}
-		cfg.NUMA = numa.Config{
-			Sockets:           *sockets,
-			Policy:            numaPolicy,
-			RemoteDRAMLatency: *remoteLat,
-		}
-	} else if *placement != "" || *remoteLat != 0 {
-		// Silently running the flat machine would make the flags look
-		// inert; demand the topology they parameterize.
-		fatal(fmt.Errorf("-placement/-remote-latency require -sockets"))
-	}
 	if *muxNs == 0 {
 		cfg.Monitor.PEBS.Events = pebs.SampleLoads | pebs.SampleStores
 	}
@@ -109,11 +81,23 @@ func main() {
 	}
 	fmt.Printf("HPCG %d^3, %d MG levels, %d iterations, %d threads, PEBS period %d, mux %d ns\n",
 		*nx, *levels, *iters, *threads, *period, *muxNs)
-	if *sockets > 0 {
-		fmt.Printf("NUMA: %d sockets, %s placement\n", *sockets, numaPolicy)
+	if cfg.NUMA.Sockets > 0 {
+		fmt.Printf("NUMA: %d sockets, %s placement\n", cfg.NUMA.Sockets, cfg.NUMA.Policy)
 	}
 
-	if *threads > 1 || *sockets > 0 {
+	// The -timeout clock starts here, at run dispatch: profile setup,
+	// machine-spec loading and config validation must not eat the solve's
+	// budget.
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	ctx, stopSignals := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	if *threads > 1 || cfg.NUMA.Sockets > 0 {
 		// NUMA runs always go through the Machine (the Session has no
 		// placement layer); with one thread the parallel solve is the
 		// sequential solve on worker 0.
@@ -159,6 +143,47 @@ func main() {
 		}
 		fmt.Printf("\nCSV series and trace written to %s\n", *outDir)
 	}
+}
+
+// machineConfig assembles the simulated machine: the -machine spec (when
+// given) replaces the default cache hierarchy and NUMA topology, and the
+// explicit -sockets/-placement/-remote-latency flags apply on top of it.
+// Topology validation goes through machspec.ValidateTopology — the single
+// shared place simrun, sweep and hpcgrepro reject impossible combinations,
+// with one message per mistake instead of a per-command variant.
+func machineConfig(machineRef string, sockets int, placement string, remoteLat uint64) (core.Config, error) {
+	cfg := core.DefaultConfig()
+	if machineRef != "" {
+		spec, err := machspec.Resolve(machineRef)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Cache = spec.Memhier()
+		cfg.NUMA = spec.NUMA()
+	}
+	if sockets < 0 {
+		return cfg, fmt.Errorf("-sockets must be >= 0")
+	}
+	if sockets > 0 {
+		cfg.NUMA.Sockets = sockets
+	}
+	if placement != "" {
+		policy, err := numa.ParsePolicy(placement)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.NUMA.Policy = policy
+	}
+	if remoteLat != 0 {
+		cfg.NUMA.RemoteDRAMLatency = remoteLat
+	}
+	// Validate the merged topology, not the individual flags: a spec can
+	// supply the sockets a -placement needs, and a -sockets 1 override can
+	// invalidate a spec's remote latency.
+	if err := machspec.ValidateTopology(cfg.NUMA.Sockets, placement, cfg.NUMA.RemoteDRAMLatency); err != nil {
+		return cfg, err
+	}
+	return cfg, nil
 }
 
 // runParallel is the multi-threaded reproduction: one simulated core per

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/numa"
+)
+
+// TestMachineConfigRejections pins the unified topology validation: every
+// impossible flag combination fails through machspec.ValidateTopology with
+// the same message simrun and the sweep engine produce.
+func TestMachineConfigRejections(t *testing.T) {
+	cases := []struct {
+		name      string
+		machine   string
+		sockets   int
+		placement string
+		remoteLat uint64
+		want      string
+	}{
+		{name: "negative sockets", sockets: -1, want: "-sockets must be >= 0"},
+		{name: "placement on flat", placement: "interleave",
+			want: `machspec: placement "interleave" requires a NUMA topology (sockets >= 1)`},
+		{name: "unknown placement", placement: "bogus", sockets: 2,
+			want: `unknown placement policy "bogus"`},
+		{name: "remote latency on flat", remoteLat: 400,
+			want: "machspec: remote DRAM latency requires >= 2 sockets (got 0)"},
+		{name: "remote latency on one socket", sockets: 1, remoteLat: 400,
+			want: "machspec: remote DRAM latency requires >= 2 sockets (got 1)"},
+		{name: "unknown machine", machine: "jureca", want: "machspec:"},
+		{name: "sockets override invalidates spec remote latency",
+			machine: "../../examples/sweeps/haswell_2s.json", sockets: 1,
+			want: "machspec: remote DRAM latency requires >= 2 sockets (got 1)"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := machineConfig(tc.machine, tc.sockets, tc.placement, tc.remoteLat)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("machineConfig error = %v, want mention of %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestMachineConfigMerge pins the spec + flag-override semantics.
+func TestMachineConfigMerge(t *testing.T) {
+	// Flags only: the historical behavior.
+	cfg, err := machineConfig("", 2, "interleave", 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NUMA.Sockets != 2 || cfg.NUMA.Policy != numa.Interleave || cfg.NUMA.RemoteDRAMLatency != 400 {
+		t.Fatalf("flag-only config: %+v", cfg.NUMA)
+	}
+
+	// Spec only: topology comes from the file.
+	cfg, err = machineConfig("../../examples/sweeps/haswell_2s.json", 0, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NUMA.Sockets != 2 || cfg.NUMA.Policy != numa.Interleave || cfg.NUMA.RemoteDRAMLatency != 370 || cfg.NUMA.PageSize != 4096 {
+		t.Fatalf("spec config: %+v", cfg.NUMA)
+	}
+	if len(cfg.Cache.Levels) != 3 || cfg.Cache.DRAMLatency != 230 {
+		t.Fatalf("spec cache not applied: %+v", cfg.Cache)
+	}
+
+	// Flags override the spec where set; unset flags keep the spec's values.
+	cfg, err = machineConfig("../../examples/sweeps/haswell_2s.json", 4, "first-touch", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NUMA.Sockets != 4 || cfg.NUMA.Policy != numa.FirstTouch || cfg.NUMA.RemoteDRAMLatency != 370 {
+		t.Fatalf("override merge: %+v", cfg.NUMA)
+	}
+
+	// A named spec without sockets stays flat.
+	cfg, err = machineConfig("small", 0, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NUMA.Sockets != 0 || cfg.Cache.Levels[0].Size != 8<<10 {
+		t.Fatalf("named flat spec: NUMA=%+v L1=%d", cfg.NUMA, cfg.Cache.Levels[0].Size)
+	}
+}

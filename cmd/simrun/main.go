@@ -11,6 +11,7 @@
 //	simrun -run stream_triad_4t [-json]
 //	simrun -run spmv_csr_1t -threads 4
 //	simrun -run all -reference
+//	simrun -run stream_triad_4t -machine examples/sweeps/haswell_2s.json
 //	simrun -run stream_triad_4t -checkpoint-every 4 -checkpoint ck.bin
 //	simrun -run stream_triad_4t -resume ck.bin
 //	simrun -update-golden [-golden internal/scenario/testdata/golden]
@@ -38,6 +39,7 @@ import (
 
 	"repro/internal/atomicio"
 	"repro/internal/checkpoint"
+	"repro/internal/machspec"
 	"repro/internal/numa"
 	"repro/internal/profiling"
 	"repro/internal/scenario"
@@ -50,6 +52,7 @@ func main() {
 		threads    = flag.Int("threads", 0, "override the scenario's thread count (0 = scenario default)")
 		sockets    = flag.Int("sockets", 0, "override the scenario's socket count: route the run through a NUMA machine (0 = scenario default)")
 		placement  = flag.String("placement", "", "override the NUMA page placement policy (first-touch or interleave; the scenario or -sockets must provide a NUMA topology)")
+		machine    = flag.String("machine", "", "machine spec: a named hierarchy or a spec .json file; replaces the scenario's hierarchy and NUMA topology (-sockets/-placement still apply on top)")
 		reference  = flag.Bool("reference", false, "use the per-op reference simulation path (must produce identical metrics)")
 		jsonOut    = flag.Bool("json", false, "print the full canonical Metrics JSON instead of the summary line")
 		update     = flag.Bool("update-golden", false, "rewrite the golden metrics files for every scenario")
@@ -75,8 +78,8 @@ func main() {
 		// Goldens are canonical: always the fast path at the scenarios' own
 		// thread counts, and always amd64 (FMA fusion elsewhere perturbs the
 		// float64 reductions, and amd64 CI would reject the files).
-		if *reference || *threads != 0 || *sockets != 0 || *placement != "" {
-			fatal(fmt.Errorf("-update-golden ignores -reference/-threads/-sockets/-placement; drop them (goldens pin the fast path at scenario topology)"))
+		if err := goldenOverrideError(*reference, *threads, *sockets, *placement, *machine); err != nil {
+			fatal(err)
 		}
 		if runtime.GOARCH != "amd64" {
 			fatal(fmt.Errorf("refusing to regenerate goldens on %s: they must be amd64-generated", runtime.GOARCH))
@@ -94,6 +97,20 @@ func main() {
 			Sockets:   *sockets,
 			Placement: *placement,
 		}
+		if *machine != "" {
+			spec, err := machspec.Resolve(*machine)
+			if err != nil {
+				fatal(err)
+			}
+			opts.Machine = spec
+		}
+		if err := setupCheckpointing(&opts, *run, *ckEvery, *ckPath, *resumePath); err != nil {
+			fatal(err)
+		}
+		// The -timeout clock starts here, at run dispatch: machine-spec
+		// loading and the checkpoint-resume read above must not eat the
+		// simulation's budget (a slow resume read would otherwise consume
+		// the whole allowance before the first instance runs).
 		ctx := context.Background()
 		if *timeout > 0 {
 			var cancel context.CancelFunc
@@ -103,9 +120,6 @@ func main() {
 		ctx, stopSignals := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 		defer stopSignals()
 		opts.Context = ctx
-		if err := setupCheckpointing(&opts, *run, *ckEvery, *ckPath, *resumePath); err != nil {
-			fatal(err)
-		}
 		if err := runScenarios(*run, opts, *jsonOut); err != nil {
 			fatal(err)
 		}
@@ -113,6 +127,15 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// goldenOverrideError rejects -update-golden combined with any flag that
+// would change the simulated runs away from the canonical golden identity.
+func goldenOverrideError(reference bool, threads, sockets int, placement, machine string) error {
+	if reference || threads != 0 || sockets != 0 || placement != "" || machine != "" {
+		return fmt.Errorf("-update-golden ignores -reference/-threads/-sockets/-placement/-machine; drop them (goldens pin the fast path at scenario topology)")
+	}
+	return nil
 }
 
 // setupCheckpointing validates the checkpoint/resume flag combinations and
@@ -186,12 +209,14 @@ func runScenarios(name string, opts scenario.Options, jsonOut bool) error {
 		scs = []scenario.Scenario{sc}
 	}
 	for _, sc := range scs {
-		if name == "all" && opts.Threads > 1 && sc.HPCG != nil {
-			// The override cannot apply: HPCG scenarios are single-thread
-			// (no deterministic parallel schedule). Skip rather than abort
-			// the rest of the matrix.
-			fmt.Printf("%-28s skipped (HPCG scenarios are single-thread; -threads override ignored)\n", sc.Name)
-			continue
+		if name == "all" {
+			// An override that cannot apply to one scenario (placement on a
+			// flat machine, threads on HPCG) skips that scenario with a
+			// notice rather than aborting the rest of the matrix.
+			if reason := scenario.SkipReason(sc, opts); reason != "" {
+				fmt.Printf("%-28s skipped (%s)\n", sc.Name, reason)
+				continue
+			}
 		}
 		m, err := scenario.Run(sc, opts)
 		if err != nil {

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// TestRunAllWithOverridesNeverAborts is the matrix-abort regression: a
+// global override that cannot apply to some scenarios (sockets on HPCG is
+// fine, placement on a flat machine is not) must skip those scenarios with
+// a notice and run the rest — never abort the matrix midway.
+func TestRunAllWithOverridesNeverAborts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full scenario matrix twice")
+	}
+	for _, opts := range []scenario.Options{
+		{Sockets: 2},
+		{Placement: "interleave"},
+	} {
+		if err := runScenarios("all", opts, false); err != nil {
+			t.Errorf("simrun -run all under %+v aborted: %v", opts, err)
+		}
+	}
+}
+
+// TestSingleRunRejectionMessages pins the unified validation path: a
+// single-scenario run with an impossible override fails with machspec's
+// message — the same one hpcgrepro and the sweep engine produce.
+func TestSingleRunRejectionMessages(t *testing.T) {
+	err := runScenarios("stream_triad_1t", scenario.Options{Placement: "interleave"}, false)
+	if err == nil || !strings.Contains(err.Error(), `machspec: placement "interleave" requires a NUMA topology (sockets >= 1)`) {
+		t.Errorf("placement-on-flat error = %v", err)
+	}
+	err = runScenarios("stream_triad_1t", scenario.Options{Placement: "bogus", Sockets: 2}, false)
+	if err == nil || !strings.Contains(err.Error(), `unknown placement policy "bogus"`) {
+		t.Errorf("unknown-placement error = %v", err)
+	}
+	err = runScenarios("nope", scenario.Options{}, false)
+	if err == nil || !strings.Contains(err.Error(), `unknown scenario "nope"`) {
+		t.Errorf("unknown-scenario error = %v", err)
+	}
+}
+
+// TestGoldenOverrideError pins -update-golden's refusal of any flag that
+// changes the simulated runs away from the canonical golden identity.
+func TestGoldenOverrideError(t *testing.T) {
+	if err := goldenOverrideError(false, 0, 0, "", ""); err != nil {
+		t.Errorf("clean -update-golden rejected: %v", err)
+	}
+	const want = "-update-golden ignores -reference/-threads/-sockets/-placement/-machine"
+	for name, err := range map[string]error{
+		"reference": goldenOverrideError(true, 0, 0, "", ""),
+		"threads":   goldenOverrideError(false, 4, 0, "", ""),
+		"sockets":   goldenOverrideError(false, 0, 2, "", ""),
+		"placement": goldenOverrideError(false, 0, 0, "interleave", ""),
+		"machine":   goldenOverrideError(false, 0, 0, "", "small"),
+	} {
+		if err == nil || !strings.Contains(err.Error(), want) {
+			t.Errorf("%s override: error = %v, want %q", name, err, want)
+		}
+	}
+}
+
+func TestCheckpointFlagValidation(t *testing.T) {
+	cases := []struct {
+		name                     string
+		run                      string
+		every                    int
+		ckPath, resumePath, want string
+	}{
+		{name: "negative every", run: "stream_triad_1t", every: -1, want: "-checkpoint-every must be >= 0"},
+		{name: "every without file", run: "stream_triad_1t", every: 3, want: "-checkpoint-every requires -checkpoint"},
+		{name: "file without every", run: "stream_triad_1t", ckPath: "ck.bin", want: "-checkpoint requires -checkpoint-every"},
+		{name: "checkpoint with all", run: "all", every: 3, ckPath: "ck.bin", want: "not -run all"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var opts scenario.Options
+			err := setupCheckpointing(&opts, tc.run, tc.every, tc.ckPath, tc.resumePath)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error = %v, want mention of %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,239 @@
+// Command sweep expands a machine × scenario × placement × sampling sweep
+// file into simulation jobs, runs them on a bounded worker pool, and prints
+// a summary table. Results are cached by content hash: re-running an
+// unchanged sweep performs zero simulation.
+//
+//	sweep -spec examples/sweeps/paper.json -jobs 4 -cache .sweepcache -out results.csv
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/atomicio"
+	"repro/internal/scenario"
+	"repro/internal/sweep"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(argv []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	specPath := fs.String("spec", "", "sweep file (required)")
+	jobs := fs.Int("jobs", 1, "concurrent simulations")
+	cacheDir := fs.String("cache", "", "metrics cache directory (empty: no cache)")
+	outPath := fs.String("out", "", "write results to a .csv or .json file")
+	verbose := fs.Bool("v", false, "log each point as it completes")
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+	if *specPath == "" {
+		return fmt.Errorf("-spec is required")
+	}
+
+	points, err := loadAndExpand(*specPath)
+	if err != nil {
+		return err
+	}
+
+	runner := &sweep.Runner{Jobs: *jobs}
+	if *cacheDir != "" {
+		c, err := sweep.OpenCache(*cacheDir)
+		if err != nil {
+			return err
+		}
+		runner.Cache = c
+	}
+	if *verbose {
+		runner.Log = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	results, summary, err := runner.Run(points)
+	if err != nil {
+		return err
+	}
+
+	printTable(stdout, results)
+	fmt.Fprintf(stdout, "sweep: %s\n", summary)
+
+	if *outPath != "" {
+		if err := writeResults(*outPath, results); err != nil {
+			return err
+		}
+	}
+	if summary.Errors > 0 {
+		return fmt.Errorf("%d point(s) failed", summary.Errors)
+	}
+	return nil
+}
+
+// loadAndExpand reads a sweep file and expands its cross-product, resolving
+// machine paths relative to the file's directory.
+func loadAndExpand(path string) ([]sweep.Point, error) {
+	f, err := sweep.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return f.Expand(filepath.Dir(path))
+}
+
+// row flattens one result for the table and the CSV writer.
+type row struct {
+	machine, scenarioName, placement, sampling, reference, source string
+	cycles, instructions, l3Misses, dramFills, samples            uint64
+	note                                                          string
+}
+
+func resultRow(res sweep.Result) row {
+	p := res.Point
+	r := row{
+		machine:      p.Machine,
+		scenarioName: p.Scenario.Name,
+		placement:    p.Placement,
+		reference:    strconv.FormatBool(p.Reference),
+		source:       string(res.Source),
+	}
+	if r.machine == "" {
+		r.machine = "default"
+	} else if p.Spec != nil {
+		r.machine = p.Spec.Name
+	}
+	if r.placement == "" {
+		r.placement = "-"
+	}
+	if p.Sampling != nil {
+		r.sampling = p.Sampling.String()
+	} else {
+		r.sampling = "-"
+	}
+	switch {
+	case p.Skip != "":
+		r.note = p.Skip
+	case res.Err != nil:
+		r.note = res.Err.Error()
+	}
+	if m := res.Parsed; m != nil {
+		for _, t := range m.PerThread {
+			r.cycles += t.Cycles
+			r.instructions += t.Instructions
+			r.l3Misses += t.L3Misses
+			r.dramFills += t.DRAMFills
+			r.samples += t.SamplesRecorded
+		}
+	}
+	return r
+}
+
+func printTable(w io.Writer, results []sweep.Result) {
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "MACHINE\tSCENARIO\tPLACEMENT\tSAMPLING\tSOURCE\tCYCLES\tINSTRUCTIONS\tL3_MISSES\tDRAM_FILLS\tSAMPLES\tNOTE")
+	for _, res := range results {
+		r := resultRow(res)
+		note := r.note
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%d\t%d\t%d\t%d\t%d\t%s\n",
+			r.machine, r.scenarioName, r.placement, r.sampling, r.source,
+			r.cycles, r.instructions, r.l3Misses, r.dramFills, r.samples, note)
+	}
+	tw.Flush()
+}
+
+func writeResults(path string, results []sweep.Result) error {
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".csv":
+		return atomicio.WriteFile(path, func(w io.Writer) error {
+			return writeCSV(w, results)
+		})
+	case ".json":
+		return atomicio.WriteFile(path, func(w io.Writer) error {
+			return writeJSON(w, results)
+		})
+	default:
+		return fmt.Errorf("-out %q: unsupported extension (want .csv or .json)", path)
+	}
+}
+
+func writeCSV(w io.Writer, results []sweep.Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"machine", "scenario", "placement", "sampling", "reference", "source",
+		"key", "cycles", "instructions", "l3_misses", "dram_fills", "samples_recorded", "note",
+	}); err != nil {
+		return err
+	}
+	for _, res := range results {
+		r := resultRow(res)
+		if err := cw.Write([]string{
+			r.machine, r.scenarioName, r.placement, r.sampling, r.reference, r.source,
+			res.Point.Key,
+			strconv.FormatUint(r.cycles, 10),
+			strconv.FormatUint(r.instructions, 10),
+			strconv.FormatUint(r.l3Misses, 10),
+			strconv.FormatUint(r.dramFills, 10),
+			strconv.FormatUint(r.samples, 10),
+			r.note,
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// jsonResult is the machine-readable result record: identity, provenance
+// and the full canonical metrics document.
+type jsonResult struct {
+	Machine   string            `json:"machine"`
+	Scenario  string            `json:"scenario"`
+	Placement string            `json:"placement,omitempty"`
+	Sampling  any               `json:"sampling,omitempty"`
+	Reference bool              `json:"reference,omitempty"`
+	Source    string            `json:"source"`
+	Key       string            `json:"key"`
+	Skip      string            `json:"skip,omitempty"`
+	Error     string            `json:"error,omitempty"`
+	Metrics   *scenario.Metrics `json:"metrics,omitempty"`
+}
+
+func writeJSON(w io.Writer, results []sweep.Result) error {
+	out := make([]jsonResult, 0, len(results))
+	for _, res := range results {
+		jr := jsonResult{
+			Machine:   res.Point.Machine,
+			Scenario:  res.Point.Scenario.Name,
+			Placement: res.Point.Placement,
+			Reference: res.Point.Reference,
+			Source:    string(res.Source),
+			Key:       res.Point.Key,
+			Skip:      res.Point.Skip,
+			Metrics:   res.Parsed,
+		}
+		if jr.Machine == "" {
+			jr.Machine = "default"
+		}
+		if res.Point.Sampling != nil {
+			jr.Sampling = res.Point.Sampling
+		}
+		if res.Err != nil {
+			jr.Error = res.Err.Error()
+		}
+		out = append(out, jr)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSweepEndToEnd drives the CLI over the checked-in smoke sweep: the
+// first run simulates every point, the re-run against the same cache
+// simulates nothing, and both -out formats round-trip.
+func TestSweepEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	cacheDir := filepath.Join(dir, "cache")
+	outCSV := filepath.Join(dir, "results.csv")
+	outJSON := filepath.Join(dir, "results.json")
+
+	var buf bytes.Buffer
+	args := []string{"-spec", "../../examples/sweeps/smoke.json", "-jobs", "2", "-cache", cacheDir, "-out", outCSV}
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("first run: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "sweep: 4 points, 4 simulated, 0 cached") {
+		t.Fatalf("first-run summary missing:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	args = []string{"-spec", "../../examples/sweeps/smoke.json", "-jobs", "2", "-cache", cacheDir, "-out", outJSON}
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("cached re-run: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "sweep: 4 points, 0 simulated, 4 cached") {
+		t.Fatalf("cached-run summary missing:\n%s", buf.String())
+	}
+
+	f, err := os.Open(outCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 { // header + 4 points
+		t.Fatalf("CSV has %d rows, want 5", len(rows))
+	}
+	if rows[0][0] != "machine" || rows[1][5] != "simulated" {
+		t.Fatalf("unexpected CSV shape: %v / %v", rows[0], rows[1])
+	}
+
+	jb, err := os.ReadFile(outJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed []jsonResult
+	if err := json.Unmarshal(jb, &parsed); err != nil {
+		t.Fatalf("JSON output does not parse: %v", err)
+	}
+	if len(parsed) != 4 {
+		t.Fatalf("JSON output has %d records, want 4", len(parsed))
+	}
+	for _, rec := range parsed {
+		if rec.Source != "cached" || rec.Metrics == nil || rec.Key == "" {
+			t.Fatalf("unexpected JSON record: %+v", rec)
+		}
+	}
+}
+
+func TestSweepRejectsBadInput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{}, &buf); err == nil || !strings.Contains(err.Error(), "-spec is required") {
+		t.Errorf("missing -spec error = %v", err)
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"version": 1, "scenarios": ["nope"]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-spec", bad}, &buf); err == nil || !strings.Contains(err.Error(), `unknown scenario "nope"`) {
+		t.Errorf("unknown scenario error = %v", err)
+	}
+	if err := run([]string{"-spec", bad, "-out", filepath.Join(dir, "x.xml")}, &buf); err == nil {
+		t.Error("bad -out extension accepted")
+	}
+}
+
+// TestPaperSweepExpands keeps the checked-in example sweeps valid: both
+// expand without error and the paper sweep is the >= 8-point cross-product
+// the experiment doc describes.
+func TestPaperSweepExpands(t *testing.T) {
+	for _, tc := range []struct {
+		file   string
+		points int
+	}{
+		{"../../examples/sweeps/smoke.json", 4},
+		{"../../examples/sweeps/paper.json", 8},
+	} {
+		f, err := loadAndExpand(tc.file)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.file, err)
+		}
+		if len(f) != tc.points {
+			t.Errorf("%s expands to %d points, want %d", tc.file, len(f), tc.points)
+		}
+		for _, p := range f {
+			if p.Skip != "" {
+				t.Errorf("%s: point %s unexpectedly skipped: %s", tc.file, p.Label(), p.Skip)
+			}
+		}
+	}
+}

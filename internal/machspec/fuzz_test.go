@@ -1,0 +1,74 @@
+package machspec
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzMachSpecDecode drives the strict decoder with arbitrary documents.
+// Invariants, following the checkpoint/trace codec fuzz pattern:
+//
+//   - Decode never panics and never accepts a document whose resolution
+//     would violate the mirrored memhier/numa limits (hostile counts are
+//     capped before anything allocates from them — asserted here by
+//     bounding the accepted values).
+//   - Decode∘Encode is a fixed point: an accepted document's canonical
+//     JSON re-decodes to a spec whose canonical JSON is byte-identical.
+func FuzzMachSpecDecode(f *testing.F) {
+	for _, name := range Names() {
+		s, err := Named(name)
+		if err != nil {
+			f.Fatal(err)
+		}
+		b, err := s.JSON()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Add([]byte(`{"version": 1, "sockets": 2, "placement": "interleave", "page_size": 8192,
+		"cache": {"levels": [{"name": "L1D", "size": 4096, "line_size": 64, "assoc": 4, "hit_latency": 4}]},
+		"dram": {"latency": 100, "remote_latency": 250},
+		"sampling": {"period": 100, "mux_quantum_ns": 25000, "randomize": true, "seed": 7, "latency_threshold": 3}}`))
+	f.Add([]byte(`{"version": 99}`))
+	f.Add([]byte(`{`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted documents obey the caps the validator mirrors.
+		if s.Version != Version {
+			t.Fatalf("accepted version %d", s.Version)
+		}
+		if n := len(s.Cache.Levels); n < 1 || n > 3 {
+			t.Fatalf("accepted %d cache levels", n)
+		}
+		for _, lv := range s.Cache.Levels {
+			if lv.Size <= 0 || lv.Size > MaxLevelSize || lv.Assoc < 1 || lv.Assoc > 127 {
+				t.Fatalf("accepted hostile level %+v", lv)
+			}
+		}
+		if s.Sockets < 0 || s.Sockets > MaxSockets {
+			t.Fatalf("accepted %d sockets", s.Sockets)
+		}
+
+		// Decode∘Encode fixed point over the canonical serialization.
+		b1, err := s.JSON()
+		if err != nil {
+			t.Fatalf("canonical encode of accepted spec failed: %v", err)
+		}
+		s2, err := Decode(bytes.NewReader(b1))
+		if err != nil {
+			t.Fatalf("canonical JSON does not re-decode: %v\n%s", err, b1)
+		}
+		b2, err := s2.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("decode∘encode not a fixed point:\n%s\nvs\n%s", b1, b2)
+		}
+	})
+}

@@ -1,0 +1,290 @@
+package scenario
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/machspec"
+	"repro/internal/memhier"
+)
+
+// legacyHierarchyConfigs is the frozen pre-machspec table: the exact
+// Go-struct values HierarchyConfig returned before the named hierarchies
+// became checked-in spec files. The goldens were generated against these
+// values, so the spec resolution must reproduce them field for field — the
+// goldenkey discipline applied to machine configuration.
+func legacyHierarchyConfigs() map[string]memhier.Config {
+	haswell := memhier.Config{
+		Levels: []memhier.LevelConfig{
+			{Name: "L1D", Size: 32 << 10, LineSize: 64, Assoc: 8, HitLatency: 4},
+			{Name: "L2", Size: 256 << 10, LineSize: 64, Assoc: 8, HitLatency: 12},
+			{Name: "L3", Size: 2560 << 10, LineSize: 64, Assoc: 20, HitLatency: 36},
+		},
+		DRAMLatency:      230,
+		NextLinePrefetch: true,
+	}
+	noprefetch := haswell
+	noprefetch.Levels = append([]memhier.LevelConfig(nil), haswell.Levels...)
+	noprefetch.NextLinePrefetch = false
+	return map[string]memhier.Config{
+		"haswell": haswell,
+		"small": {
+			Levels: []memhier.LevelConfig{
+				{Name: "L1D", Size: 8 << 10, LineSize: 64, Assoc: 4, HitLatency: 4},
+				{Name: "L2", Size: 32 << 10, LineSize: 64, Assoc: 8, HitLatency: 12},
+				{Name: "L3", Size: 128 << 10, LineSize: 64, Assoc: 8, HitLatency: 36},
+			},
+			DRAMLatency:      230,
+			NextLinePrefetch: true,
+		},
+		"noprefetch": noprefetch,
+	}
+}
+
+// TestNamedSpecsMatchLegacyConfigs is the spec-lint gate: every named
+// hierarchy — resolved through the embedded machspec files, the same path
+// a -machine file takes — must equal the frozen legacy configuration, and
+// the legacy "haswell" must still be memhier.DefaultConfig (the cmds'
+// no-flag default). A diff here means the checked-in spec files changed
+// the simulated machine, which would silently invalidate every golden.
+func TestNamedSpecsMatchLegacyConfigs(t *testing.T) {
+	legacy := legacyHierarchyConfigs()
+	if def := memhier.DefaultConfig(); !reflect.DeepEqual(legacy["haswell"], def) {
+		t.Fatalf("legacy haswell table drifted from memhier.DefaultConfig:\n%+v\nvs\n%+v", legacy["haswell"], def)
+	}
+	for _, name := range HierarchyNames() {
+		want, ok := legacy[name]
+		if !ok {
+			t.Fatalf("hierarchy %q has no frozen legacy config; add it to the table", name)
+		}
+		got, err := HierarchyConfig(name)
+		if err != nil {
+			t.Fatalf("HierarchyConfig(%q): %v", name, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("spec-resolved %q differs from the legacy config:\n got %+v\nwant %+v", name, got, want)
+		}
+	}
+	// "" still spells haswell.
+	got, err := HierarchyConfig("")
+	if err != nil || !reflect.DeepEqual(got, legacy["haswell"]) {
+		t.Errorf(`HierarchyConfig("") = %+v, %v; want the haswell config`, got, err)
+	}
+	if _, err := HierarchyConfig("jureca"); err == nil || !strings.Contains(err.Error(), `unknown hierarchy "jureca"`) {
+		t.Errorf("unknown hierarchy error = %v", err)
+	}
+	// Every named spec is also reachable as a machine reference, and the
+	// embedded set covers exactly the scenario hierarchy names.
+	if got, want := machspec.Names(), []string{"haswell", "noprefetch", "small"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("machspec.Names() = %v, want %v", got, want)
+	}
+}
+
+// TestMachineSpecNamedEqualsScenarioRun: running a scenario under
+// Options.Machine with the spec of its own hierarchy must reproduce the
+// golden bytes — the spec path and the named path are the same machine.
+func TestMachineSpecNamedEqualsScenarioRun(t *testing.T) {
+	if b, _ := os.ReadFile(goldenPath("stream_triad_1t")); b == nil {
+		t.Skip("golden files not present")
+	}
+	for _, name := range []string{"stream_triad_1t", "stream_triad_smallcache_1t", "random_access_noprefetch_1t"} {
+		sc, ok := Get(name)
+		if !ok {
+			t.Fatalf("scenario %q missing", name)
+		}
+		spec, err := machspec.Named(sc.Hierarchy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := Run(sc, Options{Machine: spec})
+		if err != nil {
+			t.Fatalf("%s under -machine %s: %v", name, sc.Hierarchy, err)
+		}
+		got, err := m.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		golden, err := os.ReadFile(goldenPath(name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, golden) {
+			t.Errorf("%s via machine spec differs from golden (%d vs %d bytes)", name, len(got), len(golden))
+		}
+	}
+}
+
+// TestMachineSpecOverride exercises a spec that changes the machine: a
+// 2-socket interleaved topology applied to a flat scenario must produce a
+// NUMA-routed run with the spec's page size, and the spec's sampling
+// section must override the scenario's.
+func TestMachineSpecOverride(t *testing.T) {
+	doc := `{
+  "version": 1, "name": "dual", "sockets": 2, "placement": "interleave", "page_size": 8192,
+  "cache": {
+    "levels": [
+      {"name": "L1D", "size": 32768, "line_size": 64, "assoc": 8, "hit_latency": 4},
+      {"name": "L2", "size": 262144, "line_size": 64, "assoc": 8, "hit_latency": 12},
+      {"name": "L3", "size": 2621440, "line_size": 64, "assoc": 20, "hit_latency": 36}
+    ],
+    "next_line_prefetch": true
+  },
+  "dram": {"latency": 230, "remote_latency": 370},
+  "sampling": {"period": 50}
+}`
+	spec, err := machspec.Decode(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, ok := Get("stream_triad_4t")
+	if !ok {
+		t.Fatal("scenario missing")
+	}
+	m, err := Run(sc, Options{Machine: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Hierarchy != "dual" || m.Sockets != 2 || m.Placement != "interleave" || m.PageSize != 8192 {
+		t.Fatalf("spec topology not applied: hierarchy=%q sockets=%d placement=%q page=%d",
+			m.Hierarchy, m.Sockets, m.Placement, m.PageSize)
+	}
+	if m.NUMA == nil || len(m.NUMA.Nodes) != 2 {
+		t.Fatalf("expected a 2-node NUMA breakdown, got %+v", m.NUMA)
+	}
+	var remote uint64
+	for _, n := range m.NUMA.Nodes {
+		remote += n.FillsRemote
+	}
+	if remote == 0 {
+		t.Error("interleaved 2-socket run produced no remote fills")
+	}
+	// Period 50 vs the scenario's 100: more samples fired than the named
+	// run records.
+	base, err := Run(sc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PerThread[0].SamplesFired <= base.PerThread[0].SamplesFired {
+		t.Errorf("spec sampling period override inert: %d fired vs base %d",
+			m.PerThread[0].SamplesFired, base.PerThread[0].SamplesFired)
+	}
+
+	// Explicit overrides still win on top of the spec.
+	m2, err := Run(sc, Options{Machine: spec, Placement: "first-touch"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Placement != "first-touch" {
+		t.Errorf("explicit placement did not override the spec: %q", m2.Placement)
+	}
+}
+
+// TestSkipReason pins the matrix-driver skip logic: the exact override
+// combinations that cannot apply to a scenario, and nothing else. The two
+// table rows mirroring `simrun -run all -sockets 2` and `-run all
+// -placement interleave` are the regression tests for the matrix-abort
+// bug: every registered scenario must either skip or run cleanly.
+func TestSkipReason(t *testing.T) {
+	flat, ok := Get("stream_triad_1t")
+	if !ok {
+		t.Fatal("scenario missing")
+	}
+	numaSc, ok := Get("stream_numa_ft_2s4t")
+	if !ok {
+		t.Fatal("scenario missing")
+	}
+	hpcgSc, ok := Get("hpcg_8_1t")
+	if !ok {
+		t.Fatal("scenario missing")
+	}
+	dual, err := machspec.Named("haswell")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		sc   Scenario
+		opts Options
+		want string // substring; "" = runnable
+	}{
+		{"no overrides", flat, Options{}, ""},
+		{"sockets override", flat, Options{Sockets: 2}, ""},
+		{"placement on flat", flat, Options{Placement: "interleave"}, "requires a NUMA topology"},
+		{"placement with sockets", flat, Options{Sockets: 2, Placement: "interleave"}, ""},
+		{"placement on numa scenario", numaSc, Options{Placement: "interleave"}, ""},
+		{"threads on hpcg", hpcgSc, Options{Threads: 4}, "single-thread"},
+		{"sockets on hpcg", hpcgSc, Options{Sockets: 2}, ""},
+		{"placement via flat machine spec", flat, Options{Machine: dual, Placement: "interleave"}, "requires a NUMA topology"},
+		{"flat machine spec resets numa scenario", numaSc, Options{Machine: dual, Placement: "interleave"}, "requires a NUMA topology"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := SkipReason(tc.sc, tc.opts)
+			if tc.want == "" && got != "" {
+				t.Fatalf("SkipReason = %q, want runnable", got)
+			}
+			if tc.want != "" && !strings.Contains(got, tc.want) {
+				t.Fatalf("SkipReason = %q, want mention of %q", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestMatrixOverridesNeverAbort is the -run all regression: for the
+// -sockets 2 and -placement interleave override matrices, every registered
+// scenario either reports a skip reason or runs to completion — a matrix
+// run never dies midway on an inapplicable override.
+func TestMatrixOverridesNeverAbort(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the whole registry under two override matrices")
+	}
+	for _, opts := range []Options{
+		{Sockets: 2},
+		{Placement: "interleave"},
+	} {
+		for _, sc := range All() {
+			if reason := SkipReason(sc, opts); reason != "" {
+				continue
+			}
+			if _, err := Run(sc, opts); err != nil {
+				t.Errorf("scenario %s under %+v: %v", sc.Name, opts, err)
+			}
+		}
+	}
+}
+
+func TestMachineSpecFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tiny.json")
+	doc := `{
+  "version": 1,
+  "cache": {"levels": [{"name": "L1D", "size": 4096, "line_size": 64, "assoc": 4, "hit_latency": 4}], "next_line_prefetch": false},
+  "dram": {"latency": 100}
+}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := machspec.Resolve(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, ok := Get("stream_triad_1t")
+	if !ok {
+		t.Fatal("scenario missing")
+	}
+	m, err := Run(sc, Options{Machine: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Hierarchy != "tiny" {
+		t.Errorf("hierarchy label = %q, want the file's base name", m.Hierarchy)
+	}
+	if len(m.PerThread[0].Levels) != 1 {
+		t.Fatalf("expected a 1-level hierarchy, got %d levels", len(m.PerThread[0].Levels))
+	}
+}

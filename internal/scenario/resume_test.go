@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"os"
 	"runtime"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/faultinject"
+	"repro/internal/machspec"
 )
 
 // TestKillAndResumeMatchesGolden is the end-to-end fault-tolerance
@@ -118,6 +120,67 @@ func TestResumeWrongScenarioRejected(t *testing.T) {
 	}
 	if _, err := Run(other, Options{Resume: last}); err == nil {
 		t.Fatal("snapshot resumed under the wrong scenario")
+	}
+}
+
+// TestResumeThenTimeoutEmitsPartial is the timeout-clock regression: a
+// resumed run whose deadline expires must still stop at an instance
+// boundary with clearly-marked partial metrics — the resume read happening
+// before the clock starts (simrun orders them that way) must not change
+// the abort path's behavior. The already-cancelled context stands in for a
+// deadline that expired the moment dispatch began.
+func TestResumeThenTimeoutEmitsPartial(t *testing.T) {
+	sc, ok := Get("stream_triad_1t")
+	if !ok {
+		t.Fatal("scenario missing")
+	}
+	var last *checkpoint.Snapshot
+	opts := Options{
+		CheckpointEvery: 3,
+		CheckpointSink:  func(s *checkpoint.Snapshot) error { last = s; return nil },
+	}
+	if _, err := Run(sc, opts); err != nil {
+		t.Fatal(err)
+	}
+	if last == nil {
+		t.Fatal("no snapshot emitted")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m, err := Run(sc, Options{Resume: last, Context: ctx})
+	var rerr *core.RunError
+	if !errors.As(err, &rerr) {
+		t.Fatalf("cancelled resume: got %T %v, want *core.RunError", err, err)
+	}
+	if m == nil || !m.Partial || m.FaultCursor == "" {
+		t.Fatalf("cancelled resume's metrics not marked partial: %+v", m)
+	}
+}
+
+// TestResumeUnderDifferentMachineRejected pins the checkpoint tag: a
+// snapshot taken on the scenario's own machine must not resume under a
+// -machine override (the simulated hardware differs, so the state is
+// meaningless there).
+func TestResumeUnderDifferentMachineRejected(t *testing.T) {
+	sc, ok := Get("stream_triad_1t")
+	if !ok {
+		t.Fatal("scenario missing")
+	}
+	var last *checkpoint.Snapshot
+	opts := Options{
+		CheckpointEvery: 3,
+		CheckpointSink:  func(s *checkpoint.Snapshot) error { last = s; return nil },
+	}
+	if _, err := Run(sc, opts); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := machspec.Named("small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(sc, Options{Resume: last, Machine: spec}); err == nil {
+		t.Fatal("snapshot resumed under a different machine spec")
 	}
 }
 

@@ -25,6 +25,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/folding"
 	"repro/internal/hpcg"
+	"repro/internal/machspec"
 	"repro/internal/memhier"
 	"repro/internal/numa"
 	"repro/internal/pebs"
@@ -95,41 +96,55 @@ type Options struct {
 	// fingerprint) and continues from its cursor; the completed run is
 	// byte-identical to an uninterrupted one.
 	Resume *checkpoint.Snapshot
+	// Machine, when non-nil, replaces the scenario's named hierarchy and
+	// NUMA topology with a declarative machine spec (simrun -machine,
+	// cmd/sweep): the spec's cache levels, socket count, placement and
+	// page size become the run's machine, and its sampling section (if
+	// present) overrides the scenario's sampling identity. The explicit
+	// Sockets/Placement overrides still apply on top of the spec.
+	Machine *machspec.Spec
+	// Sampling overrides individual sampling knobs (set fields win over
+	// both the scenario and the spec — the sweep engine's sampling axis).
+	Sampling *machspec.Sampling
 }
 
 // HierarchyNames lists the named cache configurations of the matrix.
 func HierarchyNames() []string { return []string{"haswell", "small", "noprefetch"} }
 
-// HierarchyConfig resolves a named cache configuration.
+// HierarchyConfig resolves a named cache configuration. The names are
+// checked-in machine spec files embedded in internal/machspec — the same
+// resolution path a -machine file takes — pinned byte-identical to the
+// legacy Go-struct values by TestNamedSpecsMatchLegacyConfigs.
 func HierarchyConfig(name string) (memhier.Config, error) {
-	switch name {
-	case "", "haswell":
-		return memhier.DefaultConfig(), nil
-	case "small":
-		// A deliberately undersized hierarchy: working sets that fit the
-		// Haswell caches spill here, exercising miss and writeback paths.
-		return memhier.Config{
-			Levels: []memhier.LevelConfig{
-				{Name: "L1D", Size: 8 << 10, LineSize: 64, Assoc: 4, HitLatency: 4},
-				{Name: "L2", Size: 32 << 10, LineSize: 64, Assoc: 8, HitLatency: 12},
-				{Name: "L3", Size: 128 << 10, LineSize: 64, Assoc: 8, HitLatency: 36},
-			},
-			DRAMLatency:      230,
-			NextLinePrefetch: true,
-		}, nil
-	case "noprefetch":
-		cfg := memhier.DefaultConfig()
-		cfg.NextLinePrefetch = false
-		return cfg, nil
+	if name == "" {
+		name = "haswell"
 	}
-	return memhier.Config{}, fmt.Errorf("scenario: unknown hierarchy %q (have %v)", name, HierarchyNames())
+	sp, err := machspec.Named(name)
+	if err != nil {
+		return memhier.Config{}, fmt.Errorf("scenario: unknown hierarchy %q (have %v)", name, HierarchyNames())
+	}
+	return sp.Memhier(), nil
 }
 
 // Config assembles the core configuration for a run of the scenario.
 func (sc Scenario) Config(reference bool) (core.Config, error) {
-	cache, err := HierarchyConfig(sc.Hierarchy)
-	if err != nil {
-		return core.Config{}, err
+	return sc.configWith(reference, nil)
+}
+
+// configWith assembles the core configuration, resolving the machine from
+// the spec when one is given (the scenario's named hierarchy otherwise).
+// The caller has already folded the spec's topology into sc.Sockets /
+// sc.Placement; the spec contributes the cache levels, page size and
+// remote latency here.
+func (sc Scenario) configWith(reference bool, spec *machspec.Spec) (core.Config, error) {
+	var cache memhier.Config
+	if spec != nil {
+		cache = spec.Memhier()
+	} else {
+		var err error
+		if cache, err = HierarchyConfig(sc.Hierarchy); err != nil {
+			return core.Config{}, err
+		}
 	}
 	cfg := core.DefaultConfig()
 	cfg.Cache = cache
@@ -149,8 +164,60 @@ func (sc Scenario) Config(reference bool) (core.Config, error) {
 			return core.Config{}, err
 		}
 		cfg.NUMA = numa.Config{Sockets: sc.Sockets, Policy: policy}
+		if spec != nil {
+			cfg.NUMA.PageSize = spec.PageSize
+			cfg.NUMA.RemoteDRAMLatency = spec.DRAM.RemoteLatency
+		}
 	}
 	return cfg, nil
+}
+
+// applySampling folds a sampling override into the scenario identity (set
+// fields win, nil fields inherit).
+func applySampling(sc *Scenario, sp *machspec.Sampling) {
+	if sp == nil {
+		return
+	}
+	if sp.Period != nil {
+		sc.Period = *sp.Period
+	}
+	if sp.MuxQuantumNs != nil {
+		sc.MuxQuantumNs = *sp.MuxQuantumNs
+	}
+	if sp.Randomize != nil {
+		sc.Randomize = *sp.Randomize
+	}
+	if sp.Seed != nil {
+		sc.Seed = *sp.Seed
+	}
+	if sp.LatencyThreshold != nil {
+		sc.LatencyThreshold = *sp.LatencyThreshold
+	}
+}
+
+// SkipReason reports why a global override combination cannot apply to a
+// scenario — the matrix driver (simrun -run all, the sweep engine) skips
+// such points with a notice instead of aborting a half-finished matrix.
+// Empty string: the combination is runnable.
+func SkipReason(sc Scenario, opts Options) string {
+	threads := sc.Threads
+	if opts.Threads > 0 {
+		threads = opts.Threads
+	}
+	if sc.HPCG != nil && threads > 1 {
+		return "HPCG scenarios are single-thread (no deterministic parallel schedule); -threads override ignored"
+	}
+	sockets := sc.Sockets
+	if opts.Machine != nil {
+		sockets = opts.Machine.Sockets
+	}
+	if opts.Sockets > 0 {
+		sockets = opts.Sockets
+	}
+	if opts.Placement != "" && sockets == 0 {
+		return fmt.Sprintf("placement %q requires a NUMA topology (no socket override and the machine has none)", opts.Placement)
+	}
+	return ""
 }
 
 // registry holds the scenarios in registration order; names is the
@@ -227,6 +294,19 @@ func Get(name string) (Scenario, bool) {
 // workload schedule, or the 1-worker parallel HPCG solve), so repeated
 // runs — and the fast vs. reference paths — are byte-identical.
 func Run(sc Scenario, opts Options) (*Metrics, error) {
+	spec := opts.Machine
+	if spec != nil {
+		// The spec replaces the whole machine: hierarchy, topology and (if
+		// it carries a sampling section) the sampling identity. Explicit
+		// Sockets/Placement overrides still apply on top below.
+		if err := spec.Validate(); err != nil {
+			return nil, fmt.Errorf("scenario %q: %w", sc.Name, err)
+		}
+		sc.Sockets = spec.Sockets
+		sc.Placement = spec.Placement
+		applySampling(&sc, spec.Sampling)
+	}
+	applySampling(&sc, opts.Sampling)
 	threads := sc.Threads
 	if opts.Threads > 0 {
 		threads = opts.Threads
@@ -236,15 +316,14 @@ func Run(sc Scenario, opts Options) (*Metrics, error) {
 	}
 	if opts.Placement != "" {
 		sc.Placement = opts.Placement
-		if sc.Sockets == 0 {
-			// A placement with no NUMA topology is inert (one node:
-			// every policy places identically and remote fills are
-			// impossible); reject rather than silently run it, matching
-			// hpcgrepro's flag validation.
-			return nil, fmt.Errorf("scenario %q: placement %q without a NUMA topology (add -sockets or pick a NUMA scenario)", sc.Name, opts.Placement)
+		if err := machspec.ValidateTopology(sc.Sockets, sc.Placement, 0); err != nil {
+			// The shared topology validation (machspec, simrun and
+			// hpcgrepro surface the same message): a placement with no
+			// NUMA topology is inert and must not silently run.
+			return nil, fmt.Errorf("scenario %q: %w", sc.Name, err)
 		}
 	}
-	cfg, err := sc.Config(opts.Reference)
+	cfg, err := sc.configWith(opts.Reference, spec)
 	if err != nil {
 		return nil, err
 	}
@@ -255,6 +334,12 @@ func Run(sc Scenario, opts Options) (*Metrics, error) {
 	hierarchy := sc.Hierarchy
 	if hierarchy == "" {
 		hierarchy = "haswell"
+	}
+	if spec != nil {
+		hierarchy = spec.Name
+		if hierarchy == "" {
+			hierarchy = "custom"
+		}
 	}
 	numaOn := sc.Sockets > 0
 
@@ -276,9 +361,15 @@ func Run(sc Scenario, opts Options) (*Metrics, error) {
 
 	var ck *core.Checkpointer
 	if opts.CheckpointEvery > 0 || opts.Resume != nil {
+		tagName := sc.Name
+		if spec != nil {
+			// A machine-spec override changes the simulated hardware: make
+			// the snapshot tag reject resuming under a different machine.
+			tagName = sc.Name + "|machine:" + hierarchy
+		}
 		ck = &core.Checkpointer{
 			Every:  opts.CheckpointEvery,
-			Tag:    core.CheckpointTag(sc.Name, threads, cfg),
+			Tag:    core.CheckpointTag(tagName, threads, cfg),
 			Sink:   opts.CheckpointSink,
 			Resume: opts.Resume,
 		}

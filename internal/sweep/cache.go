@@ -1,0 +1,76 @@
+package sweep
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sync/atomic"
+
+	"repro/internal/atomicio"
+)
+
+// Cache is a directory-backed store of canonical Metrics JSON keyed by the
+// point content hash: one <key>.json file per entry, written atomically so
+// a crashed sweep never leaves a truncated entry that would later be served
+// as a result. The zero-value counters make hit accounting testable.
+type Cache struct {
+	dir    string
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+var keyPattern = regexp.MustCompile(`^[0-9a-f]{64}$`)
+
+// OpenCache creates dir if needed and returns the cache over it.
+func OpenCache(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("sweep: cache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+func (c *Cache) path(key string) (string, error) {
+	// The key is interpolated into a filesystem path; only the hex digest
+	// shape Key produces is accepted.
+	if !keyPattern.MatchString(key) {
+		return "", fmt.Errorf("sweep: cache: malformed key %q", key)
+	}
+	return filepath.Join(c.dir, key+".json"), nil
+}
+
+// Get returns the cached metrics bytes for key, or ok=false on a miss.
+func (c *Cache) Get(key string) ([]byte, bool, error) {
+	p, err := c.path(key)
+	if err != nil {
+		return nil, false, err
+	}
+	b, err := os.ReadFile(p)
+	if os.IsNotExist(err) {
+		c.misses.Add(1)
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("sweep: cache: %w", err)
+	}
+	c.hits.Add(1)
+	return b, true, nil
+}
+
+// Put stores the metrics bytes for key, replacing any existing entry
+// atomically.
+func (c *Cache) Put(key string, b []byte) error {
+	p, err := c.path(key)
+	if err != nil {
+		return err
+	}
+	return atomicio.WriteFile(p, func(w io.Writer) error {
+		_, werr := w.Write(b)
+		return werr
+	})
+}
+
+// Hits and Misses report the Get outcomes since the cache was opened.
+func (c *Cache) Hits() uint64   { return c.hits.Load() }
+func (c *Cache) Misses() uint64 { return c.misses.Load() }

@@ -1,0 +1,207 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"repro/internal/scenario"
+)
+
+// Source records how a point's result was obtained.
+type Source string
+
+const (
+	SourceSimulated Source = "simulated"
+	SourceCache     Source = "cached"
+	SourceDeduped   Source = "deduped" // identical point earlier in this run
+	SourceSkipped   Source = "skipped"
+	SourceError     Source = "error"
+)
+
+// Result is one point's outcome. Metrics holds the canonical Metrics JSON
+// (nil for skipped and errored points); Parsed is its decoded form for
+// summary tables.
+type Result struct {
+	Point   Point
+	Source  Source
+	Metrics []byte
+	Parsed  *scenario.Metrics
+	Err     error
+}
+
+// Summary aggregates a run for the one-line report and the CI smoke checks.
+type Summary struct {
+	Points    int
+	Simulated int
+	CacheHits int
+	Deduped   int
+	Skipped   int
+	Errors    int
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("%d points, %d simulated, %d cached, %d deduped, %d skipped, %d errors",
+		s.Points, s.Simulated, s.CacheHits, s.Deduped, s.Skipped, s.Errors)
+}
+
+// Runner executes expanded sweep points.
+type Runner struct {
+	// Jobs bounds concurrent simulations (<=0: 1). Each job is itself a
+	// deterministic sequential run, so host-level parallelism never changes
+	// any point's bytes.
+	Jobs int
+	// Cache, when non-nil, is consulted before simulating and filled after.
+	Cache *Cache
+	// Context cancels in-flight simulations at instance boundaries (nil:
+	// run to completion).
+	Context context.Context
+	// Log, when non-nil, receives one progress line per completed point.
+	Log func(format string, args ...any)
+}
+
+func (r *Runner) logf(format string, args ...any) {
+	if r.Log != nil {
+		r.Log(format, args...)
+	}
+}
+
+// Run executes the points and returns results in point order plus the
+// summary. Within one invocation, points with equal keys are deduplicated:
+// the first occurrence runs (or hits the cache) and the rest reuse its
+// bytes. Individual point failures are recorded, not fatal — a sweep is a
+// matrix, and one broken cell must not discard the rest.
+func (r *Runner) Run(points []Point) ([]Result, Summary, error) {
+	results := make([]Result, len(points))
+	summary := Summary{Points: len(points)}
+
+	// Partition: skipped points resolve immediately; the first point of
+	// each key becomes a job; later ones wait for it.
+	firstByKey := make(map[string]int, len(points))
+	var jobs []int
+	for i, p := range points {
+		results[i].Point = p
+		if p.Skip != "" {
+			results[i].Source = SourceSkipped
+			summary.Skipped++
+			continue
+		}
+		if _, dup := firstByKey[p.Key]; dup {
+			continue
+		}
+		firstByKey[p.Key] = i
+		jobs = append(jobs, i)
+	}
+
+	workers := r.Jobs
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > len(jobs) && len(jobs) > 0 {
+		workers = len(jobs)
+	}
+	jobCh := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex // guards summary counters and r.logf ordering
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				// A panicking simulation must not deadlock the pool; drain
+				// our share and surface the panic as a counted error.
+				if rec := recover(); rec != nil {
+					mu.Lock()
+					summary.Errors++
+					mu.Unlock()
+					for range jobCh {
+					}
+				}
+			}()
+			for i := range jobCh {
+				res := r.runPoint(points[i])
+				mu.Lock()
+				results[i] = res
+				switch res.Source {
+				case SourceSimulated:
+					summary.Simulated++
+				case SourceCache:
+					summary.CacheHits++
+				case SourceError:
+					summary.Errors++
+				}
+				r.logf("sweep: %-9s %s", res.Source, points[i].Label())
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, i := range jobs {
+		jobCh <- i
+	}
+	close(jobCh)
+	wg.Wait()
+
+	// Resolve duplicates from their key's first occurrence.
+	for i, p := range points {
+		if p.Skip != "" || firstByKey[p.Key] == i {
+			continue
+		}
+		src := results[firstByKey[p.Key]]
+		results[i] = Result{Point: p, Metrics: src.Metrics, Parsed: src.Parsed, Err: src.Err, Source: SourceDeduped}
+		if src.Source == SourceError {
+			results[i].Source = SourceError
+			summary.Errors++
+		} else {
+			summary.Deduped++
+		}
+	}
+	return results, summary, nil
+}
+
+func (r *Runner) runPoint(p Point) Result {
+	res := Result{Point: p}
+	if r.Cache != nil {
+		b, ok, err := r.Cache.Get(p.Key)
+		if err != nil {
+			res.Source, res.Err = SourceError, err
+			return res
+		}
+		if ok {
+			res.Source, res.Metrics = SourceCache, b
+			res.Parsed = parseMetrics(b)
+			return res
+		}
+	}
+	opts := p.Options()
+	opts.Context = r.Context
+	m, err := scenario.Run(p.Scenario, opts)
+	if err != nil {
+		res.Source = SourceError
+		res.Err = fmt.Errorf("%s: %w", p.Label(), err)
+		return res
+	}
+	b, err := m.JSON()
+	if err != nil {
+		res.Source = SourceError
+		res.Err = fmt.Errorf("%s: %w", p.Label(), err)
+		return res
+	}
+	res.Source, res.Metrics, res.Parsed = SourceSimulated, b, m
+	if r.Cache != nil {
+		if err := r.Cache.Put(p.Key, b); err != nil {
+			// The result itself is good; a cache-write failure only costs
+			// the next run its hit.
+			r.logf("sweep: cache write failed for %s: %v", p.Label(), err)
+		}
+	}
+	return res
+}
+
+func parseMetrics(b []byte) *scenario.Metrics {
+	var m scenario.Metrics
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil
+	}
+	return &m
+}

@@ -1,0 +1,236 @@
+// Package sweep expands a declarative parameter-sweep file — a machine ×
+// scenario × placement × sampling cross-product — into concrete simulation
+// jobs, runs them on a bounded worker pool, and caches each job's canonical
+// Metrics JSON keyed by a content hash of everything that determines the
+// result. Because every job reuses the deterministic sequential schedule
+// (scenario.Run), two runs of the same point produce byte-identical metrics,
+// so a cache hit is exact: a re-run of an unchanged sweep performs zero
+// simulation.
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/machspec"
+	"repro/internal/scenario"
+)
+
+// Version is the sweep file format version this package reads.
+const Version = 1
+
+// File is the on-disk sweep description. Every axis is optional; an empty
+// axis contributes a single "scenario default" element to the cross-product
+// rather than emptying it.
+type File struct {
+	// Version must equal Version.
+	Version int `json:"version"`
+	// Machines lists machine references: a named spec ("haswell"), or a
+	// path to a spec file, resolved relative to the sweep file's directory.
+	// The empty string means the scenario's own hierarchy/topology.
+	Machines []string `json:"machines,omitempty"`
+	// Scenarios lists registered scenario names. Required and non-empty.
+	Scenarios []string `json:"scenarios,omitempty"`
+	// Placements lists placement-policy overrides; "" means the scenario's
+	// (or machine's) own placement.
+	Placements []string `json:"placements,omitempty"`
+	// Sampling lists sampling overrides applied on top of the scenario and
+	// machine spec; set fields win.
+	Sampling []machspec.Sampling `json:"sampling,omitempty"`
+	// Reference runs every point on the reference simulation path.
+	Reference bool `json:"reference,omitempty"`
+}
+
+// Decode reads a sweep file strictly, mirroring the machspec decoder: a
+// typoed axis name must fail loudly, not silently sweep the default.
+func Decode(r io.Reader) (*File, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var f File
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("sweep: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("sweep: trailing data after spec document")
+	}
+	if f.Version != Version {
+		return nil, fmt.Errorf("sweep: unsupported version %d (want %d)", f.Version, Version)
+	}
+	if len(f.Scenarios) == 0 {
+		return nil, fmt.Errorf("sweep: no scenarios listed")
+	}
+	return &f, nil
+}
+
+// LoadFile reads and decodes path.
+func LoadFile(path string) (*File, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: %w", err)
+	}
+	return Decode(strings.NewReader(string(b)))
+}
+
+// Point is one fully-resolved cell of the cross-product.
+type Point struct {
+	// Machine is the reference as written in the sweep file ("" = scenario
+	// default); Spec is its resolution (nil for the default).
+	Machine string
+	Spec    *machspec.Spec
+	// Scenario is the registered scenario.
+	Scenario scenario.Scenario
+	// Placement and Sampling are the per-point overrides ("", nil = none).
+	Placement string
+	Sampling  *machspec.Sampling
+	// Reference selects the reference simulation path.
+	Reference bool
+	// Key is the content hash identifying the point's result — see Key.
+	Key string
+	// Skip is non-empty when the override combination cannot apply to the
+	// scenario (scenario.SkipReason); the point is reported, not run.
+	Skip string
+}
+
+// Options builds the scenario.Options the point runs under.
+func (p Point) Options() scenario.Options {
+	return scenario.Options{
+		Reference: p.Reference,
+		Placement: p.Placement,
+		Machine:   p.Spec,
+		Sampling:  p.Sampling,
+	}
+}
+
+// Label is the point's human-readable identity for tables and logs.
+func (p Point) Label() string {
+	machine := p.Machine
+	if machine == "" {
+		machine = "default"
+	} else if p.Spec != nil {
+		machine = p.Spec.Name
+	}
+	parts := []string{machine, p.Scenario.Name}
+	if p.Placement != "" {
+		parts = append(parts, p.Placement)
+	}
+	if p.Sampling != nil {
+		parts = append(parts, p.Sampling.String())
+	}
+	if p.Reference {
+		parts = append(parts, "ref")
+	}
+	return strings.Join(parts, "/")
+}
+
+// keyDoc is the serialized identity a point's cache key hashes: the resolved
+// machine (its canonical spec JSON, so a renamed file with identical content
+// still hits), the scenario name (scenario definitions are code — a changed
+// definition must be accompanied by a registry rename or a cache flush, the
+// same contract the golden files live under), and the per-point overrides.
+type keyDoc struct {
+	Spec      string             `json:"spec,omitempty"`
+	Scenario  string             `json:"scenario"`
+	Placement string             `json:"placement,omitempty"`
+	Sampling  *machspec.Sampling `json:"sampling,omitempty"`
+	Reference bool               `json:"reference,omitempty"`
+}
+
+// Key computes the content-hash identity of a (spec, scenario, overrides)
+// combination: sha256 over the canonical keyDoc JSON, hex-encoded.
+func Key(spec *machspec.Spec, scenarioName, placement string, sampling *machspec.Sampling, reference bool) (string, error) {
+	doc := keyDoc{Scenario: scenarioName, Placement: placement, Sampling: sampling, Reference: reference}
+	if spec != nil {
+		b, err := spec.JSON()
+		if err != nil {
+			return "", fmt.Errorf("sweep: hashing machine spec: %w", err)
+		}
+		doc.Spec = string(b)
+	}
+	b, err := json.Marshal(doc)
+	if err != nil {
+		return "", fmt.Errorf("sweep: hashing point: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Expand resolves the file into the full cross-product, in deterministic
+// axis order (machines outermost, sampling innermost). Machine file paths
+// are resolved relative to baseDir (the sweep file's directory). Unknown
+// scenarios and unresolvable machines are errors — a sweep with a typo
+// should fail before the first simulation, not midway.
+func (f *File) Expand(baseDir string) ([]Point, error) {
+	machines := f.Machines
+	if len(machines) == 0 {
+		machines = []string{""}
+	}
+	placements := f.Placements
+	if len(placements) == 0 {
+		placements = []string{""}
+	}
+	samplings := make([]*machspec.Sampling, 0, len(f.Sampling))
+	for i := range f.Sampling {
+		samplings = append(samplings, &f.Sampling[i])
+	}
+	if len(samplings) == 0 {
+		samplings = []*machspec.Sampling{nil}
+	}
+
+	specs := make([]*machspec.Spec, len(machines))
+	for i, ref := range machines {
+		if ref == "" {
+			continue
+		}
+		resolved := ref
+		if isPath(ref) && !filepath.IsAbs(ref) {
+			resolved = filepath.Join(baseDir, ref)
+		}
+		sp, err := machspec.Resolve(resolved)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: machine %q: %w", ref, err)
+		}
+		specs[i] = sp
+	}
+
+	points := make([]Point, 0, len(machines)*len(f.Scenarios)*len(placements)*len(samplings))
+	for mi, machine := range machines {
+		for _, name := range f.Scenarios {
+			sc, ok := scenario.Get(name)
+			if !ok {
+				return nil, fmt.Errorf("sweep: unknown scenario %q", name)
+			}
+			for _, placement := range placements {
+				for _, sampling := range samplings {
+					p := Point{
+						Machine:   machine,
+						Spec:      specs[mi],
+						Scenario:  sc,
+						Placement: placement,
+						Sampling:  sampling,
+						Reference: f.Reference,
+					}
+					key, err := Key(p.Spec, sc.Name, placement, sampling, f.Reference)
+					if err != nil {
+						return nil, err
+					}
+					p.Key = key
+					p.Skip = scenario.SkipReason(sc, p.Options())
+					points = append(points, p)
+				}
+			}
+		}
+	}
+	return points, nil
+}
+
+// isPath reports whether a machine reference is a file path rather than an
+// embedded spec name — the same rule machspec.Resolve applies.
+func isPath(ref string) bool {
+	return strings.ContainsRune(ref, os.PathSeparator) || strings.HasSuffix(ref, ".json")
+}
