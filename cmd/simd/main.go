@@ -1,0 +1,127 @@
+// Command simd runs the simulation server: an HTTP/JSON service that
+// accepts simulation jobs (named machine or inline spec × scenario ×
+// placement × sampling), coalesces duplicates, caches results by content
+// hash, sheds load beyond its configured capacity with 429 + Retry-After,
+// and drains gracefully on SIGTERM — in-flight runs get up to
+// -drain-timeout to finish, runs that cannot finish are checkpointed into
+// -state and resume when the server restarts over the same directory.
+//
+//	simd -addr :8080 -cache .sweepcache -state .simd-state \
+//	     -max-concurrent 4 -max-queued 32 -drain-timeout 30s
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/simd"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, nil); err != nil {
+		fmt.Fprintf(os.Stderr, "simd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run is main with its environment injected: stdout for the listening line
+// and the summary, and an optional signal channel standing in for the
+// process signals (tests drive a drain without sending themselves a real
+// SIGTERM).
+func run(argv []string, stdout io.Writer, signals <-chan os.Signal) error {
+	fs := flag.NewFlagSet("simd", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (host:port; :0 picks a free port)")
+	cacheDir := fs.String("cache", "", "shared metrics cache directory (empty: no cache)")
+	stateDir := fs.String("state", "", "drain checkpoint/park directory (empty: drain cancels instead of checkpointing)")
+	maxConcurrent := fs.Int("max-concurrent", 2, "concurrent simulations")
+	maxQueued := fs.Int("max-queued", 8, "queued jobs before load is shed with 429")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "grace for in-flight runs on SIGTERM before checkpoint/cancel")
+	defaultTimeout := fs.Duration("default-timeout", 0, "per-job deadline when the request has none (0: none)")
+	maxTimeout := fs.Duration("max-timeout", 0, "cap on per-job deadlines (0: no cap)")
+	maxInstances := fs.Int("max-instances", 0, "per-job instance budget; larger jobs are rejected with 413 (0: unlimited)")
+	retryAfter := fs.Duration("retry-after", time.Second, "back-off hint attached to shed responses")
+	verbose := fs.Bool("v", false, "log job lifecycle events")
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
+
+	cfg := simd.Config{
+		MaxConcurrent:   *maxConcurrent,
+		MaxQueued:       *maxQueued,
+		CacheDir:        *cacheDir,
+		StateDir:        *stateDir,
+		DefaultTimeout:  *defaultTimeout,
+		MaxTimeout:      *maxTimeout,
+		MaxJobInstances: *maxInstances,
+		RetryAfter:      *retryAfter,
+	}
+	if *verbose {
+		cfg.Log = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	srv, err := simd.New(cfg)
+	if err != nil {
+		return err
+	}
+	// Jobs parked by the previous process's drain restart here, before any
+	// new traffic is admitted.
+	if n, err := srv.Resume(); err != nil {
+		return err
+	} else if n > 0 {
+		fmt.Fprintf(stdout, "simd: resumed %d checkpointed job(s) from %s\n", n, *stateDir)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "simd: listening on http://%s\n", ln.Addr())
+
+	if signals == nil {
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, syscall.SIGTERM, syscall.SIGINT)
+		defer signal.Stop(ch)
+		signals = ch
+	}
+
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	//repro:spawn-ok http.Serve owns this goroutine; the handler stack has the server's per-job recover
+	go func() {
+		serveErr <- hs.Serve(ln)
+	}()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case sig := <-signals:
+		fmt.Fprintf(stdout, "simd: %v: draining (grace %s)\n", sig, *drainTimeout)
+	}
+
+	// Drain order: stop admitting and settle every job first (finish,
+	// checkpoint or cancel), then close the HTTP side so late clients got
+	// their 503s rather than connection resets.
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(dctx); err != nil {
+		return err
+	}
+	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer scancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		hs.Close()
+	}
+	st := srv.Stats()
+	fmt.Fprintf(stdout, "simd: drained: %d simulated, %d cache hits, %d coalesced, %d parked, %d shed\n",
+		st.Simulated, st.CacheHits, st.Coalesced, st.Parked, st.Shed)
+	return nil
+}

@@ -1,40 +1,54 @@
 // Command sweep expands a machine × scenario × placement × sampling sweep
 // file into simulation jobs, runs them on a bounded worker pool, and prints
 // a summary table. Results are cached by content hash: re-running an
-// unchanged sweep performs zero simulation.
+// unchanged sweep performs zero simulation. With -server the points are
+// executed by a running simd server (shared cache, coalescing and admission
+// control included) instead of in-process.
+//
+// SIGINT/SIGTERM stops the sweep cleanly: in-flight points cancel at their
+// next instance boundary, completed points keep their results and cache
+// entries, and the exit is non-zero with a finished/cancelled summary.
 //
 //	sweep -spec examples/sweeps/paper.json -jobs 4 -cache .sweepcache -out results.csv
+//	sweep -spec examples/sweeps/paper.json -server http://127.0.0.1:8080
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"syscall"
 	"text/tabwriter"
 
 	"repro/internal/atomicio"
 	"repro/internal/scenario"
+	"repro/internal/simd"
 	"repro/internal/sweep"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(argv []string, stdout io.Writer) error {
+func run(ctx context.Context, argv []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	specPath := fs.String("spec", "", "sweep file (required)")
 	jobs := fs.Int("jobs", 1, "concurrent simulations")
 	cacheDir := fs.String("cache", "", "metrics cache directory (empty: no cache)")
+	server := fs.String("server", "", "simd server URL; points run remotely instead of in-process")
 	outPath := fs.String("out", "", "write results to a .csv or .json file")
 	verbose := fs.Bool("v", false, "log each point as it completes")
 	if err := fs.Parse(argv); err != nil {
@@ -49,13 +63,16 @@ func run(argv []string, stdout io.Writer) error {
 		return err
 	}
 
-	runner := &sweep.Runner{Jobs: *jobs}
+	runner := &sweep.Runner{Jobs: *jobs, Context: ctx}
 	if *cacheDir != "" {
 		c, err := sweep.OpenCache(*cacheDir)
 		if err != nil {
 			return err
 		}
 		runner.Cache = c
+	}
+	if *server != "" {
+		runner.Execute = remoteExecute(&simd.Client{BaseURL: *server})
 	}
 	if *verbose {
 		runner.Log = func(format string, args ...any) {
@@ -76,10 +93,47 @@ func run(argv []string, stdout io.Writer) error {
 			return err
 		}
 	}
+	if summary.Cancelled > 0 {
+		// The interrupted matrix is not an error in any single point, but
+		// the sweep as a whole did not complete: exit non-zero so callers
+		// (CI, scripts) do not mistake a partial table for a full one. The
+		// finished points kept their results and cache entries.
+		return fmt.Errorf("interrupted: %d point(s) finished, %d cancelled", summary.Finished(), summary.Cancelled)
+	}
 	if summary.Errors > 0 {
 		return fmt.Errorf("%d point(s) failed", summary.Errors)
 	}
 	return nil
+}
+
+// remoteExecute adapts a simd client to the runner's Execute hook: each
+// cache-miss point becomes one blocking server job. The point's identity
+// fields map one-to-one onto the request, so the server derives the same
+// content-hash key and its cache interoperates with the local -cache.
+func remoteExecute(client *simd.Client) func(context.Context, sweep.Point) ([]byte, bool, error) {
+	return func(ctx context.Context, p sweep.Point) ([]byte, bool, error) {
+		req := simd.Request{
+			Scenario:  p.Scenario.Name,
+			Placement: p.Placement,
+			Sampling:  p.Sampling,
+			Reference: p.Reference,
+		}
+		if p.Spec != nil {
+			// Send the resolved spec inline: the server must not need our
+			// filesystem, and the canonical spec JSON hashes identically on
+			// both sides.
+			b, err := p.Spec.JSON()
+			if err != nil {
+				return nil, false, err
+			}
+			req.Spec = b
+		}
+		res, err := client.Run(ctx, req)
+		if err != nil {
+			return nil, false, err
+		}
+		return res.Metrics, res.Source == simd.SourceCache, nil
+	}
 }
 
 // loadAndExpand reads a sweep file and expands its cross-product, resolving

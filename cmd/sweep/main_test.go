@@ -2,12 +2,16 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/csv"
 	"encoding/json"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/simd"
 )
 
 // TestSweepEndToEnd drives the CLI over the checked-in smoke sweep: the
@@ -21,7 +25,7 @@ func TestSweepEndToEnd(t *testing.T) {
 
 	var buf bytes.Buffer
 	args := []string{"-spec", "../../examples/sweeps/smoke.json", "-jobs", "2", "-cache", cacheDir, "-out", outCSV}
-	if err := run(args, &buf); err != nil {
+	if err := run(context.Background(), args, &buf); err != nil {
 		t.Fatalf("first run: %v\n%s", err, buf.String())
 	}
 	if !strings.Contains(buf.String(), "sweep: 4 points, 4 simulated, 0 cached") {
@@ -30,7 +34,7 @@ func TestSweepEndToEnd(t *testing.T) {
 
 	buf.Reset()
 	args = []string{"-spec", "../../examples/sweeps/smoke.json", "-jobs", "2", "-cache", cacheDir, "-out", outJSON}
-	if err := run(args, &buf); err != nil {
+	if err := run(context.Background(), args, &buf); err != nil {
 		t.Fatalf("cached re-run: %v\n%s", err, buf.String())
 	}
 	if !strings.Contains(buf.String(), "sweep: 4 points, 0 simulated, 4 cached") {
@@ -73,7 +77,7 @@ func TestSweepEndToEnd(t *testing.T) {
 
 func TestSweepRejectsBadInput(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{}, &buf); err == nil || !strings.Contains(err.Error(), "-spec is required") {
+	if err := run(context.Background(), []string{}, &buf); err == nil || !strings.Contains(err.Error(), "-spec is required") {
 		t.Errorf("missing -spec error = %v", err)
 	}
 	dir := t.TempDir()
@@ -81,10 +85,10 @@ func TestSweepRejectsBadInput(t *testing.T) {
 	if err := os.WriteFile(bad, []byte(`{"version": 1, "scenarios": ["nope"]}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-spec", bad}, &buf); err == nil || !strings.Contains(err.Error(), `unknown scenario "nope"`) {
+	if err := run(context.Background(), []string{"-spec", bad}, &buf); err == nil || !strings.Contains(err.Error(), `unknown scenario "nope"`) {
 		t.Errorf("unknown scenario error = %v", err)
 	}
-	if err := run([]string{"-spec", bad, "-out", filepath.Join(dir, "x.xml")}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-spec", bad, "-out", filepath.Join(dir, "x.xml")}, &buf); err == nil {
 		t.Error("bad -out extension accepted")
 	}
 }
@@ -112,5 +116,66 @@ func TestPaperSweepExpands(t *testing.T) {
 				t.Errorf("%s: point %s unexpectedly skipped: %s", tc.file, p.Label(), p.Skip)
 			}
 		}
+	}
+}
+
+// TestSweepRemoteMode drives the sweep through a simd server: every
+// cache-miss point executes remotely, the local cache still fills, and a
+// re-run is all local cache hits.
+func TestSweepRemoteMode(t *testing.T) {
+	srv, err := simd.New(simd.Config{MaxConcurrent: 2, MaxQueued: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	dir := t.TempDir()
+	cacheDir := filepath.Join(dir, "cache")
+	var buf bytes.Buffer
+	args := []string{"-spec", "../../examples/sweeps/smoke.json", "-jobs", "2",
+		"-cache", cacheDir, "-server", ts.URL}
+	if err := run(context.Background(), args, &buf); err != nil {
+		t.Fatalf("remote run: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "4 remote") {
+		t.Fatalf("remote summary missing:\n%s", buf.String())
+	}
+	if st := srv.Stats(); st.Simulated != 4 {
+		t.Errorf("server simulated %d points, want 4", st.Simulated)
+	}
+
+	// Re-run: the local cache answers everything; the server sees nothing.
+	buf.Reset()
+	if err := run(context.Background(), args, &buf); err != nil {
+		t.Fatalf("cached re-run: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "4 cached") {
+		t.Fatalf("cached summary missing:\n%s", buf.String())
+	}
+	if st := srv.Stats(); st.Simulated != 4 {
+		t.Errorf("re-run reached the server: %d simulated", st.Simulated)
+	}
+}
+
+// TestSweepInterrupted pins the signal contract: a cancelled run exits
+// non-zero with a finished/cancelled summary, and the completed points keep
+// their cache entries.
+func TestSweepInterrupted(t *testing.T) {
+	dir := t.TempDir()
+	cacheDir := filepath.Join(dir, "cache")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the signal arrives before the first point
+	var buf bytes.Buffer
+	args := []string{"-spec", "../../examples/sweeps/smoke.json", "-cache", cacheDir}
+	err := run(ctx, args, &buf)
+	if err == nil {
+		t.Fatal("interrupted sweep exited zero")
+	}
+	if !strings.Contains(err.Error(), "interrupted") || !strings.Contains(err.Error(), "cancelled") {
+		t.Errorf("interruption not summarized: %v", err)
+	}
+	if !strings.Contains(buf.String(), "cancelled") {
+		t.Errorf("summary line does not report cancellations:\n%s", buf.String())
 	}
 }

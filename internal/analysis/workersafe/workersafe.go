@@ -49,7 +49,7 @@ var Analyzer = &analysis.Analyzer{
 var surface string
 
 func init() {
-	Analyzer.Flags.StringVar(&surface, "packages", "core,hpcg",
+	Analyzer.Flags.StringVar(&surface, "packages", "core,hpcg,simd",
 		"comma-separated packages (name or path suffix) holding the worker engine")
 }
 

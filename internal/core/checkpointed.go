@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/checkpoint"
@@ -9,6 +10,11 @@ import (
 	"repro/internal/hpcg"
 	"repro/internal/workloads"
 )
+
+// ErrCheckpointDemanded is the RunError cause of a run stopped by a
+// Checkpointer.Demand trigger: the snapshot was taken and emitted at the
+// cursor the RunError carries, so the run can be resumed byte-exactly.
+var ErrCheckpointDemanded = errors.New("core: checkpoint demanded, run stopped at instance boundary")
 
 // Checkpointer configures periodic state snapshots of a deterministic run.
 // Snapshots happen only at instance boundaries (after an ExitRegion has
@@ -28,6 +34,13 @@ type Checkpointer struct {
 	// Resume, when set, restores this snapshot after setup and continues
 	// from its cursor instead of starting at the beginning.
 	Resume *checkpoint.Snapshot
+	// Demand, when non-nil, is polled at every instance boundary (the same
+	// quiescent points as the cancellation poll). When it returns true the
+	// run snapshots at that boundary, emits the snapshot, and stops with a
+	// *RunError wrapping ErrCheckpointDemanded — the mechanism a draining
+	// server uses to park an in-flight run it cannot let finish. The poll
+	// must be cheap (an atomic load); it runs once per instance.
+	Demand func() bool
 }
 
 // CheckpointTag fingerprints a run configuration for snapshot validation:
@@ -39,6 +52,12 @@ func CheckpointTag(name string, threads int, cfg Config) string {
 		path = "reference"
 	}
 	return fmt.Sprintf("%s|t%d|%s", name, threads, path)
+}
+
+// demanded reports whether a demand trigger is armed and has fired; safe on
+// a nil receiver so the run loops can poll unconditionally.
+func (ck *Checkpointer) demanded() bool {
+	return ck != nil && ck.Demand != nil && ck.Demand()
 }
 
 func (ck *Checkpointer) emit(snap *checkpoint.Snapshot) error {
@@ -203,6 +222,17 @@ func RunWorkloadCheckpointed(ctx context.Context, cfg Config, w workloads.Worklo
 				runErr = &RunError{Thread: 1, Cursor: cur, Cause: err}
 				break
 			}
+			if ck.demanded() {
+				snap, err := s.Snapshot(cur, ck.Tag)
+				if err != nil {
+					return nil, err
+				}
+				if err := ck.emit(snap); err != nil {
+					return nil, err
+				}
+				runErr = &RunError{Thread: 1, Cursor: cur, Cause: ErrCheckpointDemanded}
+				break
+			}
 			if err := rw.RunPartitionRange(wctx, it, it+1, 0, n); err != nil {
 				return nil, err
 			}
@@ -285,6 +315,19 @@ func RunHPCGCheckpointed(ctx context.Context, cfg Config, params hpcg.Params, ck
 		}
 		if err := faultinject.Hit(faultinject.PointInstance); err != nil {
 			runErr = &RunError{Thread: 1, Cursor: cur, Cause: err}
+			break
+		}
+		if ck.demanded() {
+			snap, err := s.Snapshot(cur, ck.Tag)
+			if err != nil {
+				return nil, err
+			}
+			cgs := cgr.State()
+			snap.CG = &cgs
+			if err := ck.emit(snap); err != nil {
+				return nil, err
+			}
+			runErr = &RunError{Thread: 1, Cursor: cur, Cause: ErrCheckpointDemanded}
 			break
 		}
 		done, err := cgr.Step()

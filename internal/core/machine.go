@@ -479,6 +479,16 @@ func (m *Machine) runSequential(ctx context.Context, w workloads.PartitionedWork
 			if err := faultinject.Hit(faultinject.PointInstance); err != nil {
 				return &RunError{Thread: t + 1, Cursor: cur, Cause: err}, nil
 			}
+			if ck.demanded() {
+				snap, err := m.Snapshot(cur, ck.Tag)
+				if err != nil {
+					return nil, err
+				}
+				if err := ck.emit(snap); err != nil {
+					return nil, err
+				}
+				return &RunError{Thread: t + 1, Cursor: cur, Cause: ErrCheckpointDemanded}, nil
+			}
 			if err := rw.RunPartitionRange(wctx, it, it+1, lo, hi); err != nil {
 				return nil, fmt.Errorf("core: thread %d: %w", t+1, err)
 			}

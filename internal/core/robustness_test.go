@@ -333,3 +333,123 @@ func TestHPCGParallelCancellation(t *testing.T) {
 		t.Errorf("partial run missing or unmarked")
 	}
 }
+
+// demandAfter returns a Demand poll that fires from its n-th call on — the
+// poll-counting pattern a draining server uses (every instance boundary
+// polls once).
+func demandAfter(n int) func() bool {
+	polls := 0
+	return func() bool {
+		polls++
+		return polls >= n
+	}
+}
+
+// TestDemandCheckpointResumeByteExact pins the drain primitive: a run
+// stopped by Checkpointer.Demand emits a snapshot at the stop cursor, the
+// RunError carries ErrCheckpointDemanded, and resuming the snapshot
+// reproduces the uninterrupted trace byte for byte.
+func TestDemandCheckpointResumeByteExact(t *testing.T) {
+	cfg := testConfig()
+	tag := CheckpointTag("stream_triad", 1, cfg)
+	run := func(ck *Checkpointer) (*RunWorkloadResult, error) {
+		return RunWorkloadCheckpointed(nil, cfg, workloads.NewStream(1<<12), 6, ck)
+	}
+	golden, err := run(nil)
+	if err != nil {
+		t.Fatalf("golden run: %v", err)
+	}
+	goldenPRV, goldenPCF := traceBytes(t, golden.Session)
+
+	var snap *checkpoint.Snapshot
+	ck := &Checkpointer{
+		Tag:    tag,
+		Demand: demandAfter(4),
+		Sink:   func(s *checkpoint.Snapshot) error { snap = s; return nil },
+	}
+	res, err := run(ck)
+	rerr := asRunError(t, err)
+	if !errors.Is(rerr.Cause, ErrCheckpointDemanded) {
+		t.Fatalf("cause = %v, want ErrCheckpointDemanded", rerr.Cause)
+	}
+	if res == nil || !res.Partial {
+		t.Fatal("demand stop should return a partial-marked result")
+	}
+	if snap == nil {
+		t.Fatal("no snapshot emitted")
+	}
+	if snap.Cursor != rerr.Cursor {
+		t.Fatalf("snapshot cursor %+v != RunError cursor %+v", snap.Cursor, rerr.Cursor)
+	}
+	if want := (checkpoint.Cursor{Thread: 0, Iter: 3}); snap.Cursor != want {
+		t.Errorf("cursor = %+v, want %+v (three instances completed before the 4th poll)", snap.Cursor, want)
+	}
+	resumed, err := run(&Checkpointer{Tag: tag, Resume: reencode(t, snap)})
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	resumedPRV, resumedPCF := traceBytes(t, resumed.Session)
+	checkByteExact(t, goldenPRV, goldenPCF, resumedPRV, resumedPCF)
+}
+
+// TestDemandCheckpointMachineAndHPCG covers the demand poll on the other two
+// deterministic schedules: the thread-major machine run and the CG solve.
+func TestDemandCheckpointMachineAndHPCG(t *testing.T) {
+	cfg := testConfig()
+	{
+		tag := CheckpointTag("random_access", 2, cfg)
+		run := func(ck *Checkpointer) (*MachineWorkloadResult, error) {
+			w := workloads.NewRandomAccess(1<<12, 1<<10, 7)
+			return RunWorkloadSequentialCheckpointed(nil, cfg, w, 4, 2, ck)
+		}
+		golden, err := run(nil)
+		if err != nil {
+			t.Fatalf("golden machine run: %v", err)
+		}
+		goldenPRV, goldenPCF := traceBytes(t, golden.Machine)
+		var snap *checkpoint.Snapshot
+		ck := &Checkpointer{Tag: tag, Demand: demandAfter(6),
+			Sink: func(s *checkpoint.Snapshot) error { snap = s; return nil }}
+		_, err = run(ck)
+		rerr := asRunError(t, err)
+		if !errors.Is(rerr.Cause, ErrCheckpointDemanded) || snap == nil {
+			t.Fatalf("machine demand stop: cause=%v snapshot=%v", rerr.Cause, snap != nil)
+		}
+		resumed, err := run(&Checkpointer{Tag: tag, Resume: reencode(t, snap)})
+		if err != nil {
+			t.Fatalf("resumed machine run: %v", err)
+		}
+		rPRV, rPCF := traceBytes(t, resumed.Machine)
+		checkByteExact(t, goldenPRV, goldenPCF, rPRV, rPCF)
+	}
+	{
+		params := testHPCGParams()
+		params.MaxIters = 8
+		tag := CheckpointTag("hpcg", 1, cfg)
+		run := func(ck *Checkpointer) (*HPCGRun, error) {
+			return RunHPCGCheckpointed(nil, cfg, params, ck)
+		}
+		golden, err := run(nil)
+		if err != nil {
+			t.Fatalf("golden hpcg run: %v", err)
+		}
+		goldenPRV, goldenPCF := traceBytes(t, golden.Session)
+		var snap *checkpoint.Snapshot
+		ck := &Checkpointer{Tag: tag, Demand: demandAfter(5),
+			Sink: func(s *checkpoint.Snapshot) error { snap = s; return nil }}
+		_, err = run(ck)
+		rerr := asRunError(t, err)
+		if !errors.Is(rerr.Cause, ErrCheckpointDemanded) || snap == nil || snap.CG == nil {
+			t.Fatalf("hpcg demand stop: cause=%v snapshot=%v cg=%v", rerr.Cause, snap != nil, snap != nil && snap.CG != nil)
+		}
+		resumed, err := run(&Checkpointer{Tag: tag, Resume: reencode(t, snap)})
+		if err != nil {
+			t.Fatalf("resumed hpcg run: %v", err)
+		}
+		if fmt.Sprintf("%x", resumed.CG.Residuals) != fmt.Sprintf("%x", golden.CG.Residuals) {
+			t.Errorf("resumed CG residual history differs from golden")
+		}
+		rPRV, rPCF := traceBytes(t, resumed.Session)
+		checkByteExact(t, goldenPRV, goldenPCF, rPRV, rPCF)
+	}
+}

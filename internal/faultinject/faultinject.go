@@ -36,6 +36,16 @@ const (
 	PointRename = "atomicio.rename"
 	// PointCheckpoint fires before a checkpoint snapshot is written.
 	PointCheckpoint = "checkpoint.write"
+	// The simd server's error points: request admission, queue insertion,
+	// job execution, the shared-cache write after a simulated run, and the
+	// drain-time checkpoint/park path. Arming them proves a fault at any
+	// server stage surfaces as a structured, retryable error — never a
+	// lost job, a torn cache entry or a wedged queue.
+	PointServerAccept     = "simd.accept"
+	PointServerEnqueue    = "simd.enqueue"
+	PointServerRun        = "simd.run"
+	PointServerCacheWrite = "simd.cachewrite"
+	PointServerDrain      = "simd.drain.checkpoint"
 )
 
 type point struct {

@@ -92,6 +92,12 @@ type Options struct {
 	CheckpointEvery int
 	// CheckpointSink receives each snapshot.
 	CheckpointSink func(*checkpoint.Snapshot) error
+	// CheckpointDemand, when non-nil, is polled at every instance boundary;
+	// returning true snapshots there, feeds the snapshot to CheckpointSink,
+	// and stops the run with core.ErrCheckpointDemanded — the drain
+	// primitive of the simulation server. Requires the same deterministic
+	// schedules as CheckpointEvery (see CheckpointSupported).
+	CheckpointDemand func() bool
 	// Resume restores a snapshot (validated against the scenario's
 	// fingerprint) and continues from its cursor; the completed run is
 	// byte-identical to an uninterrupted one.
@@ -218,6 +224,28 @@ func SkipReason(sc Scenario, opts Options) string {
 		return fmt.Sprintf("placement %q requires a NUMA topology (no socket override and the machine has none)", opts.Placement)
 	}
 	return ""
+}
+
+// CheckpointSupported reports whether Run(sc, opts) accepts a Checkpointer
+// (periodic, demand or resume): the deterministic instance-boundary
+// schedules — sequential workload runs (the built-in workloads are all
+// ResumableWorkload) and flat HPCG. The NUMA HPCG path runs the 1-worker
+// parallel solve, which has no instance-boundary snapshot point. A server
+// consults this before attaching a drain checkpointer to a job; jobs on
+// unsupported paths are cancelled at the drain deadline instead.
+func CheckpointSupported(sc Scenario, opts Options) bool {
+	sockets := sc.Sockets
+	if opts.Machine != nil {
+		sockets = opts.Machine.Sockets
+	}
+	if opts.Sockets > 0 {
+		sockets = opts.Sockets
+	}
+	if sc.HPCG != nil {
+		return sockets == 0
+	}
+	_, resumable := sc.Workload().(workloads.ResumableWorkload)
+	return resumable
 }
 
 // registry holds the scenarios in registration order; names is the
@@ -360,7 +388,7 @@ func Run(sc Scenario, opts Options) (*Metrics, error) {
 	}
 
 	var ck *core.Checkpointer
-	if opts.CheckpointEvery > 0 || opts.Resume != nil {
+	if opts.CheckpointEvery > 0 || opts.Resume != nil || opts.CheckpointDemand != nil {
 		tagName := sc.Name
 		if spec != nil {
 			// A machine-spec override changes the simulated hardware: make
@@ -372,6 +400,7 @@ func Run(sc Scenario, opts Options) (*Metrics, error) {
 			Tag:    core.CheckpointTag(tagName, threads, cfg),
 			Sink:   opts.CheckpointSink,
 			Resume: opts.Resume,
+			Demand: opts.CheckpointDemand,
 		}
 	}
 

@@ -1,0 +1,868 @@
+// Package simd is the simulation server: a long-running HTTP/JSON service
+// that accepts (machine spec | named machine, scenario, placement, sampling)
+// jobs, streams progress events, and returns the canonical Metrics JSON a
+// local simrun would produce — byte for byte. Its headline property is
+// robustness under load and failure, composed from the repository's earlier
+// fault-tolerance layers:
+//
+//   - Admission control. A bounded session scheduler (MaxConcurrent
+//     simulations × MaxQueued waiting jobs) sheds excess load with 429 +
+//     Retry-After instead of collapsing; a per-job instance budget rejects
+//     over-sized sessions up front (413), so total memory is bounded by
+//     MaxConcurrent × the per-job cap.
+//   - Deadlines and cancellation. Every job carries a deadline plumbed into
+//     the PR-6 context path; an expired or cancelled job returns structured,
+//     clearly-marked partial metrics exactly like `simrun -timeout`.
+//   - Request coalescing. Jobs are keyed by the sweep cache content hash
+//     (resolved machine spec, scenario, placement, sampling, path).
+//     Identical concurrent requests attach to the one in-flight run;
+//     identical later requests are served from the shared on-disk cache in
+//     one lookup. One key simulates exactly once.
+//   - Graceful drain. Drain stops admission, lets in-flight runs finish up
+//     to a deadline, parks queued jobs, and demand-checkpoints runs that
+//     cannot finish (reusing internal/checkpoint); a restarted server
+//     resumes parked jobs to byte-exact results. A worker panic poisons
+//     only its job, never the server.
+//
+// Fault coverage comes from the internal/faultinject server points
+// (accept, enqueue, run, cache-write, drain-checkpoint) driven by the
+// package's -race soak test.
+package simd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/atomicio"
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/machspec"
+	"repro/internal/scenario"
+	"repro/internal/sweep"
+)
+
+// Request is the wire format of one simulation job. Its fields are exactly
+// the axes of a sweep point, so the job's identity key is the sweep cache
+// key: a job submitted to the server and the same point run by cmd/sweep
+// share cache entries and coalesce against each other.
+type Request struct {
+	// Scenario names a registered scenario (required).
+	Scenario string `json:"scenario"`
+	// Machine names an embedded machine spec ("haswell", "small",
+	// "noprefetch"). File paths are not accepted over the wire — a client
+	// with a spec file sends its content inline via Spec.
+	Machine string `json:"machine,omitempty"`
+	// Spec is an inline machine spec document (strict machspec JSON).
+	// Mutually exclusive with Machine.
+	Spec json.RawMessage `json:"spec,omitempty"`
+	// Placement overrides the NUMA page placement policy.
+	Placement string `json:"placement,omitempty"`
+	// Sampling overrides individual sampling knobs (set fields win).
+	Sampling *machspec.Sampling `json:"sampling,omitempty"`
+	// Reference selects the per-op reference simulation path.
+	Reference bool `json:"reference,omitempty"`
+	// TimeoutMs is the job deadline in milliseconds (0: the server
+	// default). An expired job returns partial-marked metrics.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+}
+
+// Job states. A job is terminal in StateDone, StatePartial, StateFailed or
+// StateCheckpointed; StateCheckpointed means the job was parked by a drain
+// and will resume when a server restarts over the same state directory.
+const (
+	StateQueued       = "queued"
+	StateRunning      = "running"
+	StateDone         = "done"
+	StatePartial      = "partial"
+	StateFailed       = "failed"
+	StateCheckpointed = "checkpointed"
+)
+
+// Result sources reported to clients.
+const (
+	SourceSimulated = "simulated"
+	SourceCache     = "cache"
+	SourceCoalesced = "coalesced"
+)
+
+// Status is the externally visible snapshot of a job.
+type Status struct {
+	Key       string `json:"key"`
+	Scenario  string `json:"scenario"`
+	Machine   string `json:"machine,omitempty"`
+	State     string `json:"state"`
+	Source    string `json:"source,omitempty"`
+	Instances uint64 `json:"instances_done,omitempty"`
+	Error     string `json:"error,omitempty"`
+	// Resumed marks a job restored from a drain checkpoint.
+	Resumed bool `json:"resumed,omitempty"`
+}
+
+// Error is a structured admission or execution failure carrying the HTTP
+// status the transport layer should speak and an optional back-off hint.
+type Error struct {
+	Code       int // HTTP status
+	Msg        string
+	RetryAfter time.Duration
+}
+
+func (e *Error) Error() string { return e.Msg }
+
+// Config tunes a Server. The zero value is usable: 2 concurrent
+// simulations, 8 queued, no cache, no state directory (drain cancels
+// instead of checkpointing), no default deadline.
+type Config struct {
+	// MaxConcurrent bounds simultaneously running simulations (<=0: 2).
+	MaxConcurrent int
+	// MaxQueued bounds jobs waiting for a worker (<=0: 8). Beyond it the
+	// server sheds load with 429 + Retry-After. Coalesced duplicates do
+	// not consume queue slots.
+	MaxQueued int
+	// CacheDir is the shared metrics cache directory ("" keeps completed
+	// results in memory only). The directory may be shared with cmd/sweep
+	// and with other servers; writes are atomic and corrupt entries are
+	// evicted on read.
+	CacheDir string
+	// StateDir persists drain checkpoints and parked job requests so a
+	// restarted server can resume them ("" disables parking: drained jobs
+	// that cannot finish are cancelled with partial results).
+	StateDir string
+	// DefaultTimeout is the per-job deadline applied when a request does
+	// not carry one (0: none). MaxTimeout caps the request value (0: no
+	// cap).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// MaxJobInstances rejects jobs whose instance count (threads × iters,
+	// or CG iterations) exceeds the budget (0: unlimited) — the
+	// per-session resource bound that keeps one request from monopolizing
+	// the fleet.
+	MaxJobInstances int
+	// RetryAfter is the back-off hint attached to shed responses (<=0: 1s).
+	RetryAfter time.Duration
+	// Log receives server progress lines (nil: silent).
+	Log func(format string, args ...any)
+}
+
+// Stats is a point-in-time view of the server counters.
+type Stats struct {
+	Running   int    `json:"running"`
+	Queued    int    `json:"queued"`
+	Draining  bool   `json:"draining"`
+	Accepted  uint64 `json:"accepted"`
+	Coalesced uint64 `json:"coalesced"`
+	CacheHits uint64 `json:"cache_hits"`
+	Shed      uint64 `json:"shed"`
+	Rejected  uint64 `json:"rejected"`
+	Simulated uint64 `json:"simulated"`
+	Partial   uint64 `json:"partial"`
+	Failed    uint64 `json:"failed"`
+	Panics    uint64 `json:"panics"`
+	Parked    uint64 `json:"parked"`
+	Resumed   uint64 `json:"resumed"`
+}
+
+// flight is one admitted job: the single execution every coalesced request
+// for its key attaches to.
+type flight struct {
+	key     string
+	req     Request
+	sc      scenario.Scenario
+	opts    scenario.Options // identity options; ctx/checkpoint wired at run time
+	machine string           // display name
+	timeout time.Duration
+
+	checkpointable bool
+	resume         *checkpoint.Snapshot // set when restored from a parked .ck
+	resumed        bool
+
+	instances atomic.Uint64 // instance-boundary heartbeat (progress events)
+	drain     atomic.Bool   // demand-checkpoint trigger
+
+	mu      sync.Mutex
+	state   string
+	source  string
+	metrics []byte
+	err     error
+	cancel  context.CancelCauseFunc // non-nil while running
+	done    chan struct{}
+}
+
+func (f *flight) status() Status {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := Status{
+		Key:       f.key,
+		Scenario:  f.sc.Name,
+		Machine:   f.machine,
+		State:     f.state,
+		Source:    f.source,
+		Instances: f.instances.Load(),
+		Resumed:   f.resumed,
+	}
+	if f.err != nil {
+		st.Error = f.err.Error()
+	}
+	return st
+}
+
+// terminal reports whether the flight reached a final state.
+func (f *flight) terminal() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return terminalState(f.state)
+}
+
+func terminalState(s string) bool {
+	return s == StateDone || s == StatePartial || s == StateFailed || s == StateCheckpointed
+}
+
+// finish moves the flight to a terminal state exactly once.
+func (f *flight) finish(state string, metrics []byte, err error) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if terminalState(f.state) {
+		return false
+	}
+	if state == StateDone && f.source == "" {
+		f.source = SourceSimulated
+	}
+	f.state, f.metrics, f.err, f.cancel = state, metrics, err, nil
+	close(f.done)
+	return true
+}
+
+// result returns the terminal outcome (call after done is closed).
+func (f *flight) result() (state string, metrics []byte, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.state, f.metrics, f.err
+}
+
+// errDrainCancelled is the cancel cause of a hard drain-deadline stop.
+var errDrainCancelled = errors.New("simd: server draining, drain deadline reached")
+
+// Server is the simulation service. Create with New, serve via Handler,
+// stop with Drain.
+type Server struct {
+	cfg   Config
+	cache *sweep.Cache
+
+	mu       sync.Mutex
+	flights  map[string]*flight
+	order    []string // terminal-flight retention ring (oldest first)
+	queue    []*flight
+	running  map[*flight]struct{}
+	draining bool
+	wg       sync.WaitGroup
+
+	stats struct {
+		accepted, coalesced, cacheHits, shed, rejected atomic.Uint64
+		simulated, partial, failed, panics             atomic.Uint64
+		parked, resumed                                atomic.Uint64
+	}
+}
+
+// maxRetainedFlights bounds the in-memory record of terminal jobs; results
+// beyond it live only in the on-disk cache. Keeps a long-running server's
+// memory independent of its request history.
+const maxRetainedFlights = 1024
+
+// New builds a server. The cache and state directories are created as
+// needed.
+func New(cfg Config) (*Server, error) {
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 2
+	}
+	if cfg.MaxQueued <= 0 {
+		cfg.MaxQueued = 8
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	s := &Server{
+		cfg:     cfg,
+		flights: make(map[string]*flight),
+		running: make(map[*flight]struct{}),
+	}
+	if cfg.CacheDir != "" {
+		c, err := sweep.OpenCache(cfg.CacheDir)
+		if err != nil {
+			return nil, fmt.Errorf("simd: %w", err)
+		}
+		c.Notice = func(key string, err error) {
+			s.logf("simd: cache: evicted corrupt entry %.12s…: %v", key, err)
+		}
+		s.cache = c
+	}
+	if cfg.StateDir != "" {
+		if err := os.MkdirAll(cfg.StateDir, 0o755); err != nil {
+			return nil, fmt.Errorf("simd: %w", err)
+		}
+	}
+	return s, nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Log != nil {
+		s.cfg.Log(format, args...)
+	}
+}
+
+// Stats snapshots the counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	running, queued, draining := len(s.running), len(s.queue), s.draining
+	s.mu.Unlock()
+	return Stats{
+		Running:   running,
+		Queued:    queued,
+		Draining:  draining,
+		Accepted:  s.stats.accepted.Load(),
+		Coalesced: s.stats.coalesced.Load(),
+		CacheHits: s.stats.cacheHits.Load(),
+		Shed:      s.stats.shed.Load(),
+		Rejected:  s.stats.rejected.Load(),
+		Simulated: s.stats.simulated.Load(),
+		Partial:   s.stats.partial.Load(),
+		Failed:    s.stats.failed.Load(),
+		Panics:    s.stats.panics.Load(),
+		Parked:    s.stats.parked.Load(),
+		Resumed:   s.stats.resumed.Load(),
+	}
+}
+
+// Draining reports whether admission has been stopped.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// resolve validates a request and builds the flight template. All
+// rejections are *Error with a 4xx code.
+func (s *Server) resolve(req Request) (*flight, error) {
+	sc, ok := scenario.Get(req.Scenario)
+	if !ok {
+		return nil, &Error{Code: 400, Msg: fmt.Sprintf("unknown scenario %q", req.Scenario)}
+	}
+	if req.Machine != "" && len(req.Spec) > 0 {
+		return nil, &Error{Code: 400, Msg: "machine and spec are mutually exclusive"}
+	}
+	var spec *machspec.Spec
+	switch {
+	case len(req.Spec) > 0:
+		sp, err := machspec.Decode(bytes.NewReader(req.Spec))
+		if err != nil {
+			return nil, &Error{Code: 400, Msg: fmt.Sprintf("inline machine spec: %v", err)}
+		}
+		spec = sp
+	case req.Machine != "":
+		// Named specs only: resolving client-supplied file paths would turn
+		// the API into a file-read oracle.
+		sp, err := machspec.Named(req.Machine)
+		if err != nil {
+			return nil, &Error{Code: 400, Msg: fmt.Sprintf("unknown machine %q (send spec files inline via \"spec\")", req.Machine)}
+		}
+		spec = sp
+	}
+	opts := scenario.Options{
+		Reference: req.Reference,
+		Placement: req.Placement,
+		Machine:   spec,
+		Sampling:  req.Sampling,
+	}
+	if reason := scenario.SkipReason(sc, opts); reason != "" {
+		return nil, &Error{Code: 400, Msg: fmt.Sprintf("unrunnable combination: %s", reason)}
+	}
+	if budget := s.cfg.MaxJobInstances; budget > 0 {
+		if est := estimateInstances(sc); est > budget {
+			return nil, &Error{Code: 413, Msg: fmt.Sprintf(
+				"job would run %d instances, over the per-session budget of %d", est, budget)}
+		}
+	}
+	key, err := sweep.Key(spec, sc.Name, req.Placement, req.Sampling, req.Reference)
+	if err != nil {
+		return nil, &Error{Code: 400, Msg: err.Error()}
+	}
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMs > 0 {
+		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
+	}
+	if s.cfg.MaxTimeout > 0 && (timeout <= 0 || timeout > s.cfg.MaxTimeout) {
+		timeout = s.cfg.MaxTimeout
+	}
+	machine := ""
+	if spec != nil {
+		machine = spec.Name
+		if machine == "" {
+			machine = "custom"
+		}
+	}
+	f := &flight{
+		key:     key,
+		req:     req,
+		sc:      sc,
+		opts:    opts,
+		machine: machine,
+		timeout: timeout,
+		state:   StateQueued,
+		done:    make(chan struct{}),
+	}
+	// Demand checkpointing needs the deterministic schedules and somewhere
+	// to put the snapshot.
+	f.checkpointable = s.cfg.StateDir != "" && scenario.CheckpointSupported(sc, opts)
+	return f, nil
+}
+
+// estimateInstances is the admission-time cost model: the number of
+// instance-boundary units the job will execute.
+func estimateInstances(sc scenario.Scenario) int {
+	if sc.HPCG != nil {
+		return sc.HPCG.MaxIters
+	}
+	return sc.Threads * sc.Iters
+}
+
+// Submit admits a job: it returns the flight serving the key and whether
+// this request coalesced onto an already-admitted execution. Shed load and
+// invalid requests return *Error.
+func (s *Server) Submit(req Request) (*flight, bool, error) {
+	if err := faultinject.Hit(faultinject.PointServerAccept); err != nil {
+		s.stats.failed.Add(1)
+		return nil, false, &Error{Code: 500, Msg: err.Error(), RetryAfter: s.cfg.RetryAfter}
+	}
+	f, err := s.resolve(req)
+	if err != nil {
+		s.stats.rejected.Add(1)
+		return nil, false, err
+	}
+	// Shared-cache lookup before admission: identical later requests cost
+	// one cache read, no queue slot.
+	if b, ok := s.cacheGet(f.key); ok {
+		s.stats.cacheHits.Add(1)
+		f.state, f.source, f.metrics = StateDone, SourceCache, b
+		close(f.done)
+		s.remember(f)
+		return f, false, nil
+	}
+	return s.admit(f, false)
+}
+
+// admit inserts a resolved flight under the admission rules. resumeRun
+// bypasses the drain check (startup resume of parked jobs).
+func (s *Server) admit(f *flight, resumeRun bool) (*flight, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cur, ok := s.flights[f.key]; ok && !cur.terminal() {
+		// Coalesce: attach to the in-flight execution. Duplicates are free —
+		// no queue slot, no simulation.
+		s.stats.coalesced.Add(1)
+		return cur, true, nil
+	}
+	if s.draining && !resumeRun {
+		s.stats.shed.Add(1)
+		return nil, false, &Error{Code: 503, Msg: "server is draining", RetryAfter: s.cfg.RetryAfter}
+	}
+	if len(s.queue) >= s.cfg.MaxQueued {
+		s.stats.shed.Add(1)
+		return nil, false, &Error{
+			Code:       429,
+			Msg:        fmt.Sprintf("%d jobs running and %d queued; try again later", len(s.running), len(s.queue)),
+			RetryAfter: s.cfg.RetryAfter,
+		}
+	}
+	if err := faultinject.Hit(faultinject.PointServerEnqueue); err != nil {
+		s.stats.failed.Add(1)
+		return nil, false, &Error{Code: 500, Msg: err.Error(), RetryAfter: s.cfg.RetryAfter}
+	}
+	s.stats.accepted.Add(1)
+	s.flights[f.key] = f
+	s.queue = append(s.queue, f)
+	s.dispatchLocked()
+	return f, false, nil
+}
+
+// remember records a terminal flight for status queries, evicting the
+// oldest record beyond the retention cap.
+func (s *Server) remember(f *flight) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rememberLocked(f)
+}
+
+func (s *Server) rememberLocked(f *flight) {
+	if _, ok := s.flights[f.key]; !ok {
+		s.flights[f.key] = f
+	}
+	s.order = append(s.order, f.key)
+	for len(s.order) > maxRetainedFlights {
+		oldest := s.order[0]
+		s.order = s.order[1:]
+		if old, ok := s.flights[oldest]; ok && old.terminal() {
+			delete(s.flights, oldest)
+		}
+	}
+}
+
+// Lookup returns the flight serving key, if the server still remembers it.
+func (s *Server) Lookup(key string) (*flight, bool) {
+	s.mu.Lock()
+	f, ok := s.flights[key]
+	s.mu.Unlock()
+	if ok {
+		return f, true
+	}
+	// Fall back to the shared cache: a result computed before a restart
+	// (or by another server) is still addressable.
+	if b, hit := s.cacheGet(key); hit {
+		f := &flight{key: key, state: StateDone, source: SourceCache, metrics: b, done: make(chan struct{})}
+		close(f.done)
+		return f, true
+	}
+	return nil, false
+}
+
+func (s *Server) cacheGet(key string) ([]byte, bool) {
+	if s.cache == nil {
+		return nil, false
+	}
+	b, ok, err := s.cache.Get(key)
+	if err != nil {
+		s.logf("simd: cache read %.12s…: %v", key, err)
+		return nil, false
+	}
+	return b, ok
+}
+
+// dispatchLocked starts queued flights while worker slots are free. Caller
+// holds s.mu. While draining no new flight starts — the drain parks them.
+func (s *Server) dispatchLocked() {
+	for !s.draining && len(s.queue) > 0 && len(s.running) < s.cfg.MaxConcurrent {
+		f := s.queue[0]
+		s.queue = s.queue[1:]
+		s.running[f] = struct{}{}
+		s.wg.Add(1)
+		go s.runFlight(f)
+	}
+}
+
+// runFlight executes one admitted job. Any panic below the scenario stack
+// is contained here: it fails this flight and releases its slot, leaving
+// the server — and every other session — untouched.
+func (s *Server) runFlight(f *flight) {
+	defer s.wg.Done()
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.stats.panics.Add(1)
+			s.stats.failed.Add(1)
+			f.finish(StateFailed, nil, fmt.Errorf("simd: job panicked: %v", rec))
+			s.logf("simd: job %.12s… (%s) panicked: %v", f.key, f.sc.Name, rec)
+		}
+		s.mu.Lock()
+		delete(s.running, f)
+		if f.terminal() {
+			s.rememberLocked(f)
+		}
+		s.dispatchLocked()
+		s.mu.Unlock()
+	}()
+
+	if err := faultinject.Hit(faultinject.PointServerRun); err != nil {
+		s.stats.failed.Add(1)
+		f.finish(StateFailed, nil, err)
+		return
+	}
+
+	base := context.Background()
+	var timeoutCancel context.CancelFunc
+	if f.timeout > 0 {
+		base, timeoutCancel = context.WithTimeout(base, f.timeout)
+		defer timeoutCancel()
+	}
+	ctx, cancel := context.WithCancelCause(base)
+	defer cancel(nil)
+	f.mu.Lock()
+	f.state, f.cancel = StateRunning, cancel
+	f.mu.Unlock()
+
+	opts := f.opts
+	opts.Context = ctx
+	if f.checkpointable {
+		opts.CheckpointDemand = func() bool {
+			f.instances.Add(1)
+			return f.drain.Load()
+		}
+		opts.CheckpointSink = func(snap *checkpoint.Snapshot) error {
+			if err := faultinject.Hit(faultinject.PointServerDrain); err != nil {
+				return err
+			}
+			return atomicio.WriteFile(s.snapPath(f.key), func(w io.Writer) error {
+				return checkpoint.Write(w, snap)
+			})
+		}
+		opts.Resume = f.resume
+	}
+
+	m, err := scenario.Run(f.sc, opts)
+	switch {
+	case err == nil:
+		b, jerr := m.JSON()
+		if jerr != nil {
+			s.stats.failed.Add(1)
+			f.finish(StateFailed, nil, jerr)
+			return
+		}
+		s.cachePut(f.key, b)
+		s.stats.simulated.Add(1)
+		f.finish(StateDone, b, nil)
+		s.clearParked(f.key)
+		s.logf("simd: done %.12s… %s (%d instance polls)", f.key, f.sc.Name, f.instances.Load())
+
+	case errors.Is(err, core.ErrCheckpointDemanded):
+		// Drain checkpoint taken at an instance boundary; park the request
+		// so a restarted server resumes it.
+		if perr := s.park(f); perr != nil {
+			s.stats.failed.Add(1)
+			f.finish(StateFailed, nil, fmt.Errorf("simd: parking drained job: %w", perr))
+			return
+		}
+		s.stats.parked.Add(1)
+		f.finish(StateCheckpointed, nil, err)
+		s.logf("simd: checkpointed %.12s… %s at instance boundary", f.key, f.sc.Name)
+
+	case errors.Is(err, context.Canceled) && errors.Is(context.Cause(ctx), errDrainCancelled):
+		// Hard drain stop of a non-checkpointable run: park the request for
+		// a from-scratch re-run after restart (when a state dir exists).
+		if s.cfg.StateDir != "" {
+			if perr := s.park(f); perr == nil {
+				s.stats.parked.Add(1)
+				f.finish(StateCheckpointed, nil, err)
+				return
+			}
+		}
+		s.stats.partial.Add(1)
+		f.finish(StatePartial, partialBytes(m), err)
+
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		// The job's own deadline (or a client cancel): partial metrics,
+		// clearly marked, exactly like simrun -timeout.
+		s.stats.partial.Add(1)
+		f.finish(StatePartial, partialBytes(m), err)
+
+	default:
+		s.stats.failed.Add(1)
+		f.finish(StateFailed, nil, err)
+	}
+}
+
+// partialBytes serializes partial-marked metrics (nil when the run died
+// before producing any).
+func partialBytes(m *scenario.Metrics) []byte {
+	if m == nil {
+		return nil
+	}
+	b, err := m.JSON()
+	if err != nil {
+		return nil
+	}
+	return b
+}
+
+func (s *Server) cachePut(key string, b []byte) {
+	if s.cache == nil {
+		return
+	}
+	if err := faultinject.Hit(faultinject.PointServerCacheWrite); err != nil {
+		// The result is good; only the next lookup loses its hit.
+		s.logf("simd: cache write %.12s…: %v", key, err)
+		return
+	}
+	if err := s.cache.Put(key, b); err != nil {
+		s.logf("simd: cache write %.12s…: %v", key, err)
+	}
+}
+
+// State-directory layout: one <key>.job request document per parked job,
+// plus <key>.ck when a drain checkpoint was taken. Both written atomically.
+func (s *Server) jobPath(key string) string  { return filepath.Join(s.cfg.StateDir, key+".job") }
+func (s *Server) snapPath(key string) string { return filepath.Join(s.cfg.StateDir, key+".ck") }
+
+// park persists a job's request so a restarted server re-admits it. The
+// snapshot (if any) was already written by the checkpoint sink.
+func (s *Server) park(f *flight) error {
+	if s.cfg.StateDir == "" {
+		return fmt.Errorf("no state directory")
+	}
+	b, err := json.Marshal(f.req)
+	if err != nil {
+		return err
+	}
+	return atomicio.WriteFile(s.jobPath(f.key), func(w io.Writer) error {
+		_, werr := w.Write(b)
+		return werr
+	})
+}
+
+// clearParked removes a completed job's parked state, if any.
+func (s *Server) clearParked(key string) {
+	if s.cfg.StateDir == "" {
+		return
+	}
+	os.Remove(s.jobPath(key))
+	os.Remove(s.snapPath(key))
+}
+
+// Resume re-admits every job parked in the state directory: jobs with a
+// drain checkpoint continue from their instance boundary (byte-exact with
+// an uninterrupted run), jobs without one re-run from scratch, and jobs
+// whose key already has a cache entry are completed by one lookup. Call it
+// once, after New and before serving traffic. It returns the number of
+// jobs re-admitted.
+func (s *Server) Resume() (int, error) {
+	if s.cfg.StateDir == "" {
+		return 0, nil
+	}
+	entries, err := os.ReadDir(s.cfg.StateDir)
+	if err != nil {
+		return 0, fmt.Errorf("simd: %w", err)
+	}
+	resumed := 0
+	for _, e := range entries {
+		name := e.Name()
+		if filepath.Ext(name) != ".job" {
+			continue
+		}
+		key := name[:len(name)-len(".job")]
+		b, err := os.ReadFile(s.jobPath(key))
+		if err != nil {
+			s.logf("simd: resume %.12s…: %v", key, err)
+			continue
+		}
+		var req Request
+		if err := json.Unmarshal(b, &req); err != nil {
+			// A torn .job (written without atomicio by an older build, or
+			// tampered with) cannot be resumed; drop it with a notice
+			// rather than refusing to start.
+			s.logf("simd: resume %.12s…: corrupt job file, dropping: %v", key, err)
+			s.clearParked(key)
+			continue
+		}
+		if b, ok := s.cacheGet(key); ok {
+			// Someone (another server, a sweep) finished this key already.
+			f := &flight{key: key, state: StateDone, source: SourceCache, metrics: b, done: make(chan struct{})}
+			close(f.done)
+			s.remember(f)
+			s.clearParked(key)
+			continue
+		}
+		f, rerr := s.resolve(req)
+		if rerr != nil {
+			s.logf("simd: resume %.12s…: %v", key, rerr)
+			s.clearParked(key)
+			continue
+		}
+		if snap, ok := s.readSnapshot(key); ok && f.checkpointable {
+			f.resume = snap
+			f.resumed = true
+		}
+		if _, _, err := s.admit(f, true); err != nil {
+			s.logf("simd: resume %.12s…: %v", key, err)
+			continue
+		}
+		s.stats.resumed.Add(1)
+		resumed++
+	}
+	return resumed, nil
+}
+
+// readSnapshot loads a drain checkpoint; a corrupt snapshot is dropped (the
+// job re-runs from scratch — slower, never wrong).
+func (s *Server) readSnapshot(key string) (*checkpoint.Snapshot, bool) {
+	fh, err := os.Open(s.snapPath(key))
+	if err != nil {
+		return nil, false
+	}
+	defer fh.Close()
+	snap, err := checkpoint.Read(fh)
+	if err != nil {
+		s.logf("simd: resume %.12s…: corrupt checkpoint, re-running from scratch: %v", key, err)
+		os.Remove(s.snapPath(key))
+		return nil, false
+	}
+	return snap, true
+}
+
+// Drain gracefully stops the server: admission stops immediately (new jobs
+// get 503 + Retry-After), queued jobs are parked, and in-flight jobs run up
+// to ctx's deadline — checkpointable runs stop at their next instance
+// boundary with a snapshot, the rest either finish or are hard-cancelled at
+// the deadline with partial results. Idempotent.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	alreadyDraining := s.draining
+	s.draining = true
+	queued := s.queue
+	s.queue = nil
+	running := make([]*flight, 0, len(s.running))
+	for f := range s.running {
+		running = append(running, f)
+	}
+	s.mu.Unlock()
+	if !alreadyDraining {
+		s.logf("simd: draining: %d running, %d queued", len(running), len(queued))
+	}
+
+	for _, f := range queued {
+		// Queued jobs never started; park the request (or cancel when there
+		// is nowhere to park it).
+		if s.cfg.StateDir != "" {
+			if err := s.park(f); err == nil {
+				s.stats.parked.Add(1)
+				f.finish(StateCheckpointed, nil, errors.New("simd: parked by drain before starting"))
+				s.remember(f)
+				continue
+			}
+		}
+		s.stats.partial.Add(1)
+		f.finish(StatePartial, nil, errDrainCancelled)
+		s.remember(f)
+	}
+	for _, f := range running {
+		// Checkpointable runs observe this at their next instance boundary.
+		f.drain.Store(true)
+	}
+
+	done := make(chan struct{})
+	//repro:spawn-ok waits on the worker WaitGroup and closes a channel; no simulation code runs here
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+	}
+	// Drain deadline: hard-cancel whatever is still running; those jobs
+	// surface partial results (and are parked for re-run when possible).
+	for _, f := range running {
+		f.mu.Lock()
+		cancel := f.cancel
+		f.mu.Unlock()
+		if cancel != nil {
+			cancel(errDrainCancelled)
+		}
+	}
+	<-done
+	return nil
+}

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -12,13 +13,24 @@ import (
 )
 
 // Cache is a directory-backed store of canonical Metrics JSON keyed by the
-// point content hash: one <key>.json file per entry, written atomically so
-// a crashed sweep never leaves a truncated entry that would later be served
-// as a result. The zero-value counters make hit accounting testable.
+// point content hash: one <key>.json file per entry, written atomically
+// (temp + rename through atomicio) so a crashed writer never leaves a
+// truncated entry that would later be served as a result. Reads are
+// defensive anyway: an entry that is not complete, valid JSON — a torn
+// write by a non-atomic producer, a truncating filesystem crash, manual
+// tampering — is evicted with a notice and reported as a miss, so one
+// corrupt file costs a re-simulation, never the point. Multiple processes
+// may share one cache directory: rename is atomic, so readers observe
+// either the old complete entry or the new complete entry, never a tear.
+// The zero-value counters make hit and eviction accounting testable.
 type Cache struct {
-	dir    string
-	hits   atomic.Uint64
-	misses atomic.Uint64
+	dir     string
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+	evicted atomic.Uint64
+	// Notice, when non-nil, receives one call per evicted corrupt entry.
+	// Set it before the cache is shared between goroutines.
+	Notice func(key string, err error)
 }
 
 var keyPattern = regexp.MustCompile(`^[0-9a-f]{64}$`)
@@ -40,7 +52,9 @@ func (c *Cache) path(key string) (string, error) {
 	return filepath.Join(c.dir, key+".json"), nil
 }
 
-// Get returns the cached metrics bytes for key, or ok=false on a miss.
+// Get returns the cached metrics bytes for key, or ok=false on a miss. A
+// corrupt or truncated entry is evicted and counted as a miss: serving torn
+// bytes as a simulation result would be worse than re-simulating the point.
 func (c *Cache) Get(key string) ([]byte, bool, error) {
 	p, err := c.path(key)
 	if err != nil {
@@ -54,8 +68,32 @@ func (c *Cache) Get(key string) ([]byte, bool, error) {
 	if err != nil {
 		return nil, false, fmt.Errorf("sweep: cache: %w", err)
 	}
+	if verr := validEntry(b); verr != nil {
+		// Remove may fail if a concurrent writer just replaced the entry
+		// with a good one — the next Get will read that one; either way the
+		// corrupt bytes are never returned.
+		os.Remove(p)
+		c.evicted.Add(1)
+		c.misses.Add(1)
+		if c.Notice != nil {
+			c.Notice(key, verr)
+		}
+		return nil, false, nil
+	}
 	c.hits.Add(1)
 	return b, true, nil
+}
+
+// validEntry checks that cached bytes form a complete metrics document. A
+// torn write truncates the JSON mid-token, which json.Valid rejects.
+func validEntry(b []byte) error {
+	if len(b) == 0 {
+		return fmt.Errorf("sweep: cache: empty entry")
+	}
+	if !json.Valid(b) {
+		return fmt.Errorf("sweep: cache: corrupt or truncated entry (%d bytes)", len(b))
+	}
+	return nil
 }
 
 // Put stores the metrics bytes for key, replacing any existing entry
@@ -71,6 +109,8 @@ func (c *Cache) Put(key string, b []byte) error {
 	})
 }
 
-// Hits and Misses report the Get outcomes since the cache was opened.
-func (c *Cache) Hits() uint64   { return c.hits.Load() }
-func (c *Cache) Misses() uint64 { return c.misses.Load() }
+// Hits, Misses and Evictions report the Get outcomes since the cache was
+// opened (an eviction also counts as a miss).
+func (c *Cache) Hits() uint64      { return c.hits.Load() }
+func (c *Cache) Misses() uint64    { return c.misses.Load() }
+func (c *Cache) Evictions() uint64 { return c.evicted.Load() }

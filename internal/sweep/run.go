@@ -3,6 +3,7 @@ package sweep
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -14,9 +15,11 @@ type Source string
 
 const (
 	SourceSimulated Source = "simulated"
+	SourceRemote    Source = "remote" // executed by a simd server (Execute hook)
 	SourceCache     Source = "cached"
 	SourceDeduped   Source = "deduped" // identical point earlier in this run
 	SourceSkipped   Source = "skipped"
+	SourceCancelled Source = "cancelled" // stopped by the run context (SIGINT/SIGTERM, timeout)
 	SourceError     Source = "error"
 )
 
@@ -35,15 +38,29 @@ type Result struct {
 type Summary struct {
 	Points    int
 	Simulated int
+	Remote    int
 	CacheHits int
 	Deduped   int
 	Skipped   int
+	Cancelled int
 	Errors    int
 }
 
 func (s Summary) String() string {
-	return fmt.Sprintf("%d points, %d simulated, %d cached, %d deduped, %d skipped, %d errors",
+	line := fmt.Sprintf("%d points, %d simulated, %d cached, %d deduped, %d skipped, %d errors",
 		s.Points, s.Simulated, s.CacheHits, s.Deduped, s.Skipped, s.Errors)
+	if s.Remote > 0 {
+		line += fmt.Sprintf(", %d remote", s.Remote)
+	}
+	if s.Cancelled > 0 {
+		line += fmt.Sprintf(", %d cancelled", s.Cancelled)
+	}
+	return line
+}
+
+// Finished counts the points that produced a usable result.
+func (s Summary) Finished() int {
+	return s.Simulated + s.Remote + s.CacheHits + s.Deduped
 }
 
 // Runner executes expanded sweep points.
@@ -55,8 +72,15 @@ type Runner struct {
 	// Cache, when non-nil, is consulted before simulating and filled after.
 	Cache *Cache
 	// Context cancels in-flight simulations at instance boundaries (nil:
-	// run to completion).
+	// run to completion). A cancelled point is reported as SourceCancelled,
+	// not SourceError; points completed before the cancellation keep their
+	// results and cache entries.
 	Context context.Context
+	// Execute, when non-nil, replaces local simulation for cache-miss
+	// points — the remote-execution hook (cmd/sweep -server hands points to
+	// a simd server). It returns the canonical metrics bytes and whether
+	// the server served them from its own cache.
+	Execute func(ctx context.Context, p Point) (metrics []byte, cached bool, err error)
 	// Log, when non-nil, receives one progress line per completed point.
 	Log func(format string, args ...any)
 }
@@ -126,8 +150,12 @@ func (r *Runner) Run(points []Point) ([]Result, Summary, error) {
 				switch res.Source {
 				case SourceSimulated:
 					summary.Simulated++
+				case SourceRemote:
+					summary.Remote++
 				case SourceCache:
 					summary.CacheHits++
+				case SourceCancelled:
+					summary.Cancelled++
 				case SourceError:
 					summary.Errors++
 				}
@@ -149,10 +177,14 @@ func (r *Runner) Run(points []Point) ([]Result, Summary, error) {
 		}
 		src := results[firstByKey[p.Key]]
 		results[i] = Result{Point: p, Metrics: src.Metrics, Parsed: src.Parsed, Err: src.Err, Source: SourceDeduped}
-		if src.Source == SourceError {
+		switch src.Source {
+		case SourceError:
 			results[i].Source = SourceError
 			summary.Errors++
-		} else {
+		case SourceCancelled:
+			results[i].Source = SourceCancelled
+			summary.Cancelled++
+		default:
 			summary.Deduped++
 		}
 	}
@@ -173,11 +205,40 @@ func (r *Runner) runPoint(p Point) Result {
 			return res
 		}
 	}
+	ctx := r.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if r.Execute != nil {
+		b, cached, err := r.Execute(ctx, p)
+		if err != nil {
+			if ctx.Err() != nil {
+				res.Source = SourceCancelled
+			} else {
+				res.Source = SourceError
+			}
+			res.Err = fmt.Errorf("%s: %w", p.Label(), err)
+			return res
+		}
+		res.Source, res.Metrics, res.Parsed = SourceRemote, b, parseMetrics(b)
+		if cached {
+			res.Source = SourceCache
+		}
+		r.putCache(p, b)
+		return res
+	}
 	opts := p.Options()
-	opts.Context = r.Context
+	opts.Context = ctx
 	m, err := scenario.Run(p.Scenario, opts)
 	if err != nil {
-		res.Source = SourceError
+		// A clean context stop (SIGINT/SIGTERM, timeout) is a cancelled
+		// point, not a failed one: the rest of the matrix was interrupted,
+		// not broken. Partial metrics are never cached.
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			res.Source = SourceCancelled
+		} else {
+			res.Source = SourceError
+		}
 		res.Err = fmt.Errorf("%s: %w", p.Label(), err)
 		return res
 	}
@@ -188,14 +249,19 @@ func (r *Runner) runPoint(p Point) Result {
 		return res
 	}
 	res.Source, res.Metrics, res.Parsed = SourceSimulated, b, m
-	if r.Cache != nil {
-		if err := r.Cache.Put(p.Key, b); err != nil {
-			// The result itself is good; a cache-write failure only costs
-			// the next run its hit.
-			r.logf("sweep: cache write failed for %s: %v", p.Label(), err)
-		}
-	}
+	r.putCache(p, b)
 	return res
+}
+
+// putCache stores a completed point's bytes; a cache-write failure only
+// costs the next run its hit, so it is logged, not fatal.
+func (r *Runner) putCache(p Point, b []byte) {
+	if r.Cache == nil {
+		return
+	}
+	if err := r.Cache.Put(p.Key, b); err != nil {
+		r.logf("sweep: cache write failed for %s: %v", p.Label(), err)
+	}
 }
 
 func parseMetrics(b []byte) *scenario.Metrics {
