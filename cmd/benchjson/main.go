@@ -8,6 +8,13 @@
 //
 //	go test -run NONE -bench . -benchmem . | benchjson -out BENCH_4.json
 //	go test -bench BenchmarkCoreLoadStream . | benchjson
+//
+// With -baseline it additionally diffs the fresh results against a previous
+// report and prints a per-benchmark ns/op delta table; -threshold N turns
+// regressions beyond N percent into a non-zero exit so CI can gate on them
+// (0, the default, reports without failing):
+//
+//	go test -run NONE -bench . . | benchjson -baseline BENCH_5.json -threshold 20
 package main
 
 import (
@@ -49,6 +56,8 @@ type Report struct {
 
 func main() {
 	out := flag.String("out", "", "output file (default stdout)")
+	baseline := flag.String("baseline", "", "previous benchjson report to diff against (prints a delta table)")
+	threshold := flag.Float64("threshold", 0, "exit non-zero when any ns/op regresses more than this percent over -baseline (0: report only)")
 	flag.Parse()
 
 	rep, err := parse(os.Stdin)
@@ -59,13 +68,45 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if *out == "" {
-		os.Stdout.Write(b)
+	if *out != "" {
+		if err := os.WriteFile(*out, b, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if *baseline == "" {
+		if *out == "" {
+			os.Stdout.Write(b)
+		}
 		return
 	}
-	if err := os.WriteFile(*out, b, 0o644); err != nil {
+
+	// Diff mode: the table replaces the JSON on stdout (the report itself
+	// still lands in -out when asked for).
+	base, err := loadReport(*baseline)
+	if err != nil {
 		fatal(err)
 	}
+	rows := diffReports(base, rep)
+	os.Stdout.WriteString(renderDiff(rows))
+	if *threshold > 0 {
+		if n := countRegressions(rows, *threshold); n > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed more than %.0f%% over %s\n",
+				n, *threshold, *baseline)
+			os.Exit(1)
+		}
+	}
+}
+
+func loadReport(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(b, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
 }
 
 // parse reads `go test -bench` text output into a normalized report:
@@ -150,6 +191,97 @@ func parseBench(line string) (Result, bool) {
 		}
 	}
 	return r, true
+}
+
+// diffRow is one benchmark's old-vs-new comparison. DeltaPct is the ns/op
+// change relative to the baseline (positive = slower); rows present on only
+// one side have OldNs or NewNs at zero and no delta.
+type diffRow struct {
+	Name     string
+	OldNs    float64
+	NewNs    float64
+	DeltaPct float64
+	// Status: "=" within noise, "+" regressed, "-" improved, "new" only in
+	// the fresh run, "gone" only in the baseline.
+	Status string
+}
+
+// diffReports joins two reports by benchmark name, in the union's sorted
+// order. Deltas under 1% render as "=" — bench noise, not signal.
+func diffReports(old, fresh *Report) []diffRow {
+	oldBy := map[string]Result{}
+	for _, r := range old.Results {
+		oldBy[r.Name] = r
+	}
+	newBy := map[string]Result{}
+	names := []string{}
+	for _, r := range fresh.Results {
+		newBy[r.Name] = r
+		names = append(names, r.Name)
+	}
+	for name := range oldBy {
+		if _, ok := newBy[name]; !ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	rows := make([]diffRow, 0, len(names))
+	for _, name := range names {
+		o, inOld := oldBy[name]
+		n, inNew := newBy[name]
+		row := diffRow{Name: name, OldNs: o.NsPerOp, NewNs: n.NsPerOp}
+		switch {
+		case !inOld:
+			row.Status = "new"
+		case !inNew:
+			row.Status = "gone"
+		case o.NsPerOp <= 0:
+			row.Status = "="
+		default:
+			row.DeltaPct = (n.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
+			switch {
+			case row.DeltaPct > 1:
+				row.Status = "+"
+			case row.DeltaPct < -1:
+				row.Status = "-"
+			default:
+				row.Status = "="
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// renderDiff formats the delta table.
+func renderDiff(rows []diffRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-60s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, r := range rows {
+		switch r.Status {
+		case "new":
+			fmt.Fprintf(&b, "%-60s %14s %14.1f %8s\n", r.Name, "-", r.NewNs, "new")
+		case "gone":
+			fmt.Fprintf(&b, "%-60s %14.1f %14s %8s\n", r.Name, r.OldNs, "-", "gone")
+		default:
+			fmt.Fprintf(&b, "%-60s %14.1f %14.1f %+7.1f%%\n", r.Name, r.OldNs, r.NewNs, r.DeltaPct)
+		}
+	}
+	return b.String()
+}
+
+// countRegressions counts benchmarks slower than the baseline by more than
+// threshold percent. Added or removed benchmarks never count — renames must
+// not fail CI.
+func countRegressions(rows []diffRow, threshold float64) int {
+	n := 0
+	for _, r := range rows {
+		if r.Status == "+" && r.DeltaPct > threshold {
+			n++
+		}
+	}
+	return n
 }
 
 func fatal(err error) {

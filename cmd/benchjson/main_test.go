@@ -125,6 +125,66 @@ PASS
 	}
 }
 
+// TestDiffReports pins the baseline-diff join: deltas relative to the old
+// ns/op, sub-1% changes flagged as noise, one-sided rows marked new/gone,
+// and the regression count honoring the threshold.
+func TestDiffReports(t *testing.T) {
+	old := &Report{Results: []Result{
+		{Name: "BenchmarkSteady", NsPerOp: 100},
+		{Name: "BenchmarkFaster", NsPerOp: 200},
+		{Name: "BenchmarkSlower", NsPerOp: 100},
+		{Name: "BenchmarkGone", NsPerOp: 50},
+	}}
+	fresh := &Report{Results: []Result{
+		{Name: "BenchmarkSteady", NsPerOp: 100.5},
+		{Name: "BenchmarkFaster", NsPerOp: 150},
+		{Name: "BenchmarkSlower", NsPerOp: 130},
+		{Name: "BenchmarkNew", NsPerOp: 10},
+	}}
+	rows := diffReports(old, fresh)
+	byName := map[string]diffRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows: %d, want union of 5", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i-1].Name > rows[i].Name {
+			t.Fatalf("rows not sorted: %q before %q", rows[i-1].Name, rows[i].Name)
+		}
+	}
+	if r := byName["BenchmarkSteady"]; r.Status != "=" {
+		t.Errorf("0.5%% drift flagged %q, want noise", r.Status)
+	}
+	if r := byName["BenchmarkFaster"]; r.Status != "-" || r.DeltaPct != -25 {
+		t.Errorf("improvement: %+v", r)
+	}
+	if r := byName["BenchmarkSlower"]; r.Status != "+" || r.DeltaPct != 30 {
+		t.Errorf("regression: %+v", r)
+	}
+	if r := byName["BenchmarkNew"]; r.Status != "new" {
+		t.Errorf("added bench: %+v", r)
+	}
+	if r := byName["BenchmarkGone"]; r.Status != "gone" {
+		t.Errorf("removed bench: %+v", r)
+	}
+
+	if n := countRegressions(rows, 20); n != 1 {
+		t.Errorf("regressions over 20%% = %d, want 1 (only BenchmarkSlower)", n)
+	}
+	if n := countRegressions(rows, 50); n != 0 {
+		t.Errorf("regressions over 50%% = %d, want 0", n)
+	}
+
+	table := renderDiff(rows)
+	for _, want := range []string{"BenchmarkSlower", "+30.0%", "new", "gone", "old ns/op"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+}
+
 // TestParseEmpty covers the no-input edge: an empty report still renders
 // valid JSON with no results.
 func TestParseEmpty(t *testing.T) {

@@ -1,0 +1,135 @@
+// Command promcheck validates a Prometheus text exposition (format v0.0.4)
+// read from stdin against the same strict parser that pins the simulator's
+// own /metrics output. CI's metrics-smoke step pipes a live scrape through
+// it to prove the endpoint is format-valid and that the counters it cares
+// about exist and have advanced.
+//
+// Usage:
+//
+//	curl -s localhost:8080/metrics | promcheck \
+//	    -require simd_jobs_total \
+//	    -min 'simd_jobs_total{outcome="done"}=1' \
+//	    -min simd_jobs_accepted_total=1
+//
+// Exit status is 0 when the exposition parses and every -require family is
+// present and every -min sample exists at or above its floor; 1 otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/telemetry"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+func run(argv []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("promcheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var requires, mins multiFlag
+	fs.Var(&requires, "require", "metric family that must be present (repeatable)")
+	fs.Var(&mins, "min", `sample floor 'name{labels}=value'; the sample must exist and be >= value (repeatable)`)
+	if err := fs.Parse(argv); err != nil {
+		return 1
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "promcheck: unexpected arguments %q (exposition comes from stdin)\n", fs.Args())
+		return 1
+	}
+
+	fams, err := telemetry.ParseText(stdin)
+	if err != nil {
+		fmt.Fprintf(stderr, "promcheck: invalid exposition: %v\n", err)
+		return 1
+	}
+
+	failed := false
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(stderr, "promcheck: "+format+"\n", args...)
+		failed = true
+	}
+
+	byName := map[string]telemetry.Family{}
+	samples := 0
+	for _, f := range fams {
+		byName[f.Name] = f
+		samples += len(f.Samples)
+	}
+	for _, name := range requires {
+		if _, ok := byName[name]; !ok {
+			fail("required family %s absent", name)
+		}
+	}
+	for _, spec := range mins {
+		name, labels, floor, err := parseMin(spec)
+		if err != nil {
+			fail("%v", err)
+			continue
+		}
+		got, ok := findSample(fams, name, labels)
+		if !ok {
+			fail("-min %s: sample %s{%s} absent", spec, name, labels)
+			continue
+		}
+		if got < floor {
+			fail("-min %s: %s{%s} = %g, below floor %g", spec, name, labels, got, floor)
+		}
+	}
+	if failed {
+		return 1
+	}
+	fmt.Fprintf(stdout, "promcheck: ok (%d families, %d samples)\n", len(fams), samples)
+	return 0
+}
+
+// parseMin splits a -min spec into sample name, label block (inner text,
+// "" for unlabelled) and the floor value. The '=' separating the floor is
+// the one after the label block, so label values may contain '='.
+func parseMin(spec string) (name, labels string, floor float64, err error) {
+	rest := spec
+	if brace := strings.IndexByte(spec, '{'); brace >= 0 {
+		end := strings.Index(spec, "}=")
+		if end < 0 {
+			return "", "", 0, fmt.Errorf("-min %s: want name{labels}=value", spec)
+		}
+		name = spec[:brace]
+		labels = spec[brace+1 : end]
+		rest = spec[end+2:]
+	} else {
+		var ok bool
+		name, rest, ok = strings.Cut(spec, "=")
+		if !ok {
+			return "", "", 0, fmt.Errorf("-min %s: want name=value", spec)
+		}
+	}
+	floor, err = strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return "", "", 0, fmt.Errorf("-min %s: bad floor %q", spec, rest)
+	}
+	return name, labels, floor, nil
+}
+
+// findSample looks a sample up by exact name and label block across every
+// family (histogram _bucket/_sum/_count samples live under their base
+// family, so the search cannot go by family name alone).
+func findSample(fams []telemetry.Family, name, labels string) (float64, bool) {
+	for _, f := range fams {
+		if s, ok := f.Sample(name, labels); ok {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}

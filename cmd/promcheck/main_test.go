@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const exposition = `# HELP simd_jobs_total Terminal job outcomes.
+# TYPE simd_jobs_total counter
+simd_jobs_total{outcome="done"} 3
+simd_jobs_total{outcome="failed"} 0
+# HELP simd_run_seconds Wall time of one simulation attempt.
+# TYPE simd_run_seconds histogram
+simd_run_seconds_bucket{le="0.1"} 2
+simd_run_seconds_bucket{le="+Inf"} 3
+simd_run_seconds_sum 0.42
+simd_run_seconds_count 3
+`
+
+// check runs promcheck over the canned exposition and returns (exit code,
+// stderr text).
+func check(t *testing.T, argv ...string) (int, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(argv, strings.NewReader(exposition), &stdout, &stderr)
+	return code, stderr.String()
+}
+
+func TestPromcheckPassing(t *testing.T) {
+	code, errs := check(t,
+		"-require", "simd_jobs_total",
+		"-require", "simd_run_seconds",
+		"-min", `simd_jobs_total{outcome="done"}=3`,
+		"-min", "simd_run_seconds_count=1",
+		"-min", `simd_jobs_total{outcome="failed"}=0`,
+	)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errs)
+	}
+}
+
+func TestPromcheckFailures(t *testing.T) {
+	cases := []struct {
+		name string
+		argv []string
+		want string // substring of stderr
+	}{
+		{"absent family", []string{"-require", "no_such_family"}, "required family no_such_family absent"},
+		{"absent sample", []string{"-min", `simd_jobs_total{outcome="parked"}=1`}, "absent"},
+		{"below floor", []string{"-min", `simd_jobs_total{outcome="done"}=4`}, "below floor"},
+		{"malformed spec", []string{"-min", "simd_jobs_total"}, "want name=value"},
+		{"malformed labelled spec", []string{"-min", `simd_jobs_total{outcome="done"}`}, "want name{labels}=value"},
+		{"bad floor", []string{"-min", "simd_run_seconds_count=abc"}, "bad floor"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, errs := check(t, tc.argv...)
+			if code == 0 {
+				t.Fatal("exit 0, want failure")
+			}
+			if !strings.Contains(errs, tc.want) {
+				t.Errorf("stderr %q missing %q", errs, tc.want)
+			}
+		})
+	}
+}
+
+func TestPromcheckRejectsInvalidExposition(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run(nil, strings.NewReader("simd_jobs_total 3\n"), &stdout, &stderr)
+	if code == 0 {
+		t.Fatal("exit 0 on exposition with no TYPE")
+	}
+	if !strings.Contains(stderr.String(), "invalid exposition") {
+		t.Errorf("stderr: %q", stderr.String())
+	}
+}

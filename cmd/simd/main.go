@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -48,11 +49,16 @@ func run(argv []string, stdout io.Writer, signals <-chan os.Signal) error {
 	maxTimeout := fs.Duration("max-timeout", 0, "cap on per-job deadlines (0: no cap)")
 	maxInstances := fs.Int("max-instances", 0, "per-job instance budget; larger jobs are rejected with 413 (0: unlimited)")
 	retryAfter := fs.Duration("retry-after", time.Second, "back-off hint attached to shed responses")
-	verbose := fs.Bool("v", false, "log job lifecycle events")
+	logMode := fs.String("log", "text", "job lifecycle logging to stderr: text, json or off")
+	pprofOn := fs.Bool("pprof", false, "mount /debug/pprof/ profiling endpoints on the handler")
 	if err := fs.Parse(argv); err != nil {
 		return err
 	}
 
+	logger, err := buildLogger(*logMode)
+	if err != nil {
+		return err
+	}
 	cfg := simd.Config{
 		MaxConcurrent:   *maxConcurrent,
 		MaxQueued:       *maxQueued,
@@ -62,11 +68,8 @@ func run(argv []string, stdout io.Writer, signals <-chan os.Signal) error {
 		MaxTimeout:      *maxTimeout,
 		MaxJobInstances: *maxInstances,
 		RetryAfter:      *retryAfter,
-	}
-	if *verbose {
-		cfg.Log = func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, format+"\n", args...)
-		}
+		Logger:          logger,
+		EnablePprof:     *pprofOn,
 	}
 	srv, err := simd.New(cfg)
 	if err != nil {
@@ -124,4 +127,18 @@ func run(argv []string, stdout io.Writer, signals <-chan os.Signal) error {
 	fmt.Fprintf(stdout, "simd: drained: %d simulated, %d cache hits, %d coalesced, %d parked, %d shed\n",
 		st.Simulated, st.CacheHits, st.Coalesced, st.Parked, st.Shed)
 	return nil
+}
+
+// buildLogger maps the -log flag onto a slog handler writing to stderr.
+func buildLogger(mode string) (*slog.Logger, error) {
+	switch mode {
+	case "off":
+		return nil, nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	default:
+		return nil, fmt.Errorf("-log %q: want text, json or off", mode)
+	}
 }

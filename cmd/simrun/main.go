@@ -36,6 +36,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"syscall"
+	"time"
 
 	"repro/internal/atomicio"
 	"repro/internal/checkpoint"
@@ -43,6 +44,7 @@ import (
 	"repro/internal/numa"
 	"repro/internal/profiling"
 	"repro/internal/scenario"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -55,6 +57,7 @@ func main() {
 		machine    = flag.String("machine", "", "machine spec: a named hierarchy or a spec .json file; replaces the scenario's hierarchy and NUMA topology (-sockets/-placement still apply on top)")
 		reference  = flag.Bool("reference", false, "use the per-op reference simulation path (must produce identical metrics)")
 		jsonOut    = flag.Bool("json", false, "print the full canonical Metrics JSON instead of the summary line")
+		progress   = flag.Bool("progress", false, "live progress line on stderr (sampled at instance boundaries; never changes the metrics)")
 		update     = flag.Bool("update-golden", false, "rewrite the golden metrics files for every scenario")
 		golden     = flag.String("golden", filepath.Join("internal", "scenario", "testdata", "golden"), "golden directory used by -update-golden")
 		timeout    = flag.Duration("timeout", 0, "abort the run at the next instance boundary after this duration (0 = no limit); partial metrics are marked and the exit status is non-zero")
@@ -120,7 +123,7 @@ func main() {
 		ctx, stopSignals := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 		defer stopSignals()
 		opts.Context = ctx
-		if err := runScenarios(*run, opts, *jsonOut); err != nil {
+		if err := runScenarios(*run, opts, *jsonOut, *progress); err != nil {
 			fatal(err)
 		}
 	default:
@@ -197,7 +200,7 @@ func listScenarios() {
 	}
 }
 
-func runScenarios(name string, opts scenario.Options, jsonOut bool) error {
+func runScenarios(name string, opts scenario.Options, jsonOut, progress bool) error {
 	var scs []scenario.Scenario
 	if name == "all" {
 		scs = scenario.All()
@@ -218,7 +221,14 @@ func runScenarios(name string, opts scenario.Options, jsonOut bool) error {
 				continue
 			}
 		}
+		stopProgress := func() {}
+		if progress {
+			var p telemetry.Progress
+			opts.Progress = &p
+			stopProgress = startProgress(sc.Name, &p)
+		}
 		m, err := scenario.Run(sc, opts)
+		stopProgress()
 		if err != nil {
 			if m != nil && m.Partial {
 				// A clean instance-boundary stop (timeout, signal, injected
@@ -234,6 +244,55 @@ func runScenarios(name string, opts scenario.Options, jsonOut bool) error {
 		}
 	}
 	return nil
+}
+
+// startProgress follows a run's telemetry mailbox with a ticker, repainting
+// one stderr line in place. The mailbox is pull-based: the simulation
+// publishes at instance boundaries and this goroutine samples it — the run
+// itself never blocks on, or even notices, the display. On a non-terminal
+// stderr the intermediate repaints are skipped and only the final line is
+// printed.
+func startProgress(name string, p *telemetry.Progress) (stop func()) {
+	tty := false
+	if fi, err := os.Stderr.Stat(); err == nil {
+		tty = fi.Mode()&os.ModeCharDevice != 0
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	//repro:spawn-ok display ticker; stop() joins it before the run returns
+	go func() {
+		defer close(finished)
+		tick := time.NewTicker(200 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				if tty {
+					fmt.Fprint(os.Stderr, "\r"+progressLine(name, p.Snapshot()))
+				}
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+		if tty {
+			fmt.Fprint(os.Stderr, "\r")
+		}
+		fmt.Fprintln(os.Stderr, progressLine(name, p.Snapshot()))
+	}
+}
+
+// progressLine renders one progress sample.
+func progressLine(name string, s telemetry.ProgressSnapshot) string {
+	pct := ""
+	if v := s.Percent(); v >= 0 {
+		pct = fmt.Sprintf(" (%3.0f%%)", v)
+	}
+	return fmt.Sprintf("%s: %d/%d instances%s, %d cycles, %d instructions",
+		name, s.InstancesDone, s.InstancesTotal, pct, s.Cycles, s.Instructions)
 }
 
 func emit(m *scenario.Metrics, jsonOut bool) error {

@@ -19,7 +19,7 @@ func TestRunAllWithOverridesNeverAborts(t *testing.T) {
 		{Sockets: 2},
 		{Placement: "interleave"},
 	} {
-		if err := runScenarios("all", opts, false); err != nil {
+		if err := runScenarios("all", opts, false, false); err != nil {
 			t.Errorf("simrun -run all under %+v aborted: %v", opts, err)
 		}
 	}
@@ -29,15 +29,15 @@ func TestRunAllWithOverridesNeverAborts(t *testing.T) {
 // single-scenario run with an impossible override fails with machspec's
 // message — the same one hpcgrepro and the sweep engine produce.
 func TestSingleRunRejectionMessages(t *testing.T) {
-	err := runScenarios("stream_triad_1t", scenario.Options{Placement: "interleave"}, false)
+	err := runScenarios("stream_triad_1t", scenario.Options{Placement: "interleave"}, false, false)
 	if err == nil || !strings.Contains(err.Error(), `machspec: placement "interleave" requires a NUMA topology (sockets >= 1)`) {
 		t.Errorf("placement-on-flat error = %v", err)
 	}
-	err = runScenarios("stream_triad_1t", scenario.Options{Placement: "bogus", Sockets: 2}, false)
+	err = runScenarios("stream_triad_1t", scenario.Options{Placement: "bogus", Sockets: 2}, false, false)
 	if err == nil || !strings.Contains(err.Error(), `unknown placement policy "bogus"`) {
 		t.Errorf("unknown-placement error = %v", err)
 	}
-	err = runScenarios("nope", scenario.Options{}, false)
+	err = runScenarios("nope", scenario.Options{}, false, false)
 	if err == nil || !strings.Contains(err.Error(), `unknown scenario "nope"`) {
 		t.Errorf("unknown-scenario error = %v", err)
 	}

@@ -27,6 +27,7 @@ import (
 	"strings"
 	"syscall"
 	"text/tabwriter"
+	"time"
 
 	"repro/internal/atomicio"
 	"repro/internal/scenario"
@@ -50,6 +51,8 @@ func run(ctx context.Context, argv []string, stdout io.Writer) error {
 	cacheDir := fs.String("cache", "", "metrics cache directory (empty: no cache)")
 	server := fs.String("server", "", "simd server URL; points run remotely instead of in-process")
 	outPath := fs.String("out", "", "write results to a .csv or .json file")
+	metricsOut := fs.String("metrics-out", "", "write a per-point run report (.json): key, source, wall time, simulated totals")
+	progress := fs.Bool("progress", false, "live done/total progress line on stderr")
 	verbose := fs.Bool("v", false, "log each point as it completes")
 	if err := fs.Parse(argv); err != nil {
 		return err
@@ -79,8 +82,18 @@ func run(ctx context.Context, argv []string, stdout io.Writer) error {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
 	}
+	if *progress {
+		// \r keeps the line in place on a terminal; piped stderr gets one
+		// line per settled point, which is still bounded by the point count.
+		runner.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rsweep: %d/%d points (%d%%)", done, total, 100*done/total)
+		}
+	}
 
 	results, summary, err := runner.Run(points)
+	if *progress {
+		fmt.Fprintln(os.Stderr)
+	}
 	if err != nil {
 		return err
 	}
@@ -90,6 +103,11 @@ func run(ctx context.Context, argv []string, stdout io.Writer) error {
 
 	if *outPath != "" {
 		if err := writeResults(*outPath, results); err != nil {
+			return err
+		}
+	}
+	if *metricsOut != "" {
+		if err := writeMetricsOut(*metricsOut, results, summary); err != nil {
 			return err
 		}
 	}
@@ -261,6 +279,77 @@ type jsonResult struct {
 	Skip      string            `json:"skip,omitempty"`
 	Error     string            `json:"error,omitempty"`
 	Metrics   *scenario.Metrics `json:"metrics,omitempty"`
+}
+
+// runReport is the -metrics-out document: a lightweight per-point record —
+// identity, provenance, wall time and headline simulated totals — plus the
+// run summary. Unlike -out it never embeds full metrics, so it stays small
+// enough to attach to CI runs and dashboards.
+type runReport struct {
+	Points  []pointReport `json:"points"`
+	Summary reportSummary `json:"summary"`
+}
+
+type pointReport struct {
+	Label        string  `json:"label"`
+	Key          string  `json:"key"`
+	Source       string  `json:"source"`
+	ElapsedMs    float64 `json:"elapsed_ms"`
+	Cycles       uint64  `json:"cycles,omitempty"`
+	Instructions uint64  `json:"instructions,omitempty"`
+	Error        string  `json:"error,omitempty"`
+}
+
+type reportSummary struct {
+	Points    int     `json:"points"`
+	Simulated int     `json:"simulated"`
+	Remote    int     `json:"remote,omitempty"`
+	CacheHits int     `json:"cache_hits"`
+	Deduped   int     `json:"deduped"`
+	Skipped   int     `json:"skipped"`
+	Cancelled int     `json:"cancelled,omitempty"`
+	Errors    int     `json:"errors"`
+	ElapsedMs float64 `json:"elapsed_ms"`
+}
+
+func writeMetricsOut(path string, results []sweep.Result, summary sweep.Summary) error {
+	rep := runReport{
+		Points: make([]pointReport, 0, len(results)),
+		Summary: reportSummary{
+			Points:    summary.Points,
+			Simulated: summary.Simulated,
+			Remote:    summary.Remote,
+			CacheHits: summary.CacheHits,
+			Deduped:   summary.Deduped,
+			Skipped:   summary.Skipped,
+			Cancelled: summary.Cancelled,
+			Errors:    summary.Errors,
+		},
+	}
+	for _, res := range results {
+		pr := pointReport{
+			Label:     res.Point.Label(),
+			Key:       res.Point.Key,
+			Source:    string(res.Source),
+			ElapsedMs: float64(res.Elapsed) / float64(time.Millisecond),
+		}
+		rep.Summary.ElapsedMs += pr.ElapsedMs
+		if m := res.Parsed; m != nil {
+			for _, t := range m.PerThread {
+				pr.Cycles += t.Cycles
+				pr.Instructions += t.Instructions
+			}
+		}
+		if res.Err != nil {
+			pr.Error = res.Err.Error()
+		}
+		rep.Points = append(rep.Points, pr)
+	}
+	return atomicio.WriteFile(path, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	})
 }
 
 func writeJSON(w io.Writer, results []sweep.Result) error {

@@ -17,3 +17,10 @@ func TestOffSurfacePackageIgnored(t *testing.T) {
 		t.Fatalf("off-surface package produced %d diagnostics, want 0: %v", len(diags), diags)
 	}
 }
+
+// TestTelemetrySurface pins that the observability layer joined the
+// default determinism surface: an instrument that reads the wall clock
+// or the shared rand stream inside a hot-path update is a diagnostic.
+func TestTelemetrySurface(t *testing.T) {
+	atest.Run(t, detrand.Analyzer, "testdata/src/telemetry")
+}

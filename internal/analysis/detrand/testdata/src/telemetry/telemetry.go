@@ -1,0 +1,41 @@
+// Package telemetry is the observability-surface fixture (its name puts
+// it on the default determinism surface): instrument update paths run
+// inside the simulation hot loop, so a wall-clock read or a global rand
+// draw there is a diagnostic. The allowed shapes mirror the real
+// package: callers pass durations in, instruments only store them.
+package telemetry
+
+import (
+	"math/rand"
+	"time"
+)
+
+type histogram struct {
+	sum   float64
+	count uint64
+}
+
+// observeSince is the forbidden shape: an instrument timing itself puts
+// time.Now on every instrumented hot path.
+func observeSince(h *histogram, start time.Time) {
+	h.sum += time.Since(start).Seconds() // want `time.Since reads the wall clock`
+	h.count++
+}
+
+// observe is the allowed shape: the caller measured, the instrument
+// only stores.
+func observe(h *histogram, seconds float64) {
+	h.sum += seconds
+	h.count++
+}
+
+// sampleJitter draws from the shared stream: flagged.
+func sampleJitter(h *histogram) {
+	observe(h, rand.Float64()) // want `global rand.Float64 draws from the shared nondeterministic stream`
+}
+
+// sampleSeeded uses self-contained deterministic state: fine.
+func sampleSeeded(h *histogram, seed int64) {
+	r := rand.New(rand.NewSource(seed))
+	observe(h, r.Float64())
+}

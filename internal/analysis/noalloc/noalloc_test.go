@@ -21,3 +21,11 @@ func TestWaiverWithoutReason(t *testing.T) {
 		t.Fatalf("diagnostic = %q, want the missing-justification message", diags[0].Message)
 	}
 }
+
+// TestInstrumentedHotPath pins the observability contract: instance-
+// boundary instrument updates are //repro:noalloc, so an instrument
+// that allocates — directly or through a same-package helper — is a
+// diagnostic.
+func TestInstrumentedHotPath(t *testing.T) {
+	atest.Run(t, noalloc.Analyzer, "testdata/src/instrumented")
+}

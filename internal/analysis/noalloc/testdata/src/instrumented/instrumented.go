@@ -1,0 +1,56 @@
+// Package instrumented is the observability fixture: the progress and
+// metrics update paths that the simulator calls at instance boundaries
+// carry //repro:noalloc, and an instrument that allocates (or is
+// reached from one that does) is a diagnostic — observation must stay
+// free when nobody is watching and when everybody is.
+package instrumented
+
+import "sync/atomic"
+
+type progress struct {
+	done   atomic.Uint64
+	cycles atomic.Uint64
+}
+
+type counter struct{ v atomic.Uint64 }
+
+func (c *counter) add(n uint64) { c.v.Add(n) }
+
+// observeBoundary is the real shape: atomic stores only, checked
+// transitively through publish.
+//
+//repro:noalloc
+func observeBoundary(p *progress, done, cycles uint64) {
+	publish(p, done, cycles)
+}
+
+func publish(p *progress, done, cycles uint64) {
+	p.done.Store(done)
+	p.cycles.Store(cycles)
+}
+
+// observeLabeled builds a label set per observation: every flagged
+// construct here is one allocation per simulated instance.
+//
+//repro:noalloc
+func observeLabeled(c *counter, outcome string) {
+	labels := []string{"outcome", outcome} // want `slice literal allocates`
+	_ = labels
+	key := "simd_jobs_" + outcome // want `string concatenation allocates`
+	_ = key
+	c.add(1)
+}
+
+// observeTransitive reaches an allocating helper through a plain
+// same-package call: the diagnostic names the root annotation.
+//
+//repro:noalloc
+func observeTransitive(c *counter, n int) {
+	record(c, n)
+}
+
+func record(c *counter, n int) {
+	buf := make([]uint64, n) // want `make allocates in record, reached from //repro:noalloc function observeTransitive`
+	_ = buf
+	c.add(uint64(n))
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/faultinject"
 	"repro/internal/hpcg"
+	"repro/internal/telemetry"
 	"repro/internal/workloads"
 )
 
@@ -41,6 +42,12 @@ type Checkpointer struct {
 	// server uses to park an in-flight run it cannot let finish. The poll
 	// must be cheap (an atomic load); it runs once per instance.
 	Demand func() bool
+	// Progress, when non-nil, receives instance/cycle/cache-level counters
+	// at every instance boundary (atomic stores, no allocation — see
+	// ObserveProgress). Unlike the fields above it does not constrain the
+	// run: a progress-only Checkpointer works with any workload and is
+	// silently dropped on paths without instance boundaries.
+	Progress *telemetry.Progress
 }
 
 // CheckpointTag fingerprints a run configuration for snapshot validation:
@@ -185,7 +192,7 @@ func RunWorkloadCheckpointed(ctx context.Context, cfg Config, w workloads.Worklo
 		ctx = context.Background()
 	}
 	rw, resumable := w.(workloads.ResumableWorkload)
-	if ck != nil && !resumable {
+	if ck.checkpoints() && !resumable {
 		return nil, fmt.Errorf("core: workload %q does not support checkpointing (no RunPartitionRange)", w.Name())
 	}
 	s, err := NewSession(cfg)
@@ -212,6 +219,7 @@ func RunWorkloadCheckpointed(ctx context.Context, cfg Config, w workloads.Worklo
 	var runErr *RunError
 	if resumable {
 		n := rw.Elements()
+		ck.observeSession(s, start)
 		for it := start; it < iters; it++ {
 			cur := checkpoint.Cursor{Thread: 0, Iter: it}
 			if err := ctx.Err(); err != nil {
@@ -237,6 +245,7 @@ func RunWorkloadCheckpointed(ctx context.Context, cfg Config, w workloads.Worklo
 				return nil, err
 			}
 			done := it + 1
+			ck.observeSession(s, done)
 			if ck != nil && ck.Every > 0 && done%ck.Every == 0 && done < iters {
 				snap, err := s.Snapshot(checkpoint.Cursor{Iter: done}, ck.Tag)
 				if err != nil {
@@ -252,6 +261,10 @@ func RunWorkloadCheckpointed(ctx context.Context, cfg Config, w workloads.Worklo
 			runErr = &RunError{Thread: 1, Cause: err}
 		} else if err := w.Run(wctx, iters); err != nil {
 			return nil, err
+		} else {
+			// No instance boundaries inside a non-resumable Run: progress
+			// jumps from zero to done.
+			ck.observeSession(s, iters)
 		}
 	}
 	s.Mon.Stop()
@@ -307,6 +320,7 @@ func RunHPCGCheckpointed(ctx context.Context, cfg Config, params hpcg.Params, ck
 	}
 
 	var runErr *RunError
+	ck.observeSession(s, cgr.Result().Iterations)
 	for {
 		cur := checkpoint.Cursor{Iter: cgr.Result().Iterations}
 		if err := ctx.Err(); err != nil {
@@ -334,6 +348,7 @@ func RunHPCGCheckpointed(ctx context.Context, cfg Config, params hpcg.Params, ck
 		if err != nil {
 			return nil, err
 		}
+		ck.observeSession(s, cgr.Result().Iterations)
 		if done {
 			break
 		}

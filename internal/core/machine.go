@@ -323,10 +323,10 @@ func runWorkloadPartitioned(ctx context.Context, cfg Config, w workloads.Partiti
 		ctx = context.Background()
 	}
 	rw, resumable := w.(workloads.ResumableWorkload)
-	if ck != nil && !resumable {
+	if ck.checkpoints() && !resumable {
 		return nil, fmt.Errorf("core: workload %q does not support checkpointing (no RunPartitionRange)", w.Name())
 	}
-	if ck != nil && concurrent {
+	if ck.checkpoints() && concurrent {
 		return nil, fmt.Errorf("core: checkpointing requires the deterministic sequential schedule")
 	}
 	m, err := NewMachine(cfg, threads)
@@ -452,6 +452,9 @@ func (m *Machine) runSequential(ctx context.Context, w workloads.PartitionedWork
 			if err := w.RunPartition(&workloads.Ctx{Core: th.Core, Mon: th.Mon, Bin: m.Bin}, iters, lo, hi); err != nil {
 				return nil, fmt.Errorf("core: thread %d: %w", t+1, err)
 			}
+			// Whole-partition runs only reach quiescence between threads;
+			// progress advances a thread's worth of instances at a time.
+			ck.observeMachine(m, (t+1)*iters)
 		}
 		return nil, nil
 	}
@@ -463,6 +466,7 @@ func (m *Machine) runSequential(ctx context.Context, w workloads.PartitionedWork
 		start = ck.Resume.Cursor
 	}
 	done := 0
+	ck.observeMachine(m, start.Thread*iters+start.Iter)
 	for t := start.Thread; t < len(m.Threads); t++ {
 		th := m.Threads[t]
 		lo, hi := t*n/len(m.Threads), (t+1)*n/len(m.Threads)
@@ -493,6 +497,7 @@ func (m *Machine) runSequential(ctx context.Context, w workloads.PartitionedWork
 				return nil, fmt.Errorf("core: thread %d: %w", t+1, err)
 			}
 			done++
+			ck.observeMachine(m, t*iters+it+1)
 			next := checkpoint.Cursor{Thread: t, Iter: it + 1}
 			if next.Iter == iters {
 				next = checkpoint.Cursor{Thread: t + 1}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"repro/internal/cpu"
+	"repro/internal/telemetry"
+)
+
+// Progress observation publishes a run's instantaneous counters into a
+// telemetry.Progress mailbox. It happens only at the existing instance
+// boundaries — the same quiescent points as the cancellation poll, after the
+// sampling engine has flushed — so observed and unobserved runs execute the
+// identical instruction stream. The readers below are plain accessor calls
+// and atomic stores: no allocation, no wall clock.
+
+// ObserveProgress publishes the session's cycle, instruction and per-level
+// cache totals plus the completed-instance count.
+//
+//repro:noalloc
+func (s *Session) ObserveProgress(p *telemetry.Progress, done uint64) {
+	p.SetInstances(done)
+	p.SetCPU(s.Core.Cycles(), s.Core.PMU().True(cpu.CtrInstructions))
+	n := s.Hier.Levels()
+	if n > telemetry.ProgressLevels {
+		n = telemetry.ProgressLevels
+	}
+	p.SetLevelCount(n)
+	for i := 0; i < n; i++ {
+		st := s.Hier.LevelStats(i)
+		p.SetLevel(i, st.Hits, st.Misses)
+	}
+}
+
+// ObserveProgress publishes machine-wide totals: cycles and instructions
+// summed over threads, and per-level hit/fill counts summed over each
+// thread's view of its hierarchy (the shared-L3 level reports each thread's
+// own accesses, so the sum is the machine total).
+//
+//repro:noalloc
+func (m *Machine) ObserveProgress(p *telemetry.Progress, done uint64) {
+	p.SetInstances(done)
+	var cycles, instr uint64
+	for _, th := range m.Threads {
+		cycles += th.Core.Cycles()
+		instr += th.Core.PMU().True(cpu.CtrInstructions)
+	}
+	p.SetCPU(cycles, instr)
+	n := m.Primary().Hier.Levels()
+	if n > telemetry.ProgressLevels {
+		n = telemetry.ProgressLevels
+	}
+	p.SetLevelCount(n)
+	for i := 0; i < n; i++ {
+		var hits, fills uint64
+		for _, th := range m.Threads {
+			if i >= th.Hier.Levels() {
+				continue
+			}
+			st := th.Hier.LevelStats(i)
+			hits += st.Hits
+			fills += st.Misses
+		}
+		p.SetLevel(i, hits, fills)
+	}
+}
+
+// checkpoints reports whether the checkpointer actually snapshots or
+// resumes, as opposed to carrying only a Progress mailbox. Checkpointing
+// constrains the run (resumable workloads, sequential schedule); progress
+// observation does not, so the run entry points gate their capability
+// checks on this rather than on ck != nil. Safe on a nil receiver.
+func (ck *Checkpointer) checkpoints() bool {
+	return ck != nil && (ck.Every > 0 || ck.Sink != nil || ck.Resume != nil || ck.Demand != nil)
+}
+
+// observeSession publishes session progress when a mailbox is attached;
+// safe on a nil receiver so run loops call it unconditionally.
+//
+//repro:noalloc
+func (ck *Checkpointer) observeSession(s *Session, done int) {
+	if ck != nil && ck.Progress != nil {
+		s.ObserveProgress(ck.Progress, uint64(done))
+	}
+}
+
+// observeMachine is observeSession for machine runs.
+//
+//repro:noalloc
+func (ck *Checkpointer) observeMachine(m *Machine, done int) {
+	if ck != nil && ck.Progress != nil {
+		m.ObserveProgress(ck.Progress, uint64(done))
+	}
+}

@@ -1,0 +1,71 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// BenchmarkRunObserved measures the cost of the observability layer on a
+// figure-scale run: the same scenario unobserved, with a Progress mailbox
+// attached (instance-boundary atomic stores), and with the mailbox both
+// attached and aggressively polled by a concurrent observer. The
+// EXPERIMENTS.md overhead claim (<1%) is this benchmark's off-vs-polled
+// delta.
+func BenchmarkRunObserved(b *testing.B) {
+	sc, ok := Get("hpcg_8_1t")
+	if !ok {
+		b.Fatal("scenario hpcg_8_1t not registered")
+	}
+
+	b.Run("progress=off", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Run(sc, Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("progress=on", func(b *testing.B) {
+		b.ReportAllocs()
+		var p telemetry.Progress
+		for i := 0; i < b.N; i++ {
+			if _, err := Run(sc, Options{Progress: &p}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("progress=polled", func(b *testing.B) {
+		b.ReportAllocs()
+		var p telemetry.Progress
+		stop := make(chan struct{})
+		done := make(chan struct{})
+		go func() {
+			// Poll far harder than any real observer (simrun repaints at
+			// 200ms; SSE at 1s) to bound the contention cost from above.
+			defer close(done)
+			t := time.NewTicker(100 * time.Microsecond)
+			defer t.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+					_ = p.Snapshot()
+				}
+			}
+		}()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := Run(sc, Options{Progress: &p}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		close(stop)
+		<-done
+	})
+}

@@ -29,6 +29,7 @@ import (
 	"repro/internal/memhier"
 	"repro/internal/numa"
 	"repro/internal/pebs"
+	"repro/internal/telemetry"
 	"repro/internal/workloads"
 )
 
@@ -102,6 +103,14 @@ type Options struct {
 	// fingerprint) and continues from its cursor; the completed run is
 	// byte-identical to an uninterrupted one.
 	Resume *checkpoint.Snapshot
+	// Progress, when non-nil, receives live instance/cycle/cache counters
+	// at the run's existing instance boundaries (atomic stores only — see
+	// core.Session.ObserveProgress). Unlike checkpointing it imposes no
+	// schedule constraints: any scenario accepts it, and paths without
+	// instance boundaries (the NUMA parallel HPCG solve) simply leave the
+	// mailbox at its totals. Progress never appears in Metrics, so observed
+	// and unobserved runs produce byte-identical golden output.
+	Progress *telemetry.Progress
 	// Machine, when non-nil, replaces the scenario's named hierarchy and
 	// NUMA topology with a declarative machine spec (simrun -machine,
 	// cmd/sweep): the spec's cache levels, socket count, placement and
@@ -388,7 +397,8 @@ func Run(sc Scenario, opts Options) (*Metrics, error) {
 	}
 
 	var ck *core.Checkpointer
-	if opts.CheckpointEvery > 0 || opts.Resume != nil || opts.CheckpointDemand != nil {
+	wantCheckpoint := opts.CheckpointEvery > 0 || opts.Resume != nil || opts.CheckpointDemand != nil
+	if wantCheckpoint || opts.Progress != nil {
 		tagName := sc.Name
 		if spec != nil {
 			// A machine-spec override changes the simulated hardware: make
@@ -396,11 +406,19 @@ func Run(sc Scenario, opts Options) (*Metrics, error) {
 			tagName = sc.Name + "|machine:" + hierarchy
 		}
 		ck = &core.Checkpointer{
-			Every:  opts.CheckpointEvery,
-			Tag:    core.CheckpointTag(tagName, threads, cfg),
-			Sink:   opts.CheckpointSink,
-			Resume: opts.Resume,
-			Demand: opts.CheckpointDemand,
+			Every:    opts.CheckpointEvery,
+			Tag:      core.CheckpointTag(tagName, threads, cfg),
+			Sink:     opts.CheckpointSink,
+			Resume:   opts.Resume,
+			Demand:   opts.CheckpointDemand,
+			Progress: opts.Progress,
+		}
+	}
+	if opts.Progress != nil {
+		if sc.HPCG != nil {
+			opts.Progress.SetTotal(uint64(sc.HPCG.MaxIters))
+		} else {
+			opts.Progress.SetTotal(uint64(threads * sc.Iters))
 		}
 	}
 
@@ -411,7 +429,7 @@ func Run(sc Scenario, opts Options) (*Metrics, error) {
 		m.Workload = "hpcg"
 		m.Iters = sc.HPCG.MaxIters
 		if numaOn {
-			if ck != nil {
+			if wantCheckpoint {
 				return nil, fmt.Errorf("scenario %q: checkpointing is not supported on the NUMA HPCG path (the barrier-coupled parallel solve has no instance-boundary snapshot point)", sc.Name)
 			}
 			// The 1-worker parallel solve is deterministic (one goroutine)

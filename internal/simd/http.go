@@ -4,8 +4,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // maxRequestBody bounds a job document (an inline machine spec is at most a
@@ -19,7 +22,11 @@ const maxRequestBody = 1 << 20
 //	GET  /v1/jobs/{key}/result canonical metrics bytes, exactly as stored
 //	GET  /v1/jobs/{key}/events server-sent status events until terminal
 //	GET  /v1/stats            server counters
+//	GET  /metrics             Prometheus text exposition (v0.0.4)
 //	GET  /healthz             200 serving / 503 draining
+//
+// With Config.EnablePprof the standard profiling endpoints are mounted
+// under /debug/pprof/.
 //
 // Result bodies are the stored bytes verbatim — the transport never
 // re-encodes metrics JSON, so a server result is byte-identical to the
@@ -31,7 +38,15 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{key}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/jobs/{key}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -172,8 +187,9 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 
 // handleEvents streams the job's status as server-sent events until it
 // reaches a terminal state: one event per observed change plus a final
-// terminal event. Progress granularity is the instance-boundary heartbeat
-// the demand-checkpoint poll provides.
+// terminal event. Progress comes from the flight's telemetry mailbox, which
+// the simulation refreshes at every instance boundary — instances done and
+// total, simulated cycles and instructions advance live.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	f, ok := s.Lookup(r.PathValue("key"))
 	if !ok {
@@ -218,6 +234,14 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// handleMetrics serves the Prometheus text exposition. The scrape snapshots
+// instrument values while writing — running jobs are never blocked on it.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", telemetry.ContentType)
+	w.WriteHeader(http.StatusOK)
+	s.WriteMetrics(w)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {

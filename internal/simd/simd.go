@@ -23,6 +23,12 @@
 //     cannot finish (reusing internal/checkpoint); a restarted server
 //     resumes parked jobs to byte-exact results. A worker panic poisons
 //     only its job, never the server.
+//   - Observability. Every counter lives on an internal/telemetry registry
+//     served as Prometheus text exposition at GET /metrics; the job
+//     lifecycle is structured log/slog spans keyed by the sweep hash; and
+//     each running flight carries a telemetry.Progress mailbox the
+//     simulation updates at instance boundaries, feeding live progress into
+//     job status and the /v1/jobs/{key}/events SSE stream.
 //
 // Fault coverage comes from the internal/faultinject server points
 // (accept, enqueue, run, cache-write, drain-checkpoint) driven by the
@@ -36,6 +42,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sync"
@@ -49,6 +56,7 @@ import (
 	"repro/internal/machspec"
 	"repro/internal/scenario"
 	"repro/internal/sweep"
+	"repro/internal/telemetry"
 )
 
 // Request is the wire format of one simulation job. Its fields are exactly
@@ -95,7 +103,10 @@ const (
 	SourceCoalesced = "coalesced"
 )
 
-// Status is the externally visible snapshot of a job.
+// Status is the externally visible snapshot of a job. The progress fields
+// (Instances, InstancesTotal, Cycles, Instructions) are sampled from the
+// flight's telemetry mailbox, which the simulation updates at instance
+// boundaries — a polling SSE client sees them advance while the job runs.
 type Status struct {
 	Key       string `json:"key"`
 	Scenario  string `json:"scenario"`
@@ -103,7 +114,13 @@ type Status struct {
 	State     string `json:"state"`
 	Source    string `json:"source,omitempty"`
 	Instances uint64 `json:"instances_done,omitempty"`
-	Error     string `json:"error,omitempty"`
+	// InstancesTotal is the job's expected instance count (0 until the run
+	// publishes it).
+	InstancesTotal uint64 `json:"instances_total,omitempty"`
+	// Cycles and Instructions are the running simulated totals.
+	Cycles       uint64 `json:"cycles,omitempty"`
+	Instructions uint64 `json:"instructions,omitempty"`
+	Error        string `json:"error,omitempty"`
 	// Resumed marks a job restored from a drain checkpoint.
 	Resumed bool `json:"resumed,omitempty"`
 }
@@ -149,8 +166,14 @@ type Config struct {
 	MaxJobInstances int
 	// RetryAfter is the back-off hint attached to shed responses (<=0: 1s).
 	RetryAfter time.Duration
-	// Log receives server progress lines (nil: silent).
-	Log func(format string, args ...any)
+	// Logger receives structured job-lifecycle spans (nil: silent). Every
+	// event carries the job's sweep-hash key, so one key's records form a
+	// submit→run→outcome span across restarts.
+	Logger *slog.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the handler.
+	// Off by default: profiling endpoints are a debugging surface, not part
+	// of the public API.
+	EnablePprof bool
 }
 
 // Stats is a point-in-time view of the server counters.
@@ -184,9 +207,11 @@ type flight struct {
 	checkpointable bool
 	resume         *checkpoint.Snapshot // set when restored from a parked .ck
 	resumed        bool
+	enqueued       time.Time // admission time (queue-wait histogram)
 
-	instances atomic.Uint64 // instance-boundary heartbeat (progress events)
-	drain     atomic.Bool   // demand-checkpoint trigger
+	instances atomic.Uint64      // instance-boundary heartbeat (demand polls)
+	drain     atomic.Bool        // demand-checkpoint trigger
+	progress  telemetry.Progress // live run counters, written at instance boundaries
 
 	mu      sync.Mutex
 	state   string
@@ -198,16 +223,25 @@ type flight struct {
 }
 
 func (f *flight) status() Status {
+	ps := f.progress.Snapshot()
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	st := Status{
-		Key:       f.key,
-		Scenario:  f.sc.Name,
-		Machine:   f.machine,
-		State:     f.state,
-		Source:    f.source,
-		Instances: f.instances.Load(),
-		Resumed:   f.resumed,
+		Key:            f.key,
+		Scenario:       f.sc.Name,
+		Machine:        f.machine,
+		State:          f.state,
+		Source:         f.source,
+		Instances:      ps.InstancesDone,
+		InstancesTotal: ps.InstancesTotal,
+		Cycles:         ps.Cycles,
+		Instructions:   ps.Instructions,
+		Resumed:        f.resumed,
+	}
+	if st.Instances == 0 {
+		// Before the run publishes exact progress, fall back to the demand
+		// poll heartbeat (checkpointable runs only).
+		st.Instances = f.instances.Load()
 	}
 	if f.err != nil {
 		st.Error = f.err.Error()
@@ -256,6 +290,8 @@ var errDrainCancelled = errors.New("simd: server draining, drain deadline reache
 type Server struct {
 	cfg   Config
 	cache *sweep.Cache
+	log   *slog.Logger
+	met   *serverMetrics
 
 	mu       sync.Mutex
 	flights  map[string]*flight
@@ -264,12 +300,6 @@ type Server struct {
 	running  map[*flight]struct{}
 	draining bool
 	wg       sync.WaitGroup
-
-	stats struct {
-		accepted, coalesced, cacheHits, shed, rejected atomic.Uint64
-		simulated, partial, failed, panics             atomic.Uint64
-		parked, resumed                                atomic.Uint64
-	}
 }
 
 // maxRetainedFlights bounds the in-memory record of terminal jobs; results
@@ -291,16 +321,21 @@ func New(cfg Config) (*Server, error) {
 	}
 	s := &Server{
 		cfg:     cfg,
+		log:     cfg.Logger,
 		flights: make(map[string]*flight),
 		running: make(map[*flight]struct{}),
 	}
+	if s.log == nil {
+		s.log = slog.New(slog.DiscardHandler)
+	}
+	s.met = newServerMetrics(s)
 	if cfg.CacheDir != "" {
 		c, err := sweep.OpenCache(cfg.CacheDir)
 		if err != nil {
 			return nil, fmt.Errorf("simd: %w", err)
 		}
 		c.Notice = func(key string, err error) {
-			s.logf("simd: cache: evicted corrupt entry %.12s…: %v", key, err)
+			s.log.Warn("cache entry evicted", "key", key, "err", err)
 		}
 		s.cache = c
 	}
@@ -312,32 +347,28 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-func (s *Server) logf(format string, args ...any) {
-	if s.cfg.Log != nil {
-		s.cfg.Log(format, args...)
-	}
-}
-
-// Stats snapshots the counters.
+// Stats snapshots the counters. The values are read from the same telemetry
+// instruments that back /metrics, so the two views can never disagree.
 func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	running, queued, draining := len(s.running), len(s.queue), s.draining
 	s.mu.Unlock()
+	m := s.met
 	return Stats{
 		Running:   running,
 		Queued:    queued,
 		Draining:  draining,
-		Accepted:  s.stats.accepted.Load(),
-		Coalesced: s.stats.coalesced.Load(),
-		CacheHits: s.stats.cacheHits.Load(),
-		Shed:      s.stats.shed.Load(),
-		Rejected:  s.stats.rejected.Load(),
-		Simulated: s.stats.simulated.Load(),
-		Partial:   s.stats.partial.Load(),
-		Failed:    s.stats.failed.Load(),
-		Panics:    s.stats.panics.Load(),
-		Parked:    s.stats.parked.Load(),
-		Resumed:   s.stats.resumed.Load(),
+		Accepted:  m.accepted.Value(),
+		Coalesced: m.coalesced.Value(),
+		CacheHits: m.cacheHits.Value(),
+		Shed:      m.shed429.Value() + m.shed503.Value(),
+		Rejected:  m.rejected400.Value() + m.rejected413.Value(),
+		Simulated: m.done.Value(),
+		Partial:   m.partial.Value(),
+		Failed:    m.failed.Value(),
+		Panics:    m.panics.Value(),
+		Parked:    m.parked.Value(),
+		Resumed:   m.resumed.Value(),
 	}
 }
 
@@ -438,22 +469,32 @@ func estimateInstances(sc scenario.Scenario) int {
 // invalid requests return *Error.
 func (s *Server) Submit(req Request) (*flight, bool, error) {
 	if err := faultinject.Hit(faultinject.PointServerAccept); err != nil {
-		s.stats.failed.Add(1)
+		s.met.failed.Inc()
 		return nil, false, &Error{Code: 500, Msg: err.Error(), RetryAfter: s.cfg.RetryAfter}
 	}
 	f, err := s.resolve(req)
 	if err != nil {
-		s.stats.rejected.Add(1)
+		var se *Error
+		if errors.As(err, &se) && se.Code == 413 {
+			s.met.rejected413.Inc()
+		} else {
+			s.met.rejected400.Inc()
+		}
+		s.log.Warn("job rejected", "scenario", req.Scenario, "err", err)
 		return nil, false, err
 	}
 	// Shared-cache lookup before admission: identical later requests cost
 	// one cache read, no queue slot.
 	if b, ok := s.cacheGet(f.key); ok {
-		s.stats.cacheHits.Add(1)
+		s.met.cacheHits.Inc()
 		f.state, f.source, f.metrics = StateDone, SourceCache, b
 		close(f.done)
 		s.remember(f)
+		s.log.Info("job cache hit", "key", f.key, "scenario", f.sc.Name)
 		return f, false, nil
+	}
+	if s.cache != nil {
+		s.met.cacheMisses.Inc()
 	}
 	return s.admit(f, false)
 }
@@ -466,15 +507,19 @@ func (s *Server) admit(f *flight, resumeRun bool) (*flight, bool, error) {
 	if cur, ok := s.flights[f.key]; ok && !cur.terminal() {
 		// Coalesce: attach to the in-flight execution. Duplicates are free —
 		// no queue slot, no simulation.
-		s.stats.coalesced.Add(1)
+		s.met.coalesced.Inc()
+		s.log.Info("job coalesced", "key", f.key, "scenario", f.sc.Name)
 		return cur, true, nil
 	}
 	if s.draining && !resumeRun {
-		s.stats.shed.Add(1)
+		s.met.shed503.Inc()
+		s.log.Warn("job shed", "key", f.key, "scenario", f.sc.Name, "code", 503)
 		return nil, false, &Error{Code: 503, Msg: "server is draining", RetryAfter: s.cfg.RetryAfter}
 	}
 	if len(s.queue) >= s.cfg.MaxQueued {
-		s.stats.shed.Add(1)
+		s.met.shed429.Inc()
+		s.log.Warn("job shed", "key", f.key, "scenario", f.sc.Name, "code", 429,
+			"running", len(s.running), "queued", len(s.queue))
 		return nil, false, &Error{
 			Code:       429,
 			Msg:        fmt.Sprintf("%d jobs running and %d queued; try again later", len(s.running), len(s.queue)),
@@ -482,12 +527,15 @@ func (s *Server) admit(f *flight, resumeRun bool) (*flight, bool, error) {
 		}
 	}
 	if err := faultinject.Hit(faultinject.PointServerEnqueue); err != nil {
-		s.stats.failed.Add(1)
+		s.met.failed.Inc()
 		return nil, false, &Error{Code: 500, Msg: err.Error(), RetryAfter: s.cfg.RetryAfter}
 	}
-	s.stats.accepted.Add(1)
+	s.met.accepted.Inc()
+	f.enqueued = time.Now()
 	s.flights[f.key] = f
 	s.queue = append(s.queue, f)
+	s.log.Info("job submitted", "key", f.key, "scenario", f.sc.Name, "machine", f.machine,
+		"resumed", f.resumed, "queued", len(s.queue))
 	s.dispatchLocked()
 	return f, false, nil
 }
@@ -538,7 +586,7 @@ func (s *Server) cacheGet(key string) ([]byte, bool) {
 	}
 	b, ok, err := s.cache.Get(key)
 	if err != nil {
-		s.logf("simd: cache read %.12s…: %v", key, err)
+		s.log.Warn("cache read failed", "key", key, "err", err)
 		return nil, false
 	}
 	return b, ok
@@ -563,10 +611,10 @@ func (s *Server) runFlight(f *flight) {
 	defer s.wg.Done()
 	defer func() {
 		if rec := recover(); rec != nil {
-			s.stats.panics.Add(1)
-			s.stats.failed.Add(1)
+			s.met.panics.Inc()
+			s.met.failed.Inc()
 			f.finish(StateFailed, nil, fmt.Errorf("simd: job panicked: %v", rec))
-			s.logf("simd: job %.12s… (%s) panicked: %v", f.key, f.sc.Name, rec)
+			s.log.Error("job panicked", "key", f.key, "scenario", f.sc.Name, "panic", fmt.Sprint(rec))
 		}
 		s.mu.Lock()
 		delete(s.running, f)
@@ -577,8 +625,11 @@ func (s *Server) runFlight(f *flight) {
 		s.mu.Unlock()
 	}()
 
+	if !f.enqueued.IsZero() {
+		s.met.queueWait.Observe(time.Since(f.enqueued).Seconds())
+	}
 	if err := faultinject.Hit(faultinject.PointServerRun); err != nil {
-		s.stats.failed.Add(1)
+		s.met.failed.Inc()
 		f.finish(StateFailed, nil, err)
 		return
 	}
@@ -594,9 +645,11 @@ func (s *Server) runFlight(f *flight) {
 	f.mu.Lock()
 	f.state, f.cancel = StateRunning, cancel
 	f.mu.Unlock()
+	s.log.Info("job running", "key", f.key, "scenario", f.sc.Name, "resumed", f.resumed)
 
 	opts := f.opts
 	opts.Context = ctx
+	opts.Progress = &f.progress
 	if f.checkpointable {
 		opts.CheckpointDemand = func() bool {
 			f.instances.Add(1)
@@ -606,62 +659,81 @@ func (s *Server) runFlight(f *flight) {
 			if err := faultinject.Hit(faultinject.PointServerDrain); err != nil {
 				return err
 			}
-			return atomicio.WriteFile(s.snapPath(f.key), func(w io.Writer) error {
-				return checkpoint.Write(w, snap)
+			ckStart := time.Now()
+			cw := &countingWriter{}
+			err := atomicio.WriteFile(s.snapPath(f.key), func(w io.Writer) error {
+				cw.w = w
+				return checkpoint.Write(cw, snap)
 			})
+			if err == nil {
+				s.met.ckBytes.Add(uint64(cw.n))
+				s.met.ckWrite.Observe(time.Since(ckStart).Seconds())
+			}
+			return err
 		}
 		opts.Resume = f.resume
 	}
 
+	runStart := time.Now()
 	m, err := scenario.Run(f.sc, opts)
+	elapsed := time.Since(runStart)
+	s.met.runTime.Observe(elapsed.Seconds())
 	switch {
 	case err == nil:
 		b, jerr := m.JSON()
 		if jerr != nil {
-			s.stats.failed.Add(1)
+			s.met.failed.Inc()
 			f.finish(StateFailed, nil, jerr)
 			return
 		}
 		s.cachePut(f.key, b)
-		s.stats.simulated.Add(1)
+		s.met.done.Inc()
 		f.finish(StateDone, b, nil)
 		s.clearParked(f.key)
-		s.logf("simd: done %.12s… %s (%d instance polls)", f.key, f.sc.Name, f.instances.Load())
+		s.log.Info("job done", "key", f.key, "scenario", f.sc.Name,
+			"elapsed", elapsed, "instances", f.progress.Snapshot().InstancesDone)
 
 	case errors.Is(err, core.ErrCheckpointDemanded):
 		// Drain checkpoint taken at an instance boundary; park the request
 		// so a restarted server resumes it.
 		if perr := s.park(f); perr != nil {
-			s.stats.failed.Add(1)
+			s.met.failed.Inc()
 			f.finish(StateFailed, nil, fmt.Errorf("simd: parking drained job: %w", perr))
 			return
 		}
-		s.stats.parked.Add(1)
+		s.met.parked.Inc()
+		s.met.checkpointed.Inc()
 		f.finish(StateCheckpointed, nil, err)
-		s.logf("simd: checkpointed %.12s… %s at instance boundary", f.key, f.sc.Name)
+		s.log.Info("job checkpointed", "key", f.key, "scenario", f.sc.Name,
+			"instances", f.progress.Snapshot().InstancesDone)
 
 	case errors.Is(err, context.Canceled) && errors.Is(context.Cause(ctx), errDrainCancelled):
 		// Hard drain stop of a non-checkpointable run: park the request for
 		// a from-scratch re-run after restart (when a state dir exists).
 		if s.cfg.StateDir != "" {
 			if perr := s.park(f); perr == nil {
-				s.stats.parked.Add(1)
+				s.met.parked.Inc()
+				s.met.checkpointed.Inc()
 				f.finish(StateCheckpointed, nil, err)
+				s.log.Info("job parked", "key", f.key, "scenario", f.sc.Name, "reason", "drain deadline")
 				return
 			}
 		}
-		s.stats.partial.Add(1)
+		s.met.partial.Inc()
 		f.finish(StatePartial, partialBytes(m), err)
+		s.log.Warn("job partial", "key", f.key, "scenario", f.sc.Name, "err", err)
 
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		// The job's own deadline (or a client cancel): partial metrics,
 		// clearly marked, exactly like simrun -timeout.
-		s.stats.partial.Add(1)
+		s.met.partial.Inc()
 		f.finish(StatePartial, partialBytes(m), err)
+		s.log.Warn("job partial", "key", f.key, "scenario", f.sc.Name, "err", err)
 
 	default:
-		s.stats.failed.Add(1)
+		s.met.failed.Inc()
 		f.finish(StateFailed, nil, err)
+		s.log.Error("job failed", "key", f.key, "scenario", f.sc.Name, "err", err)
 	}
 }
 
@@ -684,11 +756,11 @@ func (s *Server) cachePut(key string, b []byte) {
 	}
 	if err := faultinject.Hit(faultinject.PointServerCacheWrite); err != nil {
 		// The result is good; only the next lookup loses its hit.
-		s.logf("simd: cache write %.12s…: %v", key, err)
+		s.log.Warn("cache write failed", "key", key, "err", err)
 		return
 	}
 	if err := s.cache.Put(key, b); err != nil {
-		s.logf("simd: cache write %.12s…: %v", key, err)
+		s.log.Warn("cache write failed", "key", key, "err", err)
 	}
 }
 
@@ -745,7 +817,7 @@ func (s *Server) Resume() (int, error) {
 		key := name[:len(name)-len(".job")]
 		b, err := os.ReadFile(s.jobPath(key))
 		if err != nil {
-			s.logf("simd: resume %.12s…: %v", key, err)
+			s.log.Warn("resume failed", "key", key, "err", err)
 			continue
 		}
 		var req Request
@@ -753,7 +825,7 @@ func (s *Server) Resume() (int, error) {
 			// A torn .job (written without atomicio by an older build, or
 			// tampered with) cannot be resumed; drop it with a notice
 			// rather than refusing to start.
-			s.logf("simd: resume %.12s…: corrupt job file, dropping: %v", key, err)
+			s.log.Warn("resume dropped corrupt job file", "key", key, "err", err)
 			s.clearParked(key)
 			continue
 		}
@@ -767,7 +839,7 @@ func (s *Server) Resume() (int, error) {
 		}
 		f, rerr := s.resolve(req)
 		if rerr != nil {
-			s.logf("simd: resume %.12s…: %v", key, rerr)
+			s.log.Warn("resume failed", "key", key, "err", rerr)
 			s.clearParked(key)
 			continue
 		}
@@ -776,10 +848,11 @@ func (s *Server) Resume() (int, error) {
 			f.resumed = true
 		}
 		if _, _, err := s.admit(f, true); err != nil {
-			s.logf("simd: resume %.12s…: %v", key, err)
+			s.log.Warn("resume failed", "key", key, "err", err)
 			continue
 		}
-		s.stats.resumed.Add(1)
+		s.met.resumed.Inc()
+		s.log.Info("job resumed", "key", key, "scenario", req.Scenario, "checkpoint", f.resumed)
 		resumed++
 	}
 	return resumed, nil
@@ -795,7 +868,7 @@ func (s *Server) readSnapshot(key string) (*checkpoint.Snapshot, bool) {
 	defer fh.Close()
 	snap, err := checkpoint.Read(fh)
 	if err != nil {
-		s.logf("simd: resume %.12s…: corrupt checkpoint, re-running from scratch: %v", key, err)
+		s.log.Warn("resume dropped corrupt checkpoint, re-running from scratch", "key", key, "err", err)
 		os.Remove(s.snapPath(key))
 		return nil, false
 	}
@@ -819,7 +892,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 	s.mu.Unlock()
 	if !alreadyDraining {
-		s.logf("simd: draining: %d running, %d queued", len(running), len(queued))
+		s.log.Info("drain started", "running", len(running), "queued", len(queued))
 	}
 
 	for _, f := range queued {
@@ -827,15 +900,18 @@ func (s *Server) Drain(ctx context.Context) error {
 		// is nowhere to park it).
 		if s.cfg.StateDir != "" {
 			if err := s.park(f); err == nil {
-				s.stats.parked.Add(1)
+				s.met.parked.Inc()
+				s.met.checkpointed.Inc()
 				f.finish(StateCheckpointed, nil, errors.New("simd: parked by drain before starting"))
 				s.remember(f)
+				s.log.Info("job parked", "key", f.key, "scenario", f.sc.Name, "reason", "queued at drain")
 				continue
 			}
 		}
-		s.stats.partial.Add(1)
+		s.met.partial.Inc()
 		f.finish(StatePartial, nil, errDrainCancelled)
 		s.remember(f)
+		s.log.Warn("job cancelled by drain", "key", f.key, "scenario", f.sc.Name)
 	}
 	for _, f := range running {
 		// Checkpointable runs observe this at their next instance boundary.

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/scenario"
 )
@@ -32,6 +33,10 @@ type Result struct {
 	Metrics []byte
 	Parsed  *scenario.Metrics
 	Err     error
+	// Elapsed is the wall time spent producing this point's bytes — the
+	// simulation or the remote round trip. Cache hits, dedups and skips
+	// cost nothing and report zero.
+	Elapsed time.Duration
 }
 
 // Summary aggregates a run for the one-line report and the CI smoke checks.
@@ -83,6 +88,11 @@ type Runner struct {
 	Execute func(ctx context.Context, p Point) (metrics []byte, cached bool, err error)
 	// Log, when non-nil, receives one progress line per completed point.
 	Log func(format string, args ...any)
+	// Progress, when non-nil, is called after each point settles with the
+	// running done count and the total (duplicates settle with their key's
+	// first occurrence). Calls are serialized; the final call is always
+	// (total, total) unless the run errored.
+	Progress func(done, total int)
 }
 
 func (r *Runner) logf(format string, args ...any) {
@@ -103,6 +113,7 @@ func (r *Runner) Run(points []Point) ([]Result, Summary, error) {
 	// Partition: skipped points resolve immediately; the first point of
 	// each key becomes a job; later ones wait for it.
 	firstByKey := make(map[string]int, len(points))
+	countByKey := make(map[string]int, len(points))
 	var jobs []int
 	for i, p := range points {
 		results[i].Point = p
@@ -111,11 +122,16 @@ func (r *Runner) Run(points []Point) ([]Result, Summary, error) {
 			summary.Skipped++
 			continue
 		}
+		countByKey[p.Key]++
 		if _, dup := firstByKey[p.Key]; dup {
 			continue
 		}
 		firstByKey[p.Key] = i
 		jobs = append(jobs, i)
+	}
+	progressDone := summary.Skipped
+	if r.Progress != nil && len(points) > 0 {
+		r.Progress(progressDone, len(points))
 	}
 
 	workers := r.Jobs
@@ -160,6 +176,11 @@ func (r *Runner) Run(points []Point) ([]Result, Summary, error) {
 					summary.Errors++
 				}
 				r.logf("sweep: %-9s %s", res.Source, points[i].Label())
+				if r.Progress != nil {
+					// A settled key settles all its duplicates too.
+					progressDone += countByKey[points[i].Key]
+					r.Progress(progressDone, len(points))
+				}
 				mu.Unlock()
 			}
 		}()
@@ -209,8 +230,10 @@ func (r *Runner) runPoint(p Point) Result {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	start := time.Now()
 	if r.Execute != nil {
 		b, cached, err := r.Execute(ctx, p)
+		res.Elapsed = time.Since(start)
 		if err != nil {
 			if ctx.Err() != nil {
 				res.Source = SourceCancelled
@@ -230,6 +253,7 @@ func (r *Runner) runPoint(p Point) Result {
 	opts := p.Options()
 	opts.Context = ctx
 	m, err := scenario.Run(p.Scenario, opts)
+	res.Elapsed = time.Since(start)
 	if err != nil {
 		// A clean context stop (SIGINT/SIGTERM, timeout) is a cancelled
 		// point, not a failed one: the rest of the matrix was interrupted,

@@ -1,0 +1,464 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the read side of the exposition contract: a strict parser for
+// Prometheus text-format v0.0.4. It is deliberately stricter than a scraping
+// server needs to be — every sample must belong to a declared family, every
+// histogram must be internally consistent — because its job is to pin OUR
+// output, both in the format-compliance tests and in CI via cmd/promcheck.
+
+// Sample is one exposition line: a metric name, its rendered label block
+// (inner text only, "" when unlabelled) and the parsed value.
+type Sample struct {
+	Name   string
+	Labels string
+	Value  float64
+}
+
+// Label is one parsed label pair.
+type Label struct {
+	Name, Value string
+}
+
+// Family is one metric family as declared by its HELP/TYPE header, with
+// every sample that followed it.
+type Family struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []Sample
+}
+
+// Sample returns the sample with the given name and exact label block, or
+// false when absent.
+func (f Family) Sample(name, labels string) (Sample, bool) {
+	for _, s := range f.Samples {
+		if s.Name == name && s.Labels == labels {
+			return s, true
+		}
+	}
+	return Sample{}, false
+}
+
+// ParseText parses and validates a full exposition. It enforces:
+//
+//   - every sample is preceded by a # TYPE declaration for its family
+//     (histogram samples may use the _bucket/_sum/_count suffixes);
+//   - TYPE is one of counter, gauge, histogram, summary or untyped;
+//   - no duplicate (name, labels) series;
+//   - histogram families carry cumulative non-decreasing buckets, an +Inf
+//     bucket, and a _count equal to the +Inf bucket, per label set.
+func ParseText(r io.Reader) ([]Family, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var (
+		fams    []Family
+		byName  = map[string]int{}
+		seen    = map[string]bool{}
+		lineNum = 0
+	)
+	for sc.Scan() {
+		lineNum++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, err := parseComment(line)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNum, err)
+			}
+			if kind == "" {
+				continue // plain comment
+			}
+			idx, ok := byName[name]
+			if !ok {
+				byName[name] = len(fams)
+				fams = append(fams, Family{Name: name})
+				idx = byName[name]
+			}
+			f := &fams[idx]
+			switch kind {
+			case "HELP":
+				if f.Help != "" {
+					return nil, fmt.Errorf("line %d: second HELP for %s", lineNum, name)
+				}
+				f.Help = rest
+			case "TYPE":
+				if f.Type != "" {
+					return nil, fmt.Errorf("line %d: second TYPE for %s", lineNum, name)
+				}
+				if len(f.Samples) > 0 {
+					return nil, fmt.Errorf("line %d: TYPE for %s after its samples", lineNum, name)
+				}
+				switch rest {
+				case TypeCounter, TypeGauge, TypeHistogram, "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("line %d: unknown type %q for %s", lineNum, rest, name)
+				}
+				f.Type = rest
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNum, err)
+		}
+		famName, ok := owningFamily(s.Name, byName, fams)
+		if !ok {
+			return nil, fmt.Errorf("line %d: sample %s has no preceding # TYPE", lineNum, s.Name)
+		}
+		key := s.Name + "{" + s.Labels + "}"
+		if seen[key] {
+			return nil, fmt.Errorf("line %d: duplicate series %s", lineNum, key)
+		}
+		seen[key] = true
+		idx := byName[famName]
+		fams[idx].Samples = append(fams[idx].Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for i := range fams {
+		if fams[i].Type == "" {
+			return nil, fmt.Errorf("family %s has HELP but no TYPE", fams[i].Name)
+		}
+		if fams[i].Type == TypeHistogram {
+			if err := checkHistogram(&fams[i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return fams, nil
+}
+
+// owningFamily maps a sample name to its declared family: exact match, or a
+// histogram/summary suffix of a declared histogram/summary family.
+func owningFamily(sample string, byName map[string]int, fams []Family) (string, bool) {
+	if idx, ok := byName[sample]; ok && fams[idx].Type != "" {
+		return sample, true
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base, ok := strings.CutSuffix(sample, suffix)
+		if !ok {
+			continue
+		}
+		idx, ok := byName[base]
+		if !ok {
+			continue
+		}
+		t := fams[idx].Type
+		if t == TypeHistogram || t == "summary" {
+			if suffix == "_bucket" && t != TypeHistogram {
+				continue
+			}
+			return base, true
+		}
+	}
+	return "", false
+}
+
+// parseComment splits a # line into (HELP|TYPE, metric name, remainder).
+// Plain comments return kind "".
+func parseComment(line string) (kind, name, rest string, err error) {
+	body := strings.TrimPrefix(line, "#")
+	body = strings.TrimLeft(body, " ")
+	var tag string
+	switch {
+	case strings.HasPrefix(body, "HELP "):
+		tag = "HELP"
+	case strings.HasPrefix(body, "TYPE "):
+		tag = "TYPE"
+	default:
+		return "", "", "", nil
+	}
+	body = strings.TrimPrefix(body, tag+" ")
+	name, rest, ok := strings.Cut(body, " ")
+	if !ok && tag == "HELP" {
+		// HELP with empty docstring is legal.
+		name, rest = body, ""
+	} else if !ok {
+		return "", "", "", fmt.Errorf("malformed %s line", tag)
+	}
+	if !metricNameRe.MatchString(name) {
+		return "", "", "", fmt.Errorf("%s for invalid metric name %q", tag, name)
+	}
+	if tag == "HELP" {
+		rest = unescapeHelp(rest)
+	}
+	return tag, name, rest, nil
+}
+
+// parseSample parses `name{labels} value [timestamp]`.
+func parseSample(line string) (Sample, error) {
+	var s Sample
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	space := strings.IndexAny(rest, " \t")
+	if brace >= 0 && (space < 0 || brace < space) {
+		s.Name = rest[:brace]
+		end, err := scanLabels(rest[brace+1:])
+		if err != nil {
+			return s, fmt.Errorf("sample %s: %w", s.Name, err)
+		}
+		s.Labels = rest[brace+1 : brace+1+end]
+		rest = rest[brace+1+end+1:] // skip closing brace
+	} else {
+		if space < 0 {
+			return s, fmt.Errorf("sample line %q missing value", line)
+		}
+		s.Name = rest[:space]
+		rest = rest[space:]
+	}
+	if !metricNameRe.MatchString(s.Name) {
+		return s, fmt.Errorf("invalid sample name %q", s.Name)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("sample %s: want value [timestamp], got %q", s.Name, rest)
+	}
+	v, err := parseValue(fields[0])
+	if err != nil {
+		return s, fmt.Errorf("sample %s: %w", s.Name, err)
+	}
+	s.Value = v
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return s, fmt.Errorf("sample %s: bad timestamp %q", s.Name, fields[1])
+		}
+	}
+	return s, nil
+}
+
+// scanLabels validates the inner label block and returns the index of the
+// closing brace relative to the block start.
+func scanLabels(s string) (int, error) {
+	i := 0
+	for {
+		if i >= len(s) {
+			return 0, fmt.Errorf("unterminated label block")
+		}
+		if s[i] == '}' {
+			return i, nil
+		}
+		// label name
+		start := i
+		for i < len(s) && s[i] != '=' {
+			i++
+		}
+		if i >= len(s) || !labelNameRe.MatchString(s[start:i]) {
+			return 0, fmt.Errorf("bad label name in %q", s)
+		}
+		i++ // '='
+		if i >= len(s) || s[i] != '"' {
+			return 0, fmt.Errorf("label value not quoted in %q", s)
+		}
+		i++
+		for i < len(s) && s[i] != '"' {
+			if s[i] == '\\' {
+				if i+1 >= len(s) {
+					return 0, fmt.Errorf("dangling escape in %q", s)
+				}
+				switch s[i+1] {
+				case '\\', '"', 'n':
+				default:
+					return 0, fmt.Errorf("bad escape \\%c in %q", s[i+1], s)
+				}
+				i++
+			}
+			i++
+		}
+		if i >= len(s) {
+			return 0, fmt.Errorf("unterminated label value in %q", s)
+		}
+		i++ // closing quote
+		if i < len(s) && s[i] == ',' {
+			i++
+		}
+	}
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN", "nan":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// ParseLabels splits a rendered label block into pairs, unescaping values.
+func ParseLabels(block string) ([]Label, error) {
+	var out []Label
+	i := 0
+	for i < len(block) {
+		eq := strings.IndexByte(block[i:], '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("bad label block %q", block)
+		}
+		name := block[i : i+eq]
+		i += eq + 1
+		if i >= len(block) || block[i] != '"' {
+			return nil, fmt.Errorf("bad label block %q", block)
+		}
+		i++
+		var b strings.Builder
+		for i < len(block) && block[i] != '"' {
+			if block[i] == '\\' && i+1 < len(block) {
+				switch block[i+1] {
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					b.WriteByte(block[i+1])
+				}
+				i += 2
+				continue
+			}
+			b.WriteByte(block[i])
+			i++
+		}
+		if i >= len(block) {
+			return nil, fmt.Errorf("bad label block %q", block)
+		}
+		i++ // closing quote
+		if i < len(block) && block[i] == ',' {
+			i++
+		}
+		out = append(out, Label{Name: name, Value: b.String()})
+	}
+	return out, nil
+}
+
+// checkHistogram validates cumulative-bucket semantics for every label set
+// of one histogram family.
+func checkHistogram(f *Family) error {
+	type hist struct {
+		buckets []Sample // _bucket samples in exposition order
+		count   *Sample
+		sum     *Sample
+	}
+	groups := map[string]*hist{}
+	order := []string{}
+	get := func(key string) *hist {
+		h := groups[key]
+		if h == nil {
+			h = &hist{}
+			groups[key] = h
+			order = append(order, key)
+		}
+		return h
+	}
+	for i := range f.Samples {
+		s := f.Samples[i]
+		switch s.Name {
+		case f.Name + "_bucket":
+			labels, err := ParseLabels(s.Labels)
+			if err != nil {
+				return fmt.Errorf("%s: %w", f.Name, err)
+			}
+			rest := make([]string, 0, len(labels))
+			hasLe := false
+			for _, l := range labels {
+				if l.Name == "le" {
+					hasLe = true
+					continue
+				}
+				rest = append(rest, l.Name+"="+l.Value)
+			}
+			if !hasLe {
+				return fmt.Errorf("%s: bucket without le label", f.Name)
+			}
+			sort.Strings(rest)
+			get(strings.Join(rest, ",")).buckets = append(get(strings.Join(rest, ",")).buckets, s)
+		case f.Name + "_count":
+			get(canonLabels(s.Labels)).count = &f.Samples[i]
+		case f.Name + "_sum":
+			get(canonLabels(s.Labels)).sum = &f.Samples[i]
+		default:
+			return fmt.Errorf("%s: stray sample %s in histogram family", f.Name, s.Name)
+		}
+	}
+	for _, key := range order {
+		h := groups[key]
+		if len(h.buckets) == 0 {
+			return fmt.Errorf("%s{%s}: histogram without buckets", f.Name, key)
+		}
+		var prev float64
+		var infSeen bool
+		var infVal float64
+		lastLe := math.Inf(-1)
+		for _, b := range h.buckets {
+			le, err := bucketLe(b.Labels)
+			if err != nil {
+				return fmt.Errorf("%s: %w", f.Name, err)
+			}
+			if le <= lastLe {
+				return fmt.Errorf("%s{%s}: bucket bounds not ascending", f.Name, key)
+			}
+			lastLe = le
+			if b.Value < prev {
+				return fmt.Errorf("%s{%s}: buckets not cumulative (le=%g: %g < %g)", f.Name, key, le, b.Value, prev)
+			}
+			prev = b.Value
+			if math.IsInf(le, 1) {
+				infSeen = true
+				infVal = b.Value
+			}
+		}
+		if !infSeen {
+			return fmt.Errorf("%s{%s}: missing le=\"+Inf\" bucket", f.Name, key)
+		}
+		if h.count == nil || h.sum == nil {
+			return fmt.Errorf("%s{%s}: missing _count or _sum", f.Name, key)
+		}
+		if h.count.Value != infVal {
+			return fmt.Errorf("%s{%s}: _count %g != +Inf bucket %g", f.Name, key, h.count.Value, infVal)
+		}
+	}
+	return nil
+}
+
+// canonLabels sorts a label block's pairs so _sum/_count group with their
+// buckets regardless of label order.
+func canonLabels(block string) string {
+	labels, err := ParseLabels(block)
+	if err != nil {
+		return block
+	}
+	pairs := make([]string, 0, len(labels))
+	for _, l := range labels {
+		pairs = append(pairs, l.Name+"="+l.Value)
+	}
+	sort.Strings(pairs)
+	return strings.Join(pairs, ",")
+}
+
+func bucketLe(block string) (float64, error) {
+	labels, err := ParseLabels(block)
+	if err != nil {
+		return 0, err
+	}
+	for _, l := range labels {
+		if l.Name == "le" {
+			return parseValue(l.Value)
+		}
+	}
+	return 0, fmt.Errorf("bucket %q missing le", block)
+}
+
+func unescapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\n`, "\n")
+	return strings.ReplaceAll(s, `\\`, `\`)
+}

@@ -1,0 +1,113 @@
+package telemetry
+
+import "sync/atomic"
+
+// ProgressLevels bounds the per-cache-level slots a Progress carries. Four
+// covers every machine spec in the repository (L1/L2/L3 + one spare); deeper
+// hierarchies report their first four levels.
+const ProgressLevels = 4
+
+// Progress is a lock-free mailbox between one running simulation and any
+// number of observers (SSE streams, TTY progress lines, metrics summaries).
+// The simulation publishes at its existing instance-boundary poll points —
+// the same quiescent points used for cancellation and checkpoint demand —
+// with plain atomic stores: no allocation, no locks, no wall clock. When
+// nobody reads it, the cost is the stores and nothing else.
+//
+// Writers use the Set* methods (all //repro:noalloc); observers call
+// Snapshot, which assembles a consistent-enough view from the atomics. The
+// fields are monotone per run, so torn reads across fields only ever show a
+// slightly stale mix, never a fabricated value.
+type Progress struct {
+	instancesDone  atomic.Uint64
+	instancesTotal atomic.Uint64
+	cycles         atomic.Uint64
+	instructions   atomic.Uint64
+	levels         atomic.Uint32
+	hits           [ProgressLevels]atomic.Uint64
+	fills          [ProgressLevels]atomic.Uint64
+}
+
+// SetTotal publishes the expected instance count (threads × iterations, or
+// the CG iteration budget for HPCG). Zero means unknown.
+//
+//repro:noalloc
+func (p *Progress) SetTotal(n uint64) { p.instancesTotal.Store(n) }
+
+// SetInstances publishes the absolute number of completed instances.
+//
+//repro:noalloc
+func (p *Progress) SetInstances(done uint64) { p.instancesDone.Store(done) }
+
+// SetCPU publishes the simulated cycle and instruction totals.
+//
+//repro:noalloc
+func (p *Progress) SetCPU(cycles, instructions uint64) {
+	p.cycles.Store(cycles)
+	p.instructions.Store(instructions)
+}
+
+// SetLevelCount publishes how many cache-level slots are valid.
+//
+//repro:noalloc
+func (p *Progress) SetLevelCount(n int) {
+	if n > ProgressLevels {
+		n = ProgressLevels
+	}
+	if n < 0 {
+		n = 0
+	}
+	p.levels.Store(uint32(n))
+}
+
+// SetLevel publishes hit and fill totals for cache level i. Out-of-range
+// levels are dropped (the hierarchy is deeper than the mailbox).
+//
+//repro:noalloc
+func (p *Progress) SetLevel(i int, hits, fills uint64) {
+	if i < 0 || i >= ProgressLevels {
+		return
+	}
+	p.hits[i].Store(hits)
+	p.fills[i].Store(fills)
+}
+
+// LevelProgress is one cache level's running totals.
+type LevelProgress struct {
+	Hits  uint64 `json:"hits"`
+	Fills uint64 `json:"fills"`
+}
+
+// ProgressSnapshot is an observer's copy of a Progress. Plain data, fixed
+// size: taking one does not allocate.
+type ProgressSnapshot struct {
+	InstancesDone  uint64
+	InstancesTotal uint64
+	Cycles         uint64
+	Instructions   uint64
+	NumLevels      int
+	Levels         [ProgressLevels]LevelProgress
+}
+
+// Snapshot reads the current state.
+func (p *Progress) Snapshot() ProgressSnapshot {
+	s := ProgressSnapshot{
+		InstancesDone:  p.instancesDone.Load(),
+		InstancesTotal: p.instancesTotal.Load(),
+		Cycles:         p.cycles.Load(),
+		Instructions:   p.instructions.Load(),
+		NumLevels:      int(p.levels.Load()),
+	}
+	for i := 0; i < s.NumLevels; i++ {
+		s.Levels[i] = LevelProgress{Hits: p.hits[i].Load(), Fills: p.fills[i].Load()}
+	}
+	return s
+}
+
+// Percent returns completion in [0,100], or -1 when the total is unknown.
+func (s ProgressSnapshot) Percent() float64 {
+	if s.InstancesTotal == 0 {
+		return -1
+	}
+	return 100 * float64(s.InstancesDone) / float64(s.InstancesTotal)
+}
